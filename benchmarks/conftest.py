@@ -1,0 +1,23 @@
+"""Shared pytest-benchmark configuration.
+
+Every benchmark runs its workload exactly once per round (the workloads are
+multi-second experiment drivers, not micro-benchmarks) and asserts the
+qualitative shape of the paper's corresponding result.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once` for the common single-shot pattern."""
+
+    def runner(function, *args, **kwargs):
+        return run_once(benchmark, function, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 4 — fish single-node time vs visibility range.
+
+Indexing wins at every visibility range, but its advantage shrinks as the
+range grows (each index probe returns a larger share of the school), matching
+the paper's figure.
+"""
+
+from repro.harness import run_figure4
+
+
+def test_figure4_indexing_vs_visibility(once):
+    result = once(
+        run_figure4,
+        visibility_ranges=(3.0, 6.0, 12.0, 24.0, 48.0),
+        num_fish=500,
+        ticks=4,
+        seed=5,
+    )
+    print()
+    print(result.format_table())
+
+    rows = result.rows()
+    # Indexing is faster at every visibility value.
+    assert all(row["brace_index_seconds"] < row["brace_no_index_seconds"] for row in rows)
+    # The advantage shrinks as the visibility range grows.
+    first_ratio = rows[0]["brace_no_index_seconds"] / rows[0]["brace_index_seconds"]
+    last_ratio = rows[-1]["brace_no_index_seconds"] / rows[-1]["brace_index_seconds"]
+    assert last_ratio < first_ratio

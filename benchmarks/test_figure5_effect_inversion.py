@@ -1,0 +1,27 @@
+"""Benchmark: Figure 5 — predator throughput under the four optimizations.
+
+No-Opt, Idx-Only, Inv-Only and Idx+Inv on a 16-worker BRACE cluster.  The
+paper reports that effect inversion improves throughput by more than 20%
+with indexing enabled and noticeably without it; indexing always helps.
+"""
+
+from repro.harness import run_figure5
+
+
+def test_figure5_effect_inversion(once):
+    result = once(run_figure5, num_fish=600, workers=16, ticks=5, seed=23)
+    print()
+    print(result.format_table())
+    print(
+        f"inversion improvement: {result.improvement_from_inversion(False):+.1%} (no index), "
+        f"{result.improvement_from_inversion(True):+.1%} (with index)"
+    )
+
+    throughputs = result.throughputs
+    assert throughputs["Idx-Only"] > throughputs["No-Opt"]
+    assert throughputs["Idx+Inv"] > throughputs["Inv-Only"]
+    assert throughputs["Inv-Only"] > throughputs["No-Opt"]
+    assert throughputs["Idx+Inv"] == max(throughputs.values())
+    # Effect inversion is worth a double-digit percentage with indexing on.
+    assert result.improvement_from_inversion(with_index=True) > 0.10
+    assert result.improvement_from_inversion(with_index=False) > 0.0

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 6 — traffic scale-up.
+
+Problem size grows with the worker count; throughput should grow nearly
+linearly because the uniform traffic keeps every strip equally loaded even
+without load balancing.
+"""
+
+from repro.harness import run_figure6
+
+
+def test_figure6_traffic_scaleup(once):
+    result = once(
+        run_figure6,
+        worker_counts=(1, 2, 4, 8, 16, 24, 32, 36),
+        vehicles_per_worker=80,
+        ticks=3,
+        seed=31,
+    )
+    print()
+    print(result.format_table())
+
+    throughputs = result.throughputs
+    # Monotone growth with the cluster size.
+    assert all(later > earlier for earlier, later in zip(throughputs, throughputs[1:]))
+    # Large configurations stay well above half of the ideal linear scale-up
+    # once communication is part of the picture.
+    efficiencies = [row["scaleup_efficiency"] for row in result.rows()]
+    assert all(efficiency > 0.45 for efficiency in efficiencies[2:])
+    # 36 workers deliver at least 15x the single-worker throughput.
+    assert throughputs[-1] > 15 * throughputs[0]

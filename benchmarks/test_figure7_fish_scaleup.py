@@ -1,0 +1,30 @@
+"""Benchmark: Figure 7 — fish scale-up with and without load balancing.
+
+The school is concentrated in a small part of the ocean, so without load
+balancing only a few strips do any work and throughput stops growing; with
+the one-dimensional load balancer throughput keeps growing with the cluster.
+"""
+
+from repro.harness import run_figure7
+
+
+def test_figure7_fish_scaleup(once):
+    result = once(
+        run_figure7,
+        worker_counts=(1, 2, 4, 8, 16, 24),
+        fish_per_worker=50,
+        ticks=6,
+        ticks_per_epoch=2,
+        seed=41,
+    )
+    print()
+    print(result.format_table())
+
+    rows = result.rows()
+    largest = rows[-1]
+    # Load balancing wins at scale.
+    assert largest["throughput_lb"] > largest["throughput_no_lb"]
+    # The balanced curve keeps growing from the smallest to the largest cluster.
+    assert largest["throughput_lb"] > 2.0 * rows[0]["throughput_lb"]
+    # The unbalanced curve falls well short of the balanced one at scale.
+    assert largest["throughput_no_lb"] < 0.9 * largest["throughput_lb"]

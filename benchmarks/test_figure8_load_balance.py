@@ -1,0 +1,25 @@
+"""Benchmark: Figure 8 — fish per-epoch time with and without load balancing.
+
+After the initial rebalancing epoch, the balanced configuration's epochs are
+consistently cheaper than the unbalanced one's, whose epochs reflect most of
+the school being simulated by a couple of workers.
+"""
+
+from repro.harness import run_figure8
+
+
+def test_figure8_epoch_times(once):
+    result = once(
+        run_figure8, workers=16, num_fish=800, epochs=8, ticks_per_epoch=3, seed=47
+    )
+    print()
+    print(result.format_table())
+
+    rows = result.rows()
+    assert len(rows) == 8
+    later_lb = [row["seconds_lb"] for row in rows[1:]]
+    later_no_lb = [row["seconds_no_lb"] for row in rows[1:]]
+    # Balanced epochs are cheaper once the first rebalance has happened...
+    assert sum(later_lb) < sum(later_no_lb)
+    # ...and stay essentially flat (no epoch twice as expensive as the cheapest).
+    assert max(later_lb) < 2.5 * min(later_lb)

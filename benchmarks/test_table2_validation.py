@@ -1,0 +1,23 @@
+"""Benchmark: Table 2 — RMSPE validation of the traffic model.
+
+Regenerates the paper's Table 2 (per-lane RMSPE between the agent
+implementation and the hand-coded MITSIM-style baseline) and prints the same
+rows.  The paper reports strong agreement on velocity and density with a
+larger error on the sparsely used right-most lane.
+"""
+
+from repro.harness import run_table2
+
+
+def test_table2_rmspe_validation(once):
+    result = once(run_table2, segment_length=2000.0, ticks=60, seed=17)
+    print()
+    print(result.format_table())
+
+    rows = result.rows()
+    assert len(rows) == 4
+    # Velocities agree to within a few percent on every lane.
+    assert all(row["average_velocity_rmspe"] < 10.0 for row in rows)
+    # Densities agree on the busy lanes (the right-most lane is sparse and noisy).
+    busy = rows[:-1]
+    assert all(row["average_density_rmspe"] < 25.0 for row in busy)

@@ -1,0 +1,11 @@
+"""Single-node baselines the paper compares against.
+
+* :mod:`repro.baselines.mitsim` — a hand-coded traffic simulator standing in
+  for MITSIM: same driver models, but implemented over per-lane sorted
+  arrays with nearest-neighbour lookups instead of the generic agent
+  framework (the paper's single-node comparator in Figure 3 and Table 2).
+"""
+
+from repro.baselines.mitsim import HandCodedTrafficSimulator
+
+__all__ = ["HandCodedTrafficSimulator"]

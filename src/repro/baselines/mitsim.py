@@ -1,0 +1,260 @@
+"""A hand-coded single-node traffic simulator (the MITSIM stand-in).
+
+MITSIM itself is a closed research simulator; what the paper actually
+compares against is a hand-optimised single-node implementation of the same
+lane-changing and car-following models, with a nearest-neighbour access
+structure instead of a generic spatial index.  This module provides that
+comparator:
+
+* vehicles are plain records in per-lane arrays kept sorted by position;
+* lead/rear vehicles are found by binary search (true nearest neighbour, not
+  limited to the fixed 200-unit lookahead the BRACE reimplementation uses —
+  the same approximation difference the paper reports as the source of the
+  residual RMSPE in Table 2);
+* lane average speeds are computed per lane per tick in one pass.
+
+The random decisions use the same per-(seed, tick, vehicle) streams as the
+agent implementation, so the two simulators stay statistically very close
+and Table 2's comparison is meaningful.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.context import agent_rng
+from repro.simulations.traffic.model import TrafficParameters
+from repro.simulations.traffic.statistics import TrafficStatisticsCollector
+
+
+@dataclass
+class VehicleRecord:
+    """A plain (non-agent) vehicle record."""
+
+    vehicle_id: int
+    x: float
+    lane: int
+    speed: float
+    desired_speed: float
+    lane_changes: int = 0
+
+
+class HandCodedTrafficSimulator:
+    """Single-node, hand-optimised implementation of the MITSIM-style models."""
+
+    def __init__(self, parameters: TrafficParameters, seed: int = 0):
+        self.parameters = parameters
+        self.seed = int(seed)
+        self.tick = 0
+        self.vehicles: list[VehicleRecord] = []
+        self.total_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def populate(self, num_vehicles: int | None = None) -> None:
+        """Seed the segment with the same initial conditions as the agent world."""
+        parameters = self.parameters
+        rng = np.random.default_rng(self.seed)
+        count = num_vehicles if num_vehicles is not None else parameters.vehicles_total()
+        self.vehicles = []
+        for vehicle_id in range(count):
+            desired = float(rng.normal(parameters.desired_speed, parameters.speed_jitter))
+            desired = max(parameters.desired_speed * 0.5, desired)
+            self.vehicles.append(
+                VehicleRecord(
+                    vehicle_id=vehicle_id,
+                    x=float(rng.uniform(0.0, parameters.segment_length)),
+                    lane=int(rng.integers(0, parameters.num_lanes)),
+                    speed=float(max(0.0, rng.normal(desired * 0.8, 2.0))),
+                    desired_speed=desired,
+                )
+            )
+
+    def load_from_world(self, world) -> None:
+        """Copy the initial vehicle states from an agent world (same ids and values)."""
+        self.vehicles = [
+            VehicleRecord(
+                vehicle_id=agent.agent_id,
+                x=agent.x,
+                lane=int(agent.lane),
+                speed=agent.speed,
+                desired_speed=agent.desired_speed,
+            )
+            for agent in world.agents()
+        ]
+
+    # ------------------------------------------------------------------
+    # Tick execution
+    # ------------------------------------------------------------------
+    def run_tick(self, collector: TrafficStatisticsCollector | None = None) -> None:
+        """Execute one tick over every vehicle."""
+        start = time.perf_counter()
+        parameters = self.parameters
+
+        # Per-lane arrays sorted by position: the hand-coded nearest-neighbour
+        # structure.  Positions and speeds are parallel lists.
+        lanes: list[list[VehicleRecord]] = [[] for _ in range(parameters.num_lanes)]
+        for vehicle in self.vehicles:
+            lanes[vehicle.lane].append(vehicle)
+        lane_positions: list[list[float]] = []
+        lane_speed_prefix: list[list[float]] = []
+        for lane_vehicles in lanes:
+            lane_vehicles.sort(key=lambda record: record.x)
+            lane_positions.append([record.x for record in lane_vehicles])
+            prefix = [0.0]
+            for record in lane_vehicles:
+                prefix.append(prefix[-1] + record.speed)
+            lane_speed_prefix.append(prefix)
+
+        decisions: list[tuple[VehicleRecord, float, int]] = []
+        for vehicle in self.vehicles:
+            acceleration, new_lane = self._decide(
+                vehicle, lanes, lane_positions, lane_speed_prefix
+            )
+            decisions.append((vehicle, acceleration, new_lane))
+
+        for vehicle, acceleration, new_lane in decisions:
+            new_speed = max(0.0, vehicle.speed + acceleration * parameters.time_step)
+            new_speed = min(new_speed, parameters.max_speed())
+            if new_lane != vehicle.lane:
+                vehicle.lane_changes += 1
+            vehicle.lane = new_lane
+            vehicle.speed = new_speed
+            vehicle.x += new_speed * parameters.time_step
+            if vehicle.x >= parameters.segment_length:
+                vehicle.x -= parameters.segment_length
+
+        self.tick += 1
+        self.total_seconds += time.perf_counter() - start
+        if collector is not None:
+            collector.observe(self.vehicles)
+
+    def run(self, ticks: int, collector: TrafficStatisticsCollector | None = None) -> float:
+        """Run ``ticks`` ticks; returns the total wall-clock seconds spent."""
+        for _ in range(ticks):
+            self.run_tick(collector)
+        return self.total_seconds
+
+    # ------------------------------------------------------------------
+    # Driver models (same shape as the agent implementation)
+    # ------------------------------------------------------------------
+    def _neighbours(
+        self, vehicle: VehicleRecord, lane: int, lanes, lane_positions
+    ) -> tuple[float, float, float]:
+        """(lead gap, lead speed, rear gap) in ``lane`` via binary search."""
+        positions = lane_positions[lane]
+        records = lanes[lane]
+        if not positions:
+            return math.inf, 0.0, math.inf
+        index = bisect.bisect_right(positions, vehicle.x)
+        lead_gap, lead_speed = math.inf, 0.0
+        probe = index
+        while probe < len(records):
+            candidate = records[probe]
+            if candidate is not vehicle:
+                lead_gap = candidate.x - vehicle.x
+                lead_speed = candidate.speed
+                break
+            probe += 1
+        rear_gap = math.inf
+        probe = index - 1
+        while probe >= 0:
+            candidate = records[probe]
+            if candidate is not vehicle:
+                rear_gap = vehicle.x - candidate.x
+                break
+            probe -= 1
+        return lead_gap, lead_speed, rear_gap
+
+    def _acceleration(self, vehicle: VehicleRecord, lead_gap: float, lead_speed: float) -> float:
+        parameters = self.parameters
+        if math.isinf(lead_gap):
+            acceleration = parameters.following_gain * (vehicle.desired_speed - vehicle.speed)
+        else:
+            desired_gap = parameters.min_gap + vehicle.speed * parameters.desired_headway
+            speed_term = parameters.following_gain * (lead_speed - vehicle.speed)
+            gap_term = 0.5 * (lead_gap - desired_gap) / max(desired_gap, 1.0)
+            acceleration = speed_term + gap_term
+            if lead_gap < parameters.min_gap:
+                acceleration = -parameters.max_deceleration
+        return max(-parameters.max_deceleration, min(parameters.max_acceleration, acceleration))
+
+    def _average_speed_ahead(
+        self, vehicle: VehicleRecord, lane: int, lane_positions, lane_speed_prefix
+    ) -> float:
+        """Average speed of the vehicles ahead within the lookahead window.
+
+        Uses the per-lane prefix sums (a hand-optimised one-pass structure)
+        and matches the window the agent implementation observes.
+        """
+        positions = lane_positions[lane]
+        if not positions:
+            return self.parameters.desired_speed
+        low = bisect.bisect_right(positions, vehicle.x)
+        high = bisect.bisect_right(positions, vehicle.x + self.parameters.lookahead)
+        count = high - low
+        if count <= 0:
+            return self.parameters.desired_speed
+        prefix = lane_speed_prefix[lane]
+        return (prefix[high] - prefix[low]) / count
+
+    def _lane_utility(self, average_speed: float, lead_gap: float, lane: int) -> float:
+        parameters = self.parameters
+        gap = min(lead_gap, parameters.lookahead)
+        utility = (
+            parameters.utility_speed_weight * average_speed
+            + parameters.utility_gap_weight * gap
+        )
+        if lane == parameters.num_lanes - 1:
+            utility -= parameters.rightmost_lane_penalty
+        return utility
+
+    def _decide(self, vehicle, lanes, lane_positions, lane_speed_prefix) -> tuple[float, int]:
+        parameters = self.parameters
+        lane = vehicle.lane
+        lead_gap, lead_speed, _ = self._neighbours(vehicle, lane, lanes, lane_positions)
+        acceleration = self._acceleration(vehicle, lead_gap, lead_speed)
+
+        current_average = self._average_speed_ahead(vehicle, lane, lane_positions, lane_speed_prefix)
+        current_utility = (
+            self._lane_utility(current_average, lead_gap, lane)
+            + parameters.keep_lane_bonus
+        )
+        candidates: list[tuple[int, float, float, float]] = []
+        for candidate_lane in (lane - 1, lane + 1):
+            if not 0 <= candidate_lane < parameters.num_lanes:
+                continue
+            candidate_lead_gap, _, candidate_rear_gap = self._neighbours(
+                vehicle, candidate_lane, lanes, lane_positions
+            )
+            candidate_average = self._average_speed_ahead(
+                vehicle, candidate_lane, lane_positions, lane_speed_prefix
+            )
+            utility = self._lane_utility(
+                candidate_average, candidate_lead_gap, candidate_lane
+            )
+            candidates.append((candidate_lane, utility, candidate_lead_gap, candidate_rear_gap))
+
+        best = (lane, current_utility, math.inf, math.inf)
+        for candidate in candidates:
+            if candidate[1] > best[1]:
+                best = candidate
+        if best[0] == lane:
+            return acceleration, lane
+
+        rng = agent_rng(self.seed ^ 0x5BD1E995, self.tick, vehicle.vehicle_id)
+        advantage = best[1] - current_utility
+        probability = parameters.change_probability * (
+            1.0 - math.exp(-parameters.utility_scale * advantage)
+        )
+        if rng.random() >= probability:
+            return acceleration, lane
+        if best[2] < parameters.lead_gap_acceptance or best[3] < parameters.rear_gap_acceptance:
+            return acceleration, lane
+        return acceleration, best[0]

@@ -1,0 +1,88 @@
+"""Configuration of the BRACE runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import BraceError
+
+
+@dataclass
+class BraceConfig:
+    """Every knob of the BRACE runtime.
+
+    Parameters mirror the design choices described in Section 3.3 of the
+    paper: number of workers, epoch length, spatial index used inside the
+    query phase, whether the model needs the second reduce pass (non-local
+    effects), load balancing and checkpointing.
+
+    The cluster-model parameters at the bottom control the virtual-time cost
+    model used for the scale-up experiments.
+    """
+
+    # Parallelism and partitioning --------------------------------------
+    num_workers: int = 4
+    partitioning: str = "strip"  # "strip" (1-D, load-balanceable) or "grid"
+    grid_cells: Sequence[int] | None = None  # for "grid": cells per dimension
+    load_balance_axis: int = 0
+
+    # Iteration structure ------------------------------------------------
+    ticks_per_epoch: int = 10
+    non_local_effects: bool = False  # run the second reduce pass
+
+    # Query-phase execution ----------------------------------------------
+    index: str | None = "kdtree"
+    cell_size: float | None = None
+    check_visibility: bool = True
+
+    # Load balancing -------------------------------------------------------
+    load_balance: bool = True
+    load_balance_threshold: float = 1.25  # imbalance ratio that triggers a repartition
+    #: Cost of migrating one agent, expressed in "agent-ticks of work" — moving
+    #: an agent is roughly an order of magnitude cheaper than simulating it
+    #: for the epoch the new partitioning will last.
+    migration_cost_per_agent: float = 0.1
+
+    # Fault tolerance -------------------------------------------------------
+    checkpointing: bool = False
+    checkpoint_interval_epochs: int = 1
+
+    # Randomness ------------------------------------------------------------
+    seed: int | None = None  # defaults to the world's seed
+
+    # Cluster cost model ------------------------------------------------------
+    work_units_per_second: float = 2_000_000.0
+    bandwidth_bytes_per_second: float = 125_000_000.0
+    latency_seconds: float = 100e-6
+    nodes_per_switch: int = 20
+    inter_switch_penalty: float = 1.6
+    barrier_seconds: float = 250e-6
+    update_work_units_per_agent: float = 2.0
+    map_work_units_per_agent: float = 1.0
+
+    def validate(self) -> None:
+        """Raise :class:`BraceError` when the configuration is inconsistent."""
+        if self.num_workers < 1:
+            raise BraceError("num_workers must be at least 1")
+        if self.ticks_per_epoch < 1:
+            raise BraceError("ticks_per_epoch must be at least 1")
+        if self.partitioning not in ("strip", "grid"):
+            raise BraceError(f"unknown partitioning scheme {self.partitioning!r}")
+        if self.partitioning == "grid" and self.grid_cells is None:
+            raise BraceError("grid partitioning requires grid_cells")
+        if self.partitioning == "grid" and self.grid_cells is not None:
+            total = 1
+            for cells in self.grid_cells:
+                total *= int(cells)
+            if total != self.num_workers:
+                raise BraceError(
+                    "the product of grid_cells must equal num_workers "
+                    f"({total} != {self.num_workers})"
+                )
+        if self.index not in (None, "kdtree", "grid", "quadtree"):
+            raise BraceError(f"unknown spatial index {self.index!r}")
+        if self.load_balance_threshold < 1.0:
+            raise BraceError("load_balance_threshold must be >= 1.0")
+        if self.checkpoint_interval_epochs < 1:
+            raise BraceError("checkpoint_interval_epochs must be at least 1")

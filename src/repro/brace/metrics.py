@@ -1,0 +1,121 @@
+"""Throughput and epoch statistics for BRACE runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BraceTickStatistics:
+    """Measurements for one distributed tick."""
+
+    tick: int
+    num_agents: int
+    virtual_seconds: float
+    wall_seconds: float
+    compute_seconds: float
+    communication_seconds: float
+    synchronization_seconds: float
+    bytes_replicated: int
+    bytes_effects: int
+    bytes_migrated: int
+    replicas_created: int
+    agents_migrated: int
+    max_worker_agents: int
+    min_worker_agents: int
+    num_passes: int
+    spawned: int = 0
+    killed: int = 0
+
+    @property
+    def agent_ticks(self) -> int:
+        """Agent-ticks processed during this tick."""
+        return self.num_agents
+
+    @property
+    def imbalance(self) -> float:
+        """Ratio of the largest to the smallest owned set (>= 1)."""
+        if self.min_worker_agents <= 0:
+            return float("inf") if self.max_worker_agents > 0 else 1.0
+        return self.max_worker_agents / self.min_worker_agents
+
+
+@dataclass
+class EpochStatistics:
+    """Measurements for one epoch (a fixed number of ticks)."""
+
+    epoch: int
+    first_tick: int
+    ticks: int
+    virtual_seconds: float
+    wall_seconds: float
+    agent_ticks: int
+    rebalanced: bool
+    checkpointed: bool
+    checkpoint_bytes: int
+    agents_migrated_by_balancer: int
+
+    @property
+    def seconds_per_epoch(self) -> float:
+        """Virtual time this epoch took (the y-axis of Figure 8)."""
+        return self.virtual_seconds
+
+
+@dataclass
+class BraceRunMetrics:
+    """Accumulated statistics for a whole BRACE run."""
+
+    ticks: list[BraceTickStatistics] = field(default_factory=list)
+    epochs: list[EpochStatistics] = field(default_factory=list)
+
+    def add_tick(self, stats: BraceTickStatistics) -> None:
+        """Record one tick."""
+        self.ticks.append(stats)
+
+    def add_epoch(self, stats: EpochStatistics) -> None:
+        """Record one epoch."""
+        self.epochs.append(stats)
+
+    @property
+    def total_virtual_seconds(self) -> float:
+        """Virtual time across all recorded ticks."""
+        return sum(t.virtual_seconds for t in self.ticks)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Wall-clock time across all recorded ticks."""
+        return sum(t.wall_seconds for t in self.ticks)
+
+    @property
+    def total_agent_ticks(self) -> int:
+        """Agent-ticks across all recorded ticks."""
+        return sum(t.agent_ticks for t in self.ticks)
+
+    def throughput(self, skip_ticks: int = 0) -> float:
+        """Agent-ticks per virtual second (the paper's scale-up metric).
+
+        ``skip_ticks`` discards start-up transients, as the paper does.
+        """
+        ticks = self.ticks[skip_ticks:]
+        seconds = sum(t.virtual_seconds for t in ticks)
+        agent_ticks = sum(t.agent_ticks for t in ticks)
+        if seconds <= 0:
+            return 0.0
+        return agent_ticks / seconds
+
+    def wall_throughput(self, skip_ticks: int = 0) -> float:
+        """Agent-ticks per wall-clock second."""
+        ticks = self.ticks[skip_ticks:]
+        seconds = sum(t.wall_seconds for t in ticks)
+        agent_ticks = sum(t.agent_ticks for t in ticks)
+        if seconds <= 0:
+            return 0.0
+        return agent_ticks / seconds
+
+    def epoch_times(self) -> list[float]:
+        """Virtual seconds per epoch, in epoch order (Figure 8's series)."""
+        return [epoch.virtual_seconds for epoch in self.epochs]
+
+    def total_bytes_over_network(self) -> int:
+        """Replication + effect + migration bytes that crossed node boundaries."""
+        return sum(t.bytes_replicated + t.bytes_effects + t.bytes_migrated for t in self.ticks)

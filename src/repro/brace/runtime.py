@@ -1,0 +1,444 @@
+"""The BRACE runtime: iterated map–reduce–reduce over a simulated cluster.
+
+:class:`BraceRuntime` executes a :class:`~repro.core.world.World` tick by
+tick the way the paper's runtime does:
+
+1. **Map / distribution** — each worker migrates agents that left its
+   partition and replicates its owned agents to every partition whose
+   visible region contains them.  Thanks to collocation, agents that stay
+   put never touch the network; only migrations and replicas do.
+2. **Reduce 1 / query phase** — each worker joins its owned agents with the
+   agents in its partition's visible region (owned + replicas) and runs the
+   query phase, accumulating effects locally.
+3. **Reduce 2 / effect aggregation** — only when the model performs
+   non-local effect assignments: effect partials accumulated on replicas are
+   routed to the owning workers and merged with the owners' accumulators.
+4. **Update phase** — each worker updates its owned agents; births and
+   deaths are collected and applied globally in a deterministic order.
+
+Per-worker compute and communication are measured and converted into virtual
+time by the cluster cost model; throughput is reported in agent-ticks per
+(virtual) second, the unit used by the paper's scale-up figures.  The agent
+*states* produced are identical to a sequential run — this is checked by the
+equivalence tests.
+
+At epoch boundaries the master may rebalance the partitioning (Figures 7/8)
+and trigger coordinated checkpoints, from which :meth:`BraceRuntime.recover`
+restores after an injected failure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.brace.checkpoint import FailureInjector
+from repro.brace.config import BraceConfig
+from repro.brace.master import Master, WorkerReport
+from repro.brace.metrics import BraceRunMetrics, BraceTickStatistics, EpochStatistics
+from repro.brace.replication import replication_targets
+from repro.brace.worker import Worker
+from repro.cluster.costmodel import ClusterCostModel, WorkerTickCost
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import SimulatedNode
+from repro.core.context import UpdateContext
+from repro.core.engine import apply_births_and_deaths
+from repro.core.errors import BraceError
+from repro.core.world import World
+from repro.spatial.partitioning import StripPartitioning
+
+
+class BraceRuntime:
+    """Distributed (simulated) execution of a behavioral simulation."""
+
+    def __init__(self, world: World, config: BraceConfig | None = None):
+        self.world = world
+        self.config = config or BraceConfig()
+        self.config.validate()
+        if world.bounds is None:
+            raise BraceError("BRACE requires World.bounds to build its spatial partitioning")
+        self.seed = self.config.seed if self.config.seed is not None else world.seed
+
+        self.master = Master(self.config, world.bounds)
+        self.workers: list[Worker] = [
+            Worker(partition.partition_id, partition)
+            for partition in self.master.partitioning.partitions()
+        ]
+        network = NetworkModel(
+            latency_seconds=self.config.latency_seconds,
+            bandwidth_bytes_per_second=self.config.bandwidth_bytes_per_second,
+            nodes_per_switch=self.config.nodes_per_switch,
+            inter_switch_penalty=self.config.inter_switch_penalty,
+        )
+        nodes = [
+            SimulatedNode(worker.worker_id, self.config.work_units_per_second)
+            for worker in self.workers
+        ]
+        self.cost_model = ClusterCostModel(
+            network=network, nodes=nodes, barrier_seconds=self.config.barrier_seconds
+        )
+        self.metrics = BraceRunMetrics()
+
+        self._owner_of: dict[Any, int] = {}
+        self._assign_initial_ownership()
+
+        self._epoch_ticks = 0
+        self._epoch_virtual_seconds = 0.0
+        self._epoch_wall_seconds = 0.0
+        self._epoch_agent_ticks = 0
+        self._epoch_first_tick = world.tick
+
+    # ------------------------------------------------------------------
+    # Ownership bookkeeping
+    # ------------------------------------------------------------------
+    def _assign_initial_ownership(self) -> None:
+        for agent in self.world.agents():
+            owner = self.master.partitioning.partition_of(agent.position())
+            self.workers[owner].add_owned(agent)
+            self._owner_of[agent.agent_id] = owner
+
+    def worker_of(self, agent_id: Any) -> int:
+        """Return the id of the worker currently owning ``agent_id``."""
+        try:
+            return self._owner_of[agent_id]
+        except KeyError:
+            raise BraceError(f"agent {agent_id} is not owned by any worker") from None
+
+    def owned_counts(self) -> list[int]:
+        """Number of owned agents per worker."""
+        return [worker.owned_count() for worker in self.workers]
+
+    # ------------------------------------------------------------------
+    # Tick execution
+    # ------------------------------------------------------------------
+    def run_tick(self) -> BraceTickStatistics:
+        """Execute one distributed tick and return its statistics."""
+        config = self.config
+        world = self.world
+        tick = world.tick
+        network = self.cost_model.network
+        wall_start = time.perf_counter()
+
+        worker_costs = [WorkerTickCost(worker.worker_id) for worker in self.workers]
+        num_agents = world.agent_count()
+
+        # ------------------------------------------------------------------
+        # Map phase: reset effects, migrate agents that changed partitions,
+        # replicate agents into neighbouring partitions' visible regions.
+        # ------------------------------------------------------------------
+        for worker in self.workers:
+            worker.clear_replicas()
+            for agent in worker.owned_agents():
+                agent.reset_effects()
+
+        # Transfers are batched per (source, destination) pair per tick: a
+        # worker sends one message containing every migrated agent, replica
+        # or effect partial addressed to a given peer, as a real runtime would.
+        migration_bytes: dict[tuple[int, int], int] = {}
+        replication_bytes: dict[tuple[int, int], int] = {}
+
+        agents_migrated = 0
+        for worker in self.workers:
+            for agent in worker.owned_agents():
+                owner = self.master.partitioning.partition_of(agent.position())
+                if owner != worker.worker_id:
+                    worker.remove_owned(agent.agent_id)
+                    self.workers[owner].add_owned(agent)
+                    self._owner_of[agent.agent_id] = owner
+                    size = agent.approximate_size_bytes()
+                    pair = (worker.worker_id, owner)
+                    migration_bytes[pair] = migration_bytes.get(pair, 0) + size
+                    agents_migrated += 1
+
+        replicas_created = 0
+        for worker in self.workers:
+            cost = worker_costs[worker.worker_id]
+            cost.work_units += config.map_work_units_per_agent * worker.owned_count()
+            for agent in worker.owned_agents():
+                for target in replication_targets(agent, self.master.partitioning):
+                    if target == worker.worker_id:
+                        continue
+                    self.workers[target].receive_replica(agent)
+                    size = agent.approximate_size_bytes()
+                    pair = (worker.worker_id, target)
+                    replication_bytes[pair] = replication_bytes.get(pair, 0) + size
+                    replicas_created += 1
+
+        bytes_migrated = self._charge_transfers(migration_bytes, worker_costs, network)
+        bytes_replicated = self._charge_transfers(replication_bytes, worker_costs, network)
+
+        # ------------------------------------------------------------------
+        # Reduce 1: query phase over owned agents (with replicas visible).
+        # ------------------------------------------------------------------
+        for worker in self.workers:
+            worker.run_query_phase(
+                tick=tick,
+                seed=self.seed,
+                index=config.index,
+                cell_size=config.cell_size,
+                check_visibility=config.check_visibility,
+            )
+            worker_costs[worker.worker_id].work_units += worker.last_query_work_units
+
+        # ------------------------------------------------------------------
+        # Reduce 2: route non-local effect partials to their owners.
+        # ------------------------------------------------------------------
+        bytes_effects = 0
+        if config.non_local_effects:
+            effect_bytes: dict[tuple[int, int], int] = {}
+            for worker in self.workers:
+                for agent_id, partials in sorted(
+                    worker.touched_replica_partials().items(), key=lambda item: repr(item[0])
+                ):
+                    owner = self.worker_of(agent_id)
+                    size = 16 + 8 * len(partials)
+                    if owner != worker.worker_id:
+                        pair = (worker.worker_id, owner)
+                        effect_bytes[pair] = effect_bytes.get(pair, 0) + size
+                    self.workers[owner].merge_remote_partials(agent_id, partials)
+                    worker_costs[owner].work_units += len(partials)
+            bytes_effects = self._charge_transfers(effect_bytes, worker_costs, network)
+        else:
+            for worker in self.workers:
+                if worker.touched_replica_partials():
+                    raise BraceError(
+                        "the model assigned non-local effects but "
+                        "BraceConfig.non_local_effects is False; enable the second "
+                        "reduce pass or use an effect-inverted script"
+                    )
+
+        # ------------------------------------------------------------------
+        # Update phase (the next tick's map task, executed at the boundary).
+        # ------------------------------------------------------------------
+        merged_updates = UpdateContext(tick=tick, seed=self.seed, world_bounds=world.bounds)
+        for worker in self.workers:
+            cost = worker_costs[worker.worker_id]
+            context = worker.run_update_phase(tick=tick, seed=self.seed, world_bounds=world.bounds)
+            merged_updates.merge(context)
+            cost.work_units += config.update_work_units_per_agent * worker.owned_count()
+            cost.agents_owned = worker.owned_count()
+
+        spawned_agents, killed_ids = apply_births_and_deaths(world, merged_updates)
+        for agent_id in killed_ids:
+            owner = self._owner_of.pop(agent_id, None)
+            if owner is not None and agent_id in self.workers[owner].owned:
+                self.workers[owner].remove_owned(agent_id)
+        for agent in spawned_agents:
+            owner = self.master.partitioning.partition_of(agent.position())
+            self.workers[owner].add_owned(agent)
+            self._owner_of[agent.agent_id] = owner
+
+        # ------------------------------------------------------------------
+        # Virtual time and statistics.
+        # ------------------------------------------------------------------
+        num_passes = 3 if config.non_local_effects else 2
+        breakdown = self.cost_model.tick_cost(tick, worker_costs, num_passes=num_passes)
+        owned_counts = self.owned_counts()
+        wall_seconds = time.perf_counter() - wall_start
+        world.tick += 1
+
+        stats = BraceTickStatistics(
+            tick=tick,
+            num_agents=num_agents,
+            virtual_seconds=breakdown.total_seconds,
+            wall_seconds=wall_seconds,
+            compute_seconds=breakdown.compute_seconds,
+            communication_seconds=breakdown.communication_seconds,
+            synchronization_seconds=breakdown.synchronization_seconds,
+            bytes_replicated=bytes_replicated,
+            bytes_effects=bytes_effects,
+            bytes_migrated=bytes_migrated,
+            replicas_created=replicas_created,
+            agents_migrated=agents_migrated,
+            max_worker_agents=max(owned_counts) if owned_counts else 0,
+            min_worker_agents=min(owned_counts) if owned_counts else 0,
+            num_passes=num_passes,
+            spawned=len(spawned_agents),
+            killed=len(killed_ids),
+        )
+        self.metrics.add_tick(stats)
+
+        self._epoch_ticks += 1
+        self._epoch_virtual_seconds += stats.virtual_seconds
+        self._epoch_wall_seconds += stats.wall_seconds
+        self._epoch_agent_ticks += stats.agent_ticks
+        if self._epoch_ticks >= config.ticks_per_epoch:
+            self._end_of_epoch()
+        return stats
+
+    def run(self, ticks: int) -> BraceRunMetrics:
+        """Execute ``ticks`` distributed ticks."""
+        for _ in range(ticks):
+            self.run_tick()
+        return self.metrics
+
+    @staticmethod
+    def _charge_transfers(
+        pair_bytes: dict[tuple[int, int], int],
+        worker_costs: list[WorkerTickCost],
+        network: NetworkModel,
+    ) -> int:
+        """Charge one batched message per (source, destination) pair.
+
+        Returns the total number of bytes that actually crossed node
+        boundaries (same-node pairs are collocated and free).
+        """
+        remote_bytes = 0
+        for (source, destination), num_bytes in sorted(pair_bytes.items()):
+            seconds = network.transfer_seconds(source, destination, num_bytes)
+            remote = source != destination
+            worker_costs[source].add_send(num_bytes, remote=remote, seconds=seconds)
+            worker_costs[destination].add_receive(num_bytes, remote=remote, seconds=seconds)
+            if remote:
+                remote_bytes += num_bytes
+        return remote_bytes
+
+    # ------------------------------------------------------------------
+    # Epoch boundary
+    # ------------------------------------------------------------------
+    def _end_of_epoch(self) -> None:
+        config = self.config
+        reports = [
+            WorkerReport(
+                worker_id=worker.worker_id,
+                owned_agents=worker.owned_count(),
+                work_units=worker.last_query_work_units,
+                bytes_sent=0,
+            )
+            for worker in self.workers
+        ]
+        axis = config.load_balance_axis
+        coordinates = [agent.position()[axis] for agent in self.world.agents()]
+        decision = self.master.end_of_epoch(reports, coordinates)
+
+        rebalanced = False
+        migrated_by_balancer = 0
+        lb_seconds = 0.0
+        if decision.load_balance is not None and decision.load_balance.rebalance:
+            rebalanced = True
+            migrated_by_balancer, lb_seconds = self._apply_new_partitioning()
+
+        checkpointed = False
+        checkpoint_bytes = 0
+        checkpoint_seconds = 0.0
+        if decision.checkpoint:
+            checkpointed = True
+            checkpoint_bytes = sum(worker.checkpoint_size_bytes() for worker in self.workers)
+            self.master.checkpoint_manager.take(self.world, self.master.epoch, checkpoint_bytes)
+            checkpoint_seconds = max(
+                (
+                    self.cost_model.node(worker.worker_id).checkpoint_seconds(
+                        worker.checkpoint_size_bytes()
+                    )
+                    for worker in self.workers
+                ),
+                default=0.0,
+            )
+
+        epoch_stats = EpochStatistics(
+            epoch=self.master.epoch,
+            first_tick=self._epoch_first_tick,
+            ticks=self._epoch_ticks,
+            virtual_seconds=self._epoch_virtual_seconds + lb_seconds + checkpoint_seconds,
+            wall_seconds=self._epoch_wall_seconds,
+            agent_ticks=self._epoch_agent_ticks,
+            rebalanced=rebalanced,
+            checkpointed=checkpointed,
+            checkpoint_bytes=checkpoint_bytes,
+            agents_migrated_by_balancer=migrated_by_balancer,
+        )
+        self.metrics.add_epoch(epoch_stats)
+
+        self._epoch_ticks = 0
+        self._epoch_virtual_seconds = 0.0
+        self._epoch_wall_seconds = 0.0
+        self._epoch_agent_ticks = 0
+        self._epoch_first_tick = self.world.tick
+
+    def _apply_new_partitioning(self) -> tuple[int, float]:
+        """Reassign ownership after the master adopted a new partitioning.
+
+        Returns the number of migrated agents and the virtual time the
+        migration cost (max over per-worker send/receive time).
+        """
+        network = self.cost_model.network
+        partitioning = self.master.partitioning
+        per_worker_seconds = [0.0] * len(self.workers)
+        migrated = 0
+
+        for worker in self.workers:
+            worker.partition = partitioning.partition(worker.worker_id)
+
+        for worker in self.workers:
+            for agent in worker.owned_agents():
+                owner = partitioning.partition_of(agent.position())
+                if owner != worker.worker_id:
+                    worker.remove_owned(agent.agent_id)
+                    self.workers[owner].add_owned(agent)
+                    self._owner_of[agent.agent_id] = owner
+                    size = agent.approximate_size_bytes()
+                    seconds = network.transfer_seconds(worker.worker_id, owner, size)
+                    per_worker_seconds[worker.worker_id] += seconds
+                    per_worker_seconds[owner] += seconds
+                    migrated += 1
+        return migrated, max(per_worker_seconds, default=0.0)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def recover(self) -> int:
+        """Restore the last coordinated checkpoint after a failure.
+
+        Returns the number of ticks lost (to be re-executed).  Raises
+        :class:`repro.core.errors.CheckpointError` when no checkpoint exists.
+        """
+        tick_before_failure = self.world.tick
+        checkpoint = self.master.checkpoint_manager.restore_latest(self.world)
+        ticks_lost = max(0, tick_before_failure - checkpoint.tick)
+        self._rebuild_ownership()
+        # Any partially accumulated epoch is discarded along with the lost ticks.
+        self._epoch_ticks = 0
+        self._epoch_virtual_seconds = 0.0
+        self._epoch_wall_seconds = 0.0
+        self._epoch_agent_ticks = 0
+        self._epoch_first_tick = self.world.tick
+        return ticks_lost
+
+    def _rebuild_ownership(self) -> None:
+        for worker in self.workers:
+            worker.owned.clear()
+            worker.clear_replicas()
+        self._owner_of.clear()
+        self._assign_initial_ownership()
+
+    def run_with_failures(self, ticks: int, injector: FailureInjector) -> BraceRunMetrics:
+        """Run ``ticks`` ticks while the injector may fail any of them.
+
+        A failed tick is thrown away: the world is restored from the last
+        checkpoint and every tick since then (including the failed one) is
+        re-executed — the paper's recovery-by-re-execution strategy.
+        Failures that occur before the first checkpoint are ignored (there is
+        nothing to rewind to yet).
+        """
+        if not self.config.checkpointing:
+            raise BraceError("run_with_failures requires checkpointing to be enabled")
+        target_tick = self.world.tick + ticks
+        while self.world.tick < target_tick:
+            if injector.should_fail() and self.master.checkpoint_manager.has_checkpoint():
+                self.recover()
+                continue
+            self.run_tick()
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def throughput(self, skip_ticks: int = 0) -> float:
+        """Agent-ticks per virtual second, discarding ``skip_ticks`` warm-up ticks."""
+        return self.metrics.throughput(skip_ticks)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BraceRuntime workers={len(self.workers)} tick={self.world.tick} "
+            f"agents={self.world.agent_count()}>"
+        )

@@ -1,0 +1,156 @@
+"""A BRACE worker: one node's share of the simulation.
+
+A worker owns the agents whose positions fall inside its partition, hosts
+read-only replicas of agents from neighbouring partitions, and executes the
+query phase (reduce 1), the non-local effect aggregation (reduce 2) and the
+update phase (the next tick's map task) for its owned set.
+
+Collocation is implicit in this design: the map and reduce tasks of a
+partition live inside the same worker object, so agents that stay in their
+partition never touch the (simulated) network — only replicas and effect
+partials do.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.agent import Agent
+from repro.core.context import QueryContext, UpdateContext
+from repro.core.errors import BraceError
+from repro.core.phase import Phase, phase
+from repro.spatial.partitioning import Partition
+
+
+class Worker:
+    """Per-node execution state."""
+
+    def __init__(self, worker_id: int, partition: Partition):
+        self.worker_id = worker_id
+        self.partition = partition
+        self.owned: dict[Any, Agent] = {}
+        self.replicas: dict[Any, Agent] = {}
+        self.last_query_work_units = 0.0
+        self.last_index_probes = 0
+
+    # ------------------------------------------------------------------
+    # Ownership management
+    # ------------------------------------------------------------------
+    def add_owned(self, agent: Agent) -> None:
+        """Take ownership of ``agent``."""
+        self.owned[agent.agent_id] = agent
+
+    def remove_owned(self, agent_id: Any) -> Agent:
+        """Release ownership of the agent with ``agent_id`` and return it."""
+        try:
+            return self.owned.pop(agent_id)
+        except KeyError:
+            raise BraceError(
+                f"worker {self.worker_id} does not own agent {agent_id}"
+            ) from None
+
+    def owned_agents(self) -> list[Agent]:
+        """Owned agents sorted by id (deterministic iteration order)."""
+        return [self.owned[agent_id] for agent_id in sorted(self.owned, key=repr)]
+
+    def owned_count(self) -> int:
+        """Number of owned agents."""
+        return len(self.owned)
+
+    # ------------------------------------------------------------------
+    # Replicas
+    # ------------------------------------------------------------------
+    def clear_replicas(self) -> None:
+        """Drop every replica (called at the start of each tick)."""
+        self.replicas.clear()
+
+    def receive_replica(self, agent: Agent) -> None:
+        """Host a read-only replica of an agent owned elsewhere."""
+        replica = agent.clone()
+        replica.reset_effects()
+        self.replicas[replica.agent_id] = replica
+
+    def replica_agents(self) -> list[Agent]:
+        """Hosted replicas sorted by id."""
+        return [self.replicas[agent_id] for agent_id in sorted(self.replicas, key=repr)]
+
+    # ------------------------------------------------------------------
+    # Phase execution
+    # ------------------------------------------------------------------
+    def run_query_phase(
+        self,
+        tick: int,
+        seed: int,
+        index: str | None,
+        cell_size: float | None,
+        check_visibility: bool,
+    ) -> QueryContext:
+        """Execute the query phase (reduce 1) for every owned agent."""
+        agents = self.owned_agents() + self.replica_agents()
+        context = QueryContext(
+            agents,
+            tick=tick,
+            seed=seed,
+            index=index,
+            cell_size=cell_size,
+            check_visibility=check_visibility,
+        )
+        with phase(Phase.QUERY):
+            for agent in self.owned_agents():
+                agent.query(context)
+        self.last_query_work_units = context.work_units
+        self.last_index_probes = context.index_probes
+        return context
+
+    def touched_replica_partials(self) -> dict[Any, dict[str, Any]]:
+        """Effect partials assigned to replicas during this tick's query phase.
+
+        These are the non-local effect assignments that must be routed to the
+        owning partitions by the second reduce pass.
+        """
+        partials: dict[Any, dict[str, Any]] = {}
+        for agent_id, replica in self.replicas.items():
+            touched = replica.touched_effect_partials()
+            if touched:
+                partials[agent_id] = touched
+        return partials
+
+    def merge_remote_partials(self, agent_id: Any, partials: dict[str, Any]) -> None:
+        """Merge effect partials produced at another partition into an owned agent."""
+        if agent_id not in self.owned:
+            raise BraceError(
+                f"worker {self.worker_id} received partials for agent {agent_id} it does not own"
+            )
+        self.owned[agent_id].merge_effect_partials(partials)
+
+    def run_update_phase(self, tick: int, seed: int, world_bounds) -> UpdateContext:
+        """Execute the update phase for every owned agent, collecting births/deaths."""
+        context = UpdateContext(tick=tick, seed=seed, world_bounds=world_bounds)
+        with phase(Phase.UPDATE):
+            for agent in self.owned_agents():
+                agent._updating = True
+                try:
+                    agent.update(context)
+                finally:
+                    agent._updating = False
+        return context
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the worker's owned agents (replicas are recomputed on recovery)."""
+        return {
+            "worker_id": self.worker_id,
+            "agents": [agent.snapshot() for agent in self.owned_agents()],
+            "classes": {type(agent).__name__: type(agent) for agent in self.owned_agents()},
+        }
+
+    def checkpoint_size_bytes(self) -> int:
+        """Approximate serialized size of a checkpoint of this worker."""
+        return sum(agent.approximate_size_bytes() for agent in self.owned.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Worker {self.worker_id} owned={len(self.owned)} replicas={len(self.replicas)}>"
+        )

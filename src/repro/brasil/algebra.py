@@ -1,0 +1,477 @@
+"""A small monad (nested relational) algebra.
+
+BRASIL compiles to a data-flow representation; following the paper we use
+the monad algebra — the theoretical foundation of XQuery — rather than the
+flat relational algebra, because its ``MAP`` primitive descends into nested
+values, which is a natural companion to MapReduce (Section 4.2, Appendix B).
+
+The data model: scalars, *tuples* (Python dicts from labels to values) and
+*collections* (Python lists).  ``None`` plays the role of NIL — the result of
+undefined operations — with null semantics: operations on NIL yield NIL and
+aggregates ignore NIL elements.
+
+Every operator is a small class with ``evaluate(value)`` (interpret the plan
+on a value), ``children()`` (for traversal and rewriting) and a readable
+``repr``.  The optimizer (:mod:`repro.brasil.optimizer`) rewrites plans built
+from these operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable
+
+from repro.brasil.builtins import BUILTIN_FUNCTIONS
+from repro.core.errors import BrasilRuntimeError
+
+
+class AlgebraOp:
+    """Base class for monad algebra operators."""
+
+    def evaluate(self, value: Any) -> Any:
+        """Interpret the operator on ``value``."""
+        raise NotImplementedError
+
+    def children(self) -> list["AlgebraOp"]:
+        """Immediate sub-operators (for traversal and rewriting)."""
+        return []
+
+    def replace_children(self, children: list["AlgebraOp"]) -> "AlgebraOp":
+        """Return a copy of this operator with new children."""
+        return self
+
+    def size(self) -> int:
+        """Number of operator nodes in the plan rooted here."""
+        return 1 + sum(child.size() for child in self.children())
+
+
+@dataclass
+class Identity(AlgebraOp):
+    """ID — returns its input unchanged."""
+
+    def evaluate(self, value):
+        return value
+
+    def __repr__(self):
+        return "ID"
+
+
+@dataclass
+class Const(AlgebraOp):
+    """A constant, ignoring the input."""
+
+    value: Any
+
+    def evaluate(self, value):
+        return self.value
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+
+@dataclass
+class Compose(AlgebraOp):
+    """Left-to-right composition: ``(f ∘ g)(x) = g(f(x))`` as in the paper."""
+
+    first: AlgebraOp
+    second: AlgebraOp
+
+    def evaluate(self, value):
+        return self.second.evaluate(self.first.evaluate(value))
+
+    def children(self):
+        return [self.first, self.second]
+
+    def replace_children(self, children):
+        return Compose(children[0], children[1])
+
+    def __repr__(self):
+        return f"({self.first!r} ; {self.second!r})"
+
+
+@dataclass
+class TupleCons(AlgebraOp):
+    """Tuple construction ``⟨label: op, ...⟩`` — each op applied to the same input."""
+
+    fields: dict[str, AlgebraOp]
+
+    def evaluate(self, value):
+        return {label: op.evaluate(value) for label, op in self.fields.items()}
+
+    def children(self):
+        return list(self.fields.values())
+
+    def replace_children(self, children):
+        return TupleCons(dict(zip(self.fields.keys(), children)))
+
+    def __repr__(self):
+        inner = ", ".join(f"{label}: {op!r}" for label, op in self.fields.items())
+        return f"⟨{inner}⟩"
+
+
+@dataclass
+class Project(AlgebraOp):
+    """Projection ``π_label`` from a tuple; NIL when the label is missing."""
+
+    label: str
+
+    def evaluate(self, value):
+        if value is None or not isinstance(value, dict):
+            return None
+        return value.get(self.label)
+
+    def __repr__(self):
+        return f"π_{self.label}"
+
+
+@dataclass
+class MapOp(AlgebraOp):
+    """MAP(f): apply ``f`` to every element of a collection."""
+
+    body: AlgebraOp
+
+    def evaluate(self, value):
+        if value is None:
+            return None
+        return [self.body.evaluate(element) for element in value]
+
+    def children(self):
+        return [self.body]
+
+    def replace_children(self, children):
+        return MapOp(children[0])
+
+    def __repr__(self):
+        return f"MAP({self.body!r})"
+
+
+@dataclass
+class FlatMap(AlgebraOp):
+    """FLATMAP(f): apply ``f`` (collection-valued) to every element, concatenate."""
+
+    body: AlgebraOp
+
+    def evaluate(self, value):
+        if value is None:
+            return None
+        result = []
+        for element in value:
+            mapped = self.body.evaluate(element)
+            if mapped:
+                result.extend(mapped)
+        return result
+
+    def children(self):
+        return [self.body]
+
+    def replace_children(self, children):
+        return FlatMap(children[0])
+
+    def __repr__(self):
+        return f"FLATMAP({self.body!r})"
+
+
+@dataclass
+class Sng(AlgebraOp):
+    """SNG: wrap the input in a singleton collection."""
+
+    def evaluate(self, value):
+        return [value]
+
+    def __repr__(self):
+        return "SNG"
+
+
+@dataclass
+class Flatten(AlgebraOp):
+    """FLATTEN: collection of collections to a single collection."""
+
+    def evaluate(self, value):
+        if value is None:
+            return None
+        result = []
+        for element in value:
+            if element:
+                result.extend(element)
+        return result
+
+    def __repr__(self):
+        return "FLATTEN"
+
+
+@dataclass
+class PairWith(AlgebraOp):
+    """PAIRWITH_label: unnest the collection stored under ``label``.
+
+    Input: a tuple whose ``label`` component is a collection; output: one
+    tuple per element with ``label`` replaced by that element.
+    """
+
+    label: str
+
+    def evaluate(self, value):
+        if value is None:
+            return None
+        collection = value.get(self.label) or []
+        result = []
+        for element in collection:
+            paired = dict(value)
+            paired[self.label] = element
+            result.append(paired)
+        return result
+
+    def __repr__(self):
+        return f"PAIRWITH_{self.label}"
+
+
+@dataclass
+class Select(AlgebraOp):
+    """σ_pred: keep collection elements where the predicate is truthy (NIL drops)."""
+
+    predicate: AlgebraOp
+
+    def evaluate(self, value):
+        if value is None:
+            return None
+        kept = []
+        for element in value:
+            verdict = self.predicate.evaluate(element)
+            if verdict is not None and verdict:
+                kept.append(element)
+        return kept
+
+    def children(self):
+        return [self.predicate]
+
+    def replace_children(self, children):
+        return Select(children[0])
+
+    def __repr__(self):
+        return f"σ({self.predicate!r})"
+
+
+@dataclass
+class Get(AlgebraOp):
+    """GET: the element of a singleton collection, NIL otherwise."""
+
+    def evaluate(self, value):
+        if value is None or len(value) != 1:
+            return None
+        return value[0]
+
+    def __repr__(self):
+        return "GET"
+
+
+@dataclass
+class UnionOp(AlgebraOp):
+    """Union (bag concatenation) of the results of several operators on the same input."""
+
+    operands: list[AlgebraOp] = dataclass_field(default_factory=list)
+
+    def evaluate(self, value):
+        result = []
+        for operand in self.operands:
+            part = operand.evaluate(value)
+            if part:
+                result.extend(part)
+        return result
+
+    def children(self):
+        return list(self.operands)
+
+    def replace_children(self, children):
+        return UnionOp(list(children))
+
+    def __repr__(self):
+        return " ∪ ".join(repr(op) for op in self.operands) if self.operands else "∅"
+
+
+@dataclass
+class Aggregate(AlgebraOp):
+    """SUM/COUNT/MIN/MAX/MEAN over a collection of scalars (NIL elements ignored)."""
+
+    name: str
+
+    def evaluate(self, value):
+        if value is None:
+            return None
+        elements = [element for element in value if element is not None]
+        if self.name == "count":
+            return len(elements)
+        if not elements:
+            return None
+        if self.name == "sum":
+            return sum(elements)
+        if self.name == "min":
+            return min(elements)
+        if self.name == "max":
+            return max(elements)
+        if self.name == "mean":
+            return sum(elements) / len(elements)
+        raise BrasilRuntimeError(f"unknown aggregate {self.name!r}")
+
+    def __repr__(self):
+        return self.name.upper()
+
+
+@dataclass
+class Arith(AlgebraOp):
+    """Scalar arithmetic / comparison on two sub-plans applied to the same input."""
+
+    operator: str
+    left: AlgebraOp
+    right: AlgebraOp
+
+    def evaluate(self, value):
+        left = self.left.evaluate(value)
+        right = self.right.evaluate(value)
+        if left is None or right is None:
+            return None
+        operator = self.operator
+        if operator == "+":
+            return left + right
+        if operator == "-":
+            return left - right
+        if operator == "*":
+            return left * right
+        if operator == "/":
+            return None if right == 0 else left / right
+        if operator == "%":
+            return None if right == 0 else left % right
+        if operator == "==":
+            return left == right
+        if operator == "!=":
+            return left != right
+        if operator == "<":
+            return left < right
+        if operator == ">":
+            return left > right
+        if operator == "<=":
+            return left <= right
+        if operator == ">=":
+            return left >= right
+        if operator == "&&":
+            return bool(left) and bool(right)
+        if operator == "||":
+            return bool(left) or bool(right)
+        raise BrasilRuntimeError(f"unknown operator {operator!r}")
+
+    def children(self):
+        return [self.left, self.right]
+
+    def replace_children(self, children):
+        return Arith(self.operator, children[0], children[1])
+
+    def __repr__(self):
+        return f"({self.left!r} {self.operator} {self.right!r})"
+
+
+@dataclass
+class Negate(AlgebraOp):
+    """Unary minus / logical not on a sub-plan."""
+
+    operator: str
+    operand: AlgebraOp
+
+    def evaluate(self, value):
+        operand = self.operand.evaluate(value)
+        if operand is None:
+            return None
+        if self.operator == "-":
+            return -operand
+        if self.operator == "!":
+            return not operand
+        raise BrasilRuntimeError(f"unknown unary operator {self.operator!r}")
+
+    def children(self):
+        return [self.operand]
+
+    def replace_children(self, children):
+        return Negate(self.operator, children[0])
+
+    def __repr__(self):
+        return f"{self.operator}{self.operand!r}"
+
+
+@dataclass
+class Apply(AlgebraOp):
+    """A builtin scalar function applied to sub-plan results."""
+
+    function: str
+    arguments: list[AlgebraOp]
+
+    def evaluate(self, value):
+        function = BUILTIN_FUNCTIONS.get(self.function)
+        if function is None:
+            raise BrasilRuntimeError(f"unknown builtin {self.function!r}")
+        arguments = [argument.evaluate(value) for argument in self.arguments]
+        if any(argument is None for argument in arguments):
+            return None
+        try:
+            return function(*arguments)
+        except (ValueError, OverflowError):
+            return None
+
+    def children(self):
+        return list(self.arguments)
+
+    def replace_children(self, children):
+        return Apply(self.function, list(children))
+
+    def __repr__(self):
+        inner = ", ".join(repr(argument) for argument in self.arguments)
+        return f"{self.function}({inner})"
+
+
+@dataclass
+class Cond(AlgebraOp):
+    """Conditional: evaluate then/else depending on the condition (NIL → NIL)."""
+
+    condition: AlgebraOp
+    then_op: AlgebraOp
+    else_op: AlgebraOp
+
+    def evaluate(self, value):
+        verdict = self.condition.evaluate(value)
+        if verdict is None:
+            return None
+        return self.then_op.evaluate(value) if verdict else self.else_op.evaluate(value)
+
+    def children(self):
+        return [self.condition, self.then_op, self.else_op]
+
+    def replace_children(self, children):
+        return Cond(children[0], children[1], children[2])
+
+    def __repr__(self):
+        return f"IF({self.condition!r}, {self.then_op!r}, {self.else_op!r})"
+
+
+@dataclass
+class NotNil(AlgebraOp):
+    """True when the sub-plan's result is not NIL (used to drop NIL effects)."""
+
+    operand: AlgebraOp
+
+    def evaluate(self, value):
+        return self.operand.evaluate(value) is not None
+
+    def children(self):
+        return [self.operand]
+
+    def replace_children(self, children):
+        return NotNil(children[0])
+
+    def __repr__(self):
+        return f"NOTNIL({self.operand!r})"
+
+
+def cartesian_product(left_label: str, right_label: str) -> AlgebraOp:
+    """The derived cartesian product of equation (1) of Appendix B.
+
+    Input: a tuple with collections under ``left_label`` and ``right_label``;
+    output: the collection of tuples pairing every element of the first with
+    every element of the second (other tuple components are carried along).
+    """
+    return Compose(PairWith(left_label), FlatMap(Compose(PairWith(right_label), Identity())))

@@ -1,0 +1,318 @@
+"""Abstract syntax tree node classes for BRASIL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass
+class NumberLit(Expr):
+    """A numeric literal (int or float)."""
+
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier: a local variable, a field of the active agent, or ``this``."""
+
+    identifier: str
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``target.field`` — reading a field of another agent."""
+
+    target: Expr
+    field_name: str
+
+
+@dataclass
+class BinaryOp(Expr):
+    """A binary operation (arithmetic, comparison or logical)."""
+
+    operator: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    """A unary operation: ``-expr`` or ``!expr``."""
+
+    operator: str
+    operand: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A builtin function call such as ``abs(x)`` or ``rand()``."""
+
+    function: str
+    arguments: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary conditional ``condition ? then : otherwise``."""
+
+    condition: Expr
+    then_expr: Expr
+    else_expr: Expr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass
+class Block(Stmt):
+    """A ``{ ... }`` sequence of statements."""
+
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """A local (const) variable declaration: ``const float d = ...;``."""
+
+    type_name: str
+    name: str
+    initializer: Expr
+    is_const: bool = True
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a local variable (``name = expr;``)."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class EffectAssign(Stmt):
+    """An effect assignment ``target <- expr;`` aggregated by the field's combinator.
+
+    ``target_agent`` is None for local assignments (``avoidx <- ...``) and an
+    expression for non-local ones (``p.avoidx <- ...``).
+    """
+
+    target_agent: Expr | None
+    field_name: str
+    value: Expr
+
+
+@dataclass
+class ForEach(Stmt):
+    """``foreach (Type var : Extent<Type>) { body }``."""
+
+    element_type: str
+    variable: str
+    body: Block
+
+
+@dataclass
+class If(Stmt):
+    """``if (condition) { then } else { otherwise }``."""
+
+    condition: Expr
+    then_block: Block
+    else_block: Block | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its value only (rare; kept for completeness)."""
+
+    expression: Expr
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass
+class RangeConstraint:
+    """A ``#range[lo, hi]`` (or ``#visibility`` / ``#reachability``) annotation."""
+
+    kind: str  # "range", "visibility" or "reachability"
+    low: float
+    high: float
+
+    @property
+    def radius(self) -> float:
+        """The symmetric radius implied by the interval."""
+        return max(abs(self.low), abs(self.high))
+
+
+@dataclass
+class FieldDecl:
+    """One ``state`` or ``effect`` field declaration."""
+
+    access: str  # "public" or "private"
+    kind: str  # "state" or "effect"
+    type_name: str  # "float", "int" or "bool"
+    name: str
+    # For state fields: the update rule expression (may be None for constants).
+    update_rule: Expr | None = None
+    # For effect fields: the combinator name ("sum", "min", ...).
+    combinator: str | None = None
+    constraints: list[RangeConstraint] = field(default_factory=list)
+
+    @property
+    def is_state(self) -> bool:
+        """True for ``state`` fields."""
+        return self.kind == "state"
+
+    @property
+    def is_effect(self) -> bool:
+        """True for ``effect`` fields."""
+        return self.kind == "effect"
+
+    @property
+    def is_spatial(self) -> bool:
+        """True when the field carries a range/visibility constraint."""
+        return bool(self.constraints)
+
+    def visibility_radius(self) -> float | None:
+        """The visibility radius implied by the constraints, if any."""
+        radii = [c.radius for c in self.constraints if c.kind in ("range", "visibility")]
+        return max(radii) if radii else None
+
+    def reachability_radius(self) -> float | None:
+        """The reachability radius implied by the constraints, if any."""
+        radii = [c.radius for c in self.constraints if c.kind in ("range", "reachability")]
+        return max(radii) if radii else None
+
+
+@dataclass
+class MethodDecl:
+    """A method declaration; only ``run()`` (the query phase) is significant."""
+
+    access: str
+    return_type: str
+    name: str
+    parameters: list[tuple[str, str]] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class ClassDecl:
+    """A BRASIL agent class."""
+
+    name: str
+    fields: list[FieldDecl] = field(default_factory=list)
+    methods: list[MethodDecl] = field(default_factory=list)
+
+    def state_fields(self) -> list[FieldDecl]:
+        """The declared state fields, in order."""
+        return [f for f in self.fields if f.is_state]
+
+    def effect_fields(self) -> list[FieldDecl]:
+        """The declared effect fields, in order."""
+        return [f for f in self.fields if f.is_effect]
+
+    def field_named(self, name: str) -> FieldDecl | None:
+        """Look a field up by name."""
+        for declared in self.fields:
+            if declared.name == name:
+                return declared
+        return None
+
+    def run_method(self) -> MethodDecl | None:
+        """The ``run()`` method (the query phase), if declared."""
+        for method in self.methods:
+            if method.name == "run":
+                return method
+        return None
+
+
+@dataclass
+class Script:
+    """A parsed BRASIL compilation unit (one or more classes)."""
+
+    classes: list[ClassDecl] = field(default_factory=list)
+
+    def class_named(self, name: str) -> ClassDecl | None:
+        """Look a class up by name."""
+        for declared in self.classes:
+            if declared.name == name:
+                return declared
+        return None
+
+
+def walk_statements(node: Any):
+    """Yield every statement nested under ``node`` (including itself)."""
+    if isinstance(node, Block):
+        for statement in node.statements:
+            yield from walk_statements(statement)
+    elif isinstance(node, ForEach):
+        yield node
+        yield from walk_statements(node.body)
+    elif isinstance(node, If):
+        yield node
+        yield from walk_statements(node.then_block)
+        if node.else_block is not None:
+            yield from walk_statements(node.else_block)
+    elif isinstance(node, Stmt):
+        yield node
+
+
+def walk_expressions(node: Any):
+    """Yield every expression nested under a statement or expression."""
+    if isinstance(node, Expr):
+        yield node
+        if isinstance(node, BinaryOp):
+            yield from walk_expressions(node.left)
+            yield from walk_expressions(node.right)
+        elif isinstance(node, UnaryOp):
+            yield from walk_expressions(node.operand)
+        elif isinstance(node, Call):
+            for argument in node.arguments:
+                yield from walk_expressions(argument)
+        elif isinstance(node, FieldAccess):
+            yield from walk_expressions(node.target)
+        elif isinstance(node, Conditional):
+            yield from walk_expressions(node.condition)
+            yield from walk_expressions(node.then_expr)
+            yield from walk_expressions(node.else_expr)
+    elif isinstance(node, Block):
+        for statement in node.statements:
+            yield from walk_expressions(statement)
+    elif isinstance(node, LocalDecl):
+        yield from walk_expressions(node.initializer)
+    elif isinstance(node, Assign):
+        yield from walk_expressions(node.value)
+    elif isinstance(node, EffectAssign):
+        if node.target_agent is not None:
+            yield from walk_expressions(node.target_agent)
+        yield from walk_expressions(node.value)
+    elif isinstance(node, ForEach):
+        yield from walk_expressions(node.body)
+    elif isinstance(node, If):
+        yield from walk_expressions(node.condition)
+        yield from walk_expressions(node.then_block)
+        if node.else_block is not None:
+            yield from walk_expressions(node.else_block)
+    elif isinstance(node, ExprStmt):
+        yield from walk_expressions(node.expression)

@@ -1,0 +1,38 @@
+"""Builtin functions callable from BRASIL expressions.
+
+Every builtin is a pure scalar function.  ``rand()`` is not listed here
+because it needs the per-agent deterministic random stream; the interpreter
+handles it specially.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+def _sign(value: float) -> float:
+    if value > 0:
+        return 1.0
+    if value < 0:
+        return -1.0
+    return 0.0
+
+
+BUILTIN_FUNCTIONS: dict[str, Callable] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sqrt": math.sqrt,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "exp": math.exp,
+    "log": math.log,
+    "pow": math.pow,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan2": math.atan2,
+    "hypot": math.hypot,
+    "sign": _sign,
+}

@@ -1,0 +1,250 @@
+"""The BRASIL compiler: source text to an executable agent class.
+
+``compile_script`` runs the full pipeline — parse, semantic analysis,
+optional effect inversion, monad algebra translation and optimization — and
+packages the result as a :class:`CompiledScript` whose ``agent_class`` is a
+regular :class:`~repro.core.agent.Agent` subclass.  Instances of that class
+run unchanged on the sequential engine, on the Appendix A MapReduce jobs and
+on the BRACE runtime: this is the transparency BRASIL gives domain
+scientists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.brasil.ast_nodes import ClassDecl, Script
+from repro.brasil.effect_inversion import EffectInversionError, InversionResult, invert_effects
+from repro.brasil.interpreter import Environment, evaluate, execute_block
+from repro.brasil.optimizer import OptimizedPlan, optimize_plan
+from repro.brasil.parser import parse
+from repro.brasil.semantics import ScriptInfo, analyze_class
+from repro.brasil.translate import TranslationNotSupported, translate_query
+from repro.core.agent import Agent, AgentMeta
+from repro.core.errors import BrasilError
+from repro.core.fields import EffectField, StateField
+
+_DEFAULTS_BY_TYPE = {"float": 0.0, "int": 0, "bool": False}
+
+
+class BrasilAgentBase(Agent):
+    """Base class of every compiled BRASIL agent.
+
+    The class attributes ``_run_body``, ``_update_rules`` and
+    ``_restrict_to_visible`` are filled in by the compiler; ``query`` and
+    ``update`` interpret them with :mod:`repro.brasil.interpreter`.
+    """
+
+    _run_body = None
+    _update_rules: dict[str, Any] = {}
+    _restrict_to_visible = True
+
+    def query(self, ctx) -> None:
+        """Execute the compiled ``run()`` method (the query phase)."""
+        if self._run_body is None:
+            return
+        environment = Environment(
+            agent=self,
+            query_context=ctx,
+            rng=ctx.rng(self),
+            restrict_to_visible=self._restrict_to_visible,
+        )
+        execute_block(self._run_body, environment)
+
+    def update(self, ctx) -> None:
+        """Evaluate every state field's update rule against the pre-update state."""
+        rules = self._update_rules
+        if not rules:
+            return
+        environment = Environment(agent=self, rng=ctx.rng(self))
+        new_values: dict[str, Any] = {}
+        for field_name, rule in rules.items():
+            value = evaluate(rule, environment)
+            if value is not None:  # NIL keeps the previous value
+                new_values[field_name] = value
+        for field_name, value in new_values.items():
+            setattr(self, field_name, value)
+
+
+@dataclass
+class CompiledScript:
+    """Everything the compiler produced for one BRASIL class."""
+
+    source: str
+    script: Script
+    original_class_decl: ClassDecl
+    class_decl: ClassDecl
+    original_info: ScriptInfo
+    info: ScriptInfo
+    agent_class: type
+    inversion: InversionResult | None = None
+    algebra_plan: Any | None = None
+    optimized_plan: OptimizedPlan | None = None
+
+    @property
+    def class_name(self) -> str:
+        """Name of the compiled agent class."""
+        return self.class_decl.name
+
+    @property
+    def has_non_local_effects(self) -> bool:
+        """True when the *compiled* script still performs non-local effect assignments.
+
+        When this is False (either the original script was local-only or
+        effect inversion removed the non-local assignments), BRACE can run a
+        single reduce pass per tick.
+        """
+        return self.info.has_non_local_effects
+
+    @property
+    def was_inverted(self) -> bool:
+        """True when effect inversion rewrote the script."""
+        return self.inversion is not None and self.inversion.inverted
+
+    def brace_config_overrides(self) -> dict[str, Any]:
+        """Configuration the BRACE runtime should adopt for this script."""
+        return {"non_local_effects": self.has_non_local_effects}
+
+    def make_agent(self, agent_id: int | None = None, **state_values: Any):
+        """Instantiate one agent with the given initial state."""
+        return self.agent_class(agent_id=agent_id, **state_values)
+
+
+class BrasilCompiler:
+    """Compiles BRASIL source text into executable agent classes.
+
+    Parameters
+    ----------
+    effect_inversion:
+        ``"auto"`` (invert when the script has non-local assignments and the
+        rewrite applies, otherwise keep the two-pass plan), ``"on"`` (require
+        inversion, raising when it is impossible) or ``"off"``.
+    use_index:
+        When True (the default), ``foreach`` over an extent is restricted to
+        the agent's visible region, letting the engine's spatial index answer
+        it as an orthogonal range query.  When False the whole extent is
+        scanned — the "no indexing" configuration of Figures 3 and 4.
+    translate_algebra:
+        When True the query script is also translated to a monad algebra plan
+        and optimized; scripts outside the translatable subset silently skip
+        this step (the interpreted path is always available).
+    """
+
+    def __init__(
+        self,
+        effect_inversion: str = "auto",
+        use_index: bool = True,
+        translate_algebra: bool = True,
+    ):
+        if effect_inversion not in ("auto", "on", "off"):
+            raise BrasilError("effect_inversion must be 'auto', 'on' or 'off'")
+        self.effect_inversion = effect_inversion
+        self.use_index = use_index
+        self.translate_algebra = translate_algebra
+
+    def compile(self, source: str, class_name: str | None = None) -> CompiledScript:
+        """Compile ``source``; ``class_name`` selects the class in multi-class scripts."""
+        script = parse(source)
+        declaration = self._select_class(script, class_name)
+        original_info = analyze_class(declaration)
+
+        inversion: InversionResult | None = None
+        compiled_decl = declaration
+        if original_info.has_non_local_effects and self.effect_inversion != "off":
+            try:
+                inversion = invert_effects(declaration)
+                compiled_decl = inversion.class_decl
+            except EffectInversionError:
+                if self.effect_inversion == "on":
+                    raise
+                inversion = None
+                compiled_decl = declaration
+
+        info = analyze_class(compiled_decl) if compiled_decl is not declaration else original_info
+        agent_class = self._build_agent_class(compiled_decl, info)
+
+        algebra_plan = None
+        optimized_plan = None
+        if self.translate_algebra:
+            try:
+                algebra_plan = translate_query(compiled_decl, info)
+                optimized_plan = optimize_plan(algebra_plan)
+            except TranslationNotSupported:
+                algebra_plan = None
+                optimized_plan = None
+
+        return CompiledScript(
+            source=source,
+            script=script,
+            original_class_decl=declaration,
+            class_decl=compiled_decl,
+            original_info=original_info,
+            info=info,
+            agent_class=agent_class,
+            inversion=inversion,
+            algebra_plan=algebra_plan,
+            optimized_plan=optimized_plan,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _select_class(script: Script, class_name: str | None) -> ClassDecl:
+        if class_name is None:
+            if len(script.classes) != 1:
+                raise BrasilError(
+                    "the script declares several classes; pass class_name to choose one"
+                )
+            return script.classes[0]
+        declaration = script.class_named(class_name)
+        if declaration is None:
+            raise BrasilError(f"no class named {class_name!r} in the script")
+        return declaration
+
+    def _build_agent_class(self, declaration: ClassDecl, info: ScriptInfo) -> type:
+        namespace: dict[str, Any] = {
+            "__doc__": f"Agent class compiled from the BRASIL class {declaration.name!r}.",
+            "__module__": __name__,
+        }
+        for field_decl in declaration.state_fields():
+            namespace[field_decl.name] = StateField(
+                default=_DEFAULTS_BY_TYPE.get(field_decl.type_name, 0.0),
+                spatial=field_decl.is_spatial,
+                visibility=field_decl.visibility_radius(),
+                reachability=field_decl.reachability_radius(),
+                doc=f"BRASIL state field ({field_decl.type_name})",
+            )
+        for field_decl in declaration.effect_fields():
+            namespace[field_decl.name] = EffectField(
+                field_decl.combinator, doc=f"BRASIL effect field ({field_decl.type_name})"
+            )
+
+        run_method = declaration.run_method()
+        namespace["_run_body"] = run_method.body if run_method is not None else None
+        namespace["_update_rules"] = {
+            field_decl.name: field_decl.update_rule
+            for field_decl in declaration.state_fields()
+            if field_decl.update_rule is not None
+        }
+        namespace["_restrict_to_visible"] = self.use_index
+        namespace["_class_decl"] = declaration
+        namespace["_script_info"] = info
+        return AgentMeta(declaration.name, (BrasilAgentBase,), namespace)
+
+
+def compile_script(
+    source: str,
+    class_name: str | None = None,
+    effect_inversion: str = "auto",
+    use_index: bool = True,
+    translate_algebra: bool = True,
+) -> CompiledScript:
+    """Compile a BRASIL script (convenience wrapper around :class:`BrasilCompiler`)."""
+    compiler = BrasilCompiler(
+        effect_inversion=effect_inversion,
+        use_index=use_index,
+        translate_algebra=translate_algebra,
+    )
+    return compiler.compile(source, class_name=class_name)

@@ -1,0 +1,335 @@
+"""Effect inversion: rewriting non-local effect assignments into local ones.
+
+Non-local effect assignments force BRACE to run two reduce passes per tick
+(Section 3.2).  Theorem 2 states that without visibility constraints every
+script can be rewritten so that all effect assignments are local; Theorem 3
+extends this to distance-bound visibility constraints at the cost of doubling
+the bound.
+
+The construction in the paper's proof simulates every other agent and filters
+the effects addressed to ``this``; after self-join elimination the common
+case collapses to the symmetric rewrite shown in Section 4.2::
+
+    foreach (Fish p : Extent<Fish>) {      foreach (Fish p : Extent<Fish>) {
+        p.avoidx <- 1 / abs(x - p.x);  ==>     avoidx <- 1 / abs(p.x - x);
+        p.count  <- 1;                          count  <- 1;
+    }                                       }
+
+This module implements that simplified inversion directly on the AST: every
+non-local assignment whose target is the ``foreach`` variable is replaced by
+a local assignment with the roles of ``this`` and the loop variable swapped
+(in the value expression and in any enclosing ``if`` conditions).  Scripts
+falling outside this pattern — assignments through stored references, values
+depending on loop-external locals, or values using ``rand()`` (whose stream
+is attached to the executing agent) — are rejected with
+:class:`EffectInversionError` so the compiler falls back to the two-pass
+plan.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.brasil.ast_nodes import (
+    Assign,
+    BinaryOp,
+    Block,
+    Call,
+    ClassDecl,
+    Conditional,
+    EffectAssign,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    ForEach,
+    If,
+    LocalDecl,
+    MethodDecl,
+    Name,
+    Stmt,
+    UnaryOp,
+)
+from repro.core.errors import BrasilError
+
+
+class EffectInversionError(BrasilError):
+    """The script's non-local assignments do not fit the invertible pattern."""
+
+
+@dataclass
+class InversionResult:
+    """Outcome of :func:`invert_effects`."""
+
+    class_decl: ClassDecl
+    inverted: bool
+    visibility_doubled: bool
+    inverted_assignments: int
+
+
+def _swap_expression(expression: Expr, loop_variable: str, field_names: set[str],
+                     loop_locals: set[str]) -> Expr:
+    """Swap the roles of ``this`` and the loop variable inside ``expression``."""
+    if isinstance(expression, Name):
+        identifier = expression.identifier
+        if identifier == "this":
+            return Name(loop_variable)
+        if identifier == loop_variable:
+            return Name("this")
+        if identifier in field_names:
+            # A bare field of the assigning agent becomes a field of the loop agent.
+            return FieldAccess(Name(loop_variable), identifier)
+        if identifier in loop_locals:
+            # Loop-local values are recomputed per iteration after swapping their
+            # initializers, so the reference itself is unchanged.
+            return Name(identifier)
+        raise EffectInversionError(
+            f"cannot invert: value references {identifier!r}, which is neither a field "
+            "nor a loop-local variable"
+        )
+    if isinstance(expression, FieldAccess):
+        target = expression.target
+        if isinstance(target, Name) and target.identifier == loop_variable:
+            # p.field becomes this.field, written as a bare field reference.
+            return Name(expression.field_name)
+        if isinstance(target, Name) and target.identifier == "this":
+            return FieldAccess(Name(loop_variable), expression.field_name)
+        raise EffectInversionError(
+            "cannot invert: field access through a reference other than 'this' or the "
+            "foreach variable"
+        )
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.operator,
+            _swap_expression(expression.left, loop_variable, field_names, loop_locals),
+            _swap_expression(expression.right, loop_variable, field_names, loop_locals),
+        )
+    if isinstance(expression, UnaryOp):
+        return UnaryOp(
+            expression.operator,
+            _swap_expression(expression.operand, loop_variable, field_names, loop_locals),
+        )
+    if isinstance(expression, Call):
+        if expression.function == "rand":
+            raise EffectInversionError(
+                "cannot invert: the assignment value uses rand(), whose stream belongs to "
+                "the executing agent"
+            )
+        return Call(
+            expression.function,
+            [
+                _swap_expression(argument, loop_variable, field_names, loop_locals)
+                for argument in expression.arguments
+            ],
+        )
+    if isinstance(expression, Conditional):
+        return Conditional(
+            _swap_expression(expression.condition, loop_variable, field_names, loop_locals),
+            _swap_expression(expression.then_expr, loop_variable, field_names, loop_locals),
+            _swap_expression(expression.else_expr, loop_variable, field_names, loop_locals),
+        )
+    # Literals are symmetric.
+    return copy.deepcopy(expression)
+
+
+def _strip_non_local(statement: Stmt, loop_variable: str | None) -> Stmt | None:
+    """Copy ``statement`` with every non-local effect assignment removed (Q1)."""
+    if isinstance(statement, EffectAssign):
+        if statement.target_agent is None:
+            return copy.deepcopy(statement)
+        if isinstance(statement.target_agent, Name) and statement.target_agent.identifier == "this":
+            return copy.deepcopy(statement)
+        return None
+    if isinstance(statement, Block):
+        kept = [_strip_non_local(child, loop_variable) for child in statement.statements]
+        return Block([child for child in kept if child is not None])
+    if isinstance(statement, ForEach):
+        body = _strip_non_local(statement.body, statement.variable)
+        assert isinstance(body, Block)
+        if not body.statements:
+            return None
+        return ForEach(statement.element_type, statement.variable, body)
+    if isinstance(statement, If):
+        then_block = _strip_non_local(statement.then_block, loop_variable)
+        else_block = (
+            _strip_non_local(statement.else_block, loop_variable)
+            if statement.else_block is not None
+            else None
+        )
+        assert isinstance(then_block, Block)
+        if not then_block.statements and (else_block is None or not else_block.statements):
+            return None
+        return If(copy.deepcopy(statement.condition), then_block, else_block)
+    return copy.deepcopy(statement)
+
+
+def _invert_loop_body(
+    body: Block, loop_variable: str, field_names: set[str], loop_locals: set[str]
+) -> Block:
+    """Build the inverted loop body (Q3 after self-join elimination)."""
+    inverted: list[Stmt] = []
+    for statement in body.statements:
+        if isinstance(statement, EffectAssign):
+            if statement.target_agent is None or (
+                isinstance(statement.target_agent, Name)
+                and statement.target_agent.identifier == "this"
+            ):
+                continue  # local assignments stay in Q1
+            target = statement.target_agent
+            if not (isinstance(target, Name) and target.identifier == loop_variable):
+                raise EffectInversionError(
+                    "cannot invert: non-local assignment does not target the foreach variable"
+                )
+            inverted.append(
+                EffectAssign(
+                    target_agent=None,
+                    field_name=statement.field_name,
+                    value=_swap_expression(statement.value, loop_variable, field_names, loop_locals),
+                )
+            )
+        elif isinstance(statement, LocalDecl):
+            inverted.append(
+                LocalDecl(
+                    type_name=statement.type_name,
+                    name=statement.name,
+                    initializer=_swap_expression(
+                        statement.initializer, loop_variable, field_names, loop_locals
+                    ),
+                    is_const=statement.is_const,
+                )
+            )
+        elif isinstance(statement, If):
+            then_block = _invert_loop_body(
+                statement.then_block, loop_variable, field_names, loop_locals
+            )
+            else_block = (
+                _invert_loop_body(statement.else_block, loop_variable, field_names, loop_locals)
+                if statement.else_block is not None
+                else None
+            )
+            if then_block.statements or (else_block is not None and else_block.statements):
+                inverted.append(
+                    If(
+                        _swap_expression(
+                            statement.condition, loop_variable, field_names, loop_locals
+                        ),
+                        then_block,
+                        else_block,
+                    )
+                )
+        elif isinstance(statement, ForEach):
+            raise EffectInversionError("cannot invert: nested foreach loops are not supported")
+        elif isinstance(statement, (Assign, ExprStmt, Block)):
+            raise EffectInversionError(
+                "cannot invert: unsupported statement inside a foreach with non-local effects"
+            )
+    return Block(inverted)
+
+
+def _has_non_local_assignment(block: Block) -> bool:
+    for statement in block.statements:
+        if isinstance(statement, EffectAssign):
+            if statement.target_agent is not None and not (
+                isinstance(statement.target_agent, Name)
+                and statement.target_agent.identifier == "this"
+            ):
+                return True
+        elif isinstance(statement, If):
+            if _has_non_local_assignment(statement.then_block):
+                return True
+            if statement.else_block is not None and _has_non_local_assignment(statement.else_block):
+                return True
+        elif isinstance(statement, ForEach):
+            if _has_non_local_assignment(statement.body):
+                return True
+        elif isinstance(statement, Block):
+            if _has_non_local_assignment(statement):
+                return True
+    return False
+
+
+def invert_effects(declaration: ClassDecl) -> InversionResult:
+    """Rewrite ``declaration`` so that every effect assignment is local.
+
+    Returns an :class:`InversionResult`; when the script already has only
+    local assignments it is returned unchanged with ``inverted=False``.
+    Raises :class:`EffectInversionError` when the script does not fit the
+    supported pattern.
+    """
+    run_method = declaration.run_method()
+    if run_method is None or not _has_non_local_assignment(run_method.body):
+        return InversionResult(
+            class_decl=declaration, inverted=False, visibility_doubled=False,
+            inverted_assignments=0,
+        )
+
+    field_names = {field_decl.name for field_decl in declaration.fields}
+    new_statements: list[Stmt] = []
+    inverted_assignments = 0
+
+    # Q1: the original script with the non-local assignments removed.
+    for statement in run_method.body.statements:
+        stripped = _strip_non_local(statement, None)
+        if stripped is not None:
+            new_statements.append(stripped)
+
+    # Q3 (simplified): one inverted foreach per original foreach that contained
+    # non-local assignments.
+    for statement in run_method.body.statements:
+        if isinstance(statement, ForEach) and _has_non_local_assignment(statement.body):
+            loop_locals = {
+                child.name for child in statement.body.statements if isinstance(child, LocalDecl)
+            }
+            inverted_body = _invert_loop_body(
+                statement.body, statement.variable, field_names, loop_locals
+            )
+            inverted_assignments += _count_effect_assigns(inverted_body)
+            if inverted_body.statements:
+                new_statements.append(
+                    ForEach(statement.element_type, statement.variable, inverted_body)
+                )
+        elif isinstance(statement, EffectAssign) and statement.target_agent is not None:
+            # A non-local assignment outside any foreach (through a stored
+            # reference) cannot be inverted with the simplified construction.
+            if not (
+                isinstance(statement.target_agent, Name)
+                and statement.target_agent.identifier == "this"
+            ):
+                raise EffectInversionError(
+                    "cannot invert: non-local assignment outside of a foreach loop"
+                )
+
+    new_class = copy.deepcopy(declaration)
+    for method in new_class.methods:
+        if method.name == "run":
+            method.body = Block(new_statements)
+
+    # Theorem 3 bounds the visibility needed by the *general* inversion (agent
+    # q re-simulates every potential assigner a, which may see up to distance
+    # R beyond q) at twice the original distance bound.  The simplified
+    # symmetric rewrite applied here only swaps the roles of ``this`` and the
+    # foreach variable, so the assigner and the target see each other directly
+    # and the original bound suffices — the compiled script keeps it, staying
+    # within the 2x envelope the theorem guarantees.
+    visibility_doubled = False
+    return InversionResult(
+        class_decl=new_class,
+        inverted=True,
+        visibility_doubled=visibility_doubled,
+        inverted_assignments=inverted_assignments,
+    )
+
+
+def _count_effect_assigns(block: Block) -> int:
+    count = 0
+    for statement in block.statements:
+        if isinstance(statement, EffectAssign):
+            count += 1
+        elif isinstance(statement, If):
+            count += _count_effect_assigns(statement.then_block)
+            if statement.else_block is not None:
+                count += _count_effect_assigns(statement.else_block)
+        elif isinstance(statement, (Block, ForEach)):
+            inner = statement if isinstance(statement, Block) else statement.body
+            count += _count_effect_assigns(inner)
+    return count

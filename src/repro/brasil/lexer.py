@@ -1,0 +1,176 @@
+"""The BRASIL lexer: source text to a stream of tokens."""
+
+from __future__ import annotations
+
+from repro.brasil.tokens import Token, TokenType
+from repro.core.errors import BrasilSyntaxError
+
+_SINGLE_CHAR_TOKENS = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "#": TokenType.HASH,
+    "?": TokenType.QUESTION,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+}
+
+
+class Lexer:
+    """Converts BRASIL source text into tokens.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments (including
+    Javadoc-style ``/** ... */``), decimal and floating point literals, and
+    the two-character operators ``<-``, ``<=``, ``>=``, ``==``, ``!=``,
+    ``&&`` and ``||``.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return the full token list, terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self) -> str:
+        character = self.source[self.position]
+        self.position += 1
+        if character == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return character
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.source):
+            character = self._peek()
+            if character in " \t\r\n":
+                self._advance()
+            elif character == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif character == "/" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                while self.position < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+                else:
+                    raise BrasilSyntaxError("unterminated block comment", self.line, self.column)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.position >= len(self.source):
+            return Token(TokenType.EOF, "", self.line, self.column)
+
+        line, column = self.line, self.column
+        character = self._peek()
+
+        if character.isalpha() or character == "_":
+            return self._lex_identifier(line, column)
+        if character.isdigit():
+            return self._lex_number(line, column)
+
+        # Two-character operators (must be checked before single-character ones).
+        two = character + self._peek(1)
+        two_char_types = {
+            "<-": TokenType.EFFECT_ASSIGN,
+            "<=": TokenType.LE,
+            ">=": TokenType.GE,
+            "==": TokenType.EQ,
+            "!=": TokenType.NE,
+            "&&": TokenType.AND,
+            "||": TokenType.OR,
+        }
+        if two in two_char_types:
+            self._advance()
+            self._advance()
+            return Token(two_char_types[two], two, line, column)
+
+        if character == "<":
+            self._advance()
+            return Token(TokenType.LT, "<", line, column)
+        if character == ">":
+            self._advance()
+            return Token(TokenType.GT, ">", line, column)
+        if character == "=":
+            self._advance()
+            return Token(TokenType.ASSIGN, "=", line, column)
+        if character == "!":
+            self._advance()
+            return Token(TokenType.NOT, "!", line, column)
+        if character in _SINGLE_CHAR_TOKENS:
+            self._advance()
+            return Token(_SINGLE_CHAR_TOKENS[character], character, line, column)
+
+        raise BrasilSyntaxError(f"unexpected character {character!r}", line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self.position
+        while self.position < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.position]
+        return Token(TokenType.IDENT, text, line, column, value=text)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.position
+        seen_dot = False
+        while self.position < len(self.source):
+            character = self._peek()
+            if character.isdigit():
+                self._advance()
+            elif character == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+            elif character in "eE" and self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+                self._advance()
+            elif character in "eE" and self._peek(1) in "+-" and self._peek(2).isdigit():
+                seen_dot = True
+                self._advance()
+                self._advance()
+                self._advance()
+            else:
+                break
+        text = self.source[start : self.position]
+        value = float(text) if seen_dot else int(text)
+        return Token(TokenType.NUMBER, text, line, column, value=value)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` (convenience wrapper around :class:`Lexer`)."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,425 @@
+"""Recursive-descent parser for BRASIL."""
+
+from __future__ import annotations
+
+from repro.brasil.ast_nodes import (
+    Assign,
+    BinaryOp,
+    Block,
+    BoolLit,
+    Call,
+    ClassDecl,
+    Conditional,
+    EffectAssign,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FieldDecl,
+    ForEach,
+    If,
+    LocalDecl,
+    MethodDecl,
+    Name,
+    NumberLit,
+    RangeConstraint,
+    Script,
+    UnaryOp,
+)
+from repro.brasil.lexer import tokenize
+from repro.brasil.tokens import Token, TokenType
+from repro.core.errors import BrasilSyntaxError
+
+_PRIMITIVE_TYPES = {"float", "int", "bool"}
+_EFFECT_COMBINATORS = {"sum", "count", "min", "max", "mean", "product", "any", "all"}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.brasil.ast_nodes.Script`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def _check(self, token_type: TokenType, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.type is not token_type:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, token_type: TokenType, text: str | None = None) -> Token | None:
+        if self._check(token_type, text):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(token_type, text):
+            expected = text if text is not None else token_type.value
+            raise BrasilSyntaxError(
+                f"expected {expected!r} but found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        return self._expect(TokenType.IDENT, keyword)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_script(self) -> Script:
+        """Parse a whole compilation unit."""
+        script = Script()
+        while not self._check(TokenType.EOF):
+            script.classes.append(self.parse_class())
+        if not script.classes:
+            raise BrasilSyntaxError("a BRASIL script must declare at least one class")
+        return script
+
+    def parse_class(self) -> ClassDecl:
+        """Parse one ``class`` declaration."""
+        self._expect_keyword("class")
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LBRACE)
+        declaration = ClassDecl(name=name)
+        while not self._check(TokenType.RBRACE):
+            self._parse_member(declaration)
+        self._expect(TokenType.RBRACE)
+        return declaration
+
+    def _parse_member(self, declaration: ClassDecl) -> None:
+        access_token = self._peek()
+        access = "public"
+        if access_token.type is TokenType.IDENT and access_token.text in ("public", "private"):
+            access = self._advance().text
+
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.text in ("state", "effect"):
+            field = self._parse_field(access)
+            declaration.fields.append(field)
+            self._attach_trailing_annotations(field)
+        else:
+            declaration.methods.append(self._parse_method(access))
+
+    # ------------------------------------------------------------------
+    # Fields
+    # ------------------------------------------------------------------
+    def _parse_field(self, access: str) -> FieldDecl:
+        kind = self._advance().text  # "state" or "effect"
+        type_name = self._expect(TokenType.IDENT).text
+        if type_name not in _PRIMITIVE_TYPES:
+            raise BrasilSyntaxError(
+                f"unsupported field type {type_name!r}", self._peek().line, self._peek().column
+            )
+        name = self._expect(TokenType.IDENT).text
+        field = FieldDecl(access=access, kind=kind, type_name=type_name, name=name)
+
+        if self._match(TokenType.COLON):
+            if kind == "effect":
+                combinator_token = self._expect(TokenType.IDENT)
+                if combinator_token.text not in _EFFECT_COMBINATORS:
+                    raise BrasilSyntaxError(
+                        f"unknown effect combinator {combinator_token.text!r}",
+                        combinator_token.line,
+                        combinator_token.column,
+                    )
+                field.combinator = combinator_token.text
+            else:
+                field.update_rule = self.parse_expression()
+
+        # Annotations appearing before the terminating semicolon.
+        while self._check(TokenType.HASH):
+            field.constraints.append(self._parse_annotation())
+        self._expect(TokenType.SEMICOLON)
+        return field
+
+    def _attach_trailing_annotations(self, field: FieldDecl) -> None:
+        """Attach ``#range[...]`` clauses written after the field's semicolon."""
+        while self._check(TokenType.HASH):
+            field.constraints.append(self._parse_annotation())
+            self._match(TokenType.SEMICOLON)
+
+    def _parse_annotation(self) -> RangeConstraint:
+        self._expect(TokenType.HASH)
+        kind = self._expect(TokenType.IDENT).text
+        if kind not in ("range", "visibility", "reachability"):
+            raise BrasilSyntaxError(f"unknown annotation #{kind}", self._peek().line)
+        self._expect(TokenType.LBRACKET)
+        low = self._parse_signed_number()
+        high = low
+        if self._match(TokenType.COMMA):
+            high = self._parse_signed_number()
+        else:
+            low, high = -abs(low), abs(low)
+        self._expect(TokenType.RBRACKET)
+        if low > high:
+            raise BrasilSyntaxError(f"annotation interval [{low}, {high}] has low > high")
+        return RangeConstraint(kind=kind, low=low, high=high)
+
+    def _parse_signed_number(self) -> float:
+        sign = 1.0
+        if self._match(TokenType.MINUS):
+            sign = -1.0
+        elif self._match(TokenType.PLUS):
+            sign = 1.0
+        token = self._expect(TokenType.NUMBER)
+        return sign * float(token.value)
+
+    # ------------------------------------------------------------------
+    # Methods and statements
+    # ------------------------------------------------------------------
+    def _parse_method(self, access: str) -> MethodDecl:
+        return_type = self._expect(TokenType.IDENT).text
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LPAREN)
+        parameters: list[tuple[str, str]] = []
+        if not self._check(TokenType.RPAREN):
+            while True:
+                parameter_type = self._expect(TokenType.IDENT).text
+                parameter_name = self._expect(TokenType.IDENT).text
+                parameters.append((parameter_type, parameter_name))
+                if not self._match(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN)
+        body = self.parse_block()
+        return MethodDecl(
+            access=access, return_type=return_type, name=name, parameters=parameters, body=body
+        )
+
+    def parse_block(self) -> Block:
+        """Parse a ``{ ... }`` block."""
+        self._expect(TokenType.LBRACE)
+        block = Block()
+        while not self._check(TokenType.RBRACE):
+            block.statements.append(self.parse_statement())
+        self._expect(TokenType.RBRACE)
+        return block
+
+    def parse_statement(self):
+        """Parse a single statement."""
+        token = self._peek()
+        if token.type is TokenType.LBRACE:
+            return self.parse_block()
+        if token.type is TokenType.IDENT:
+            if token.text == "foreach":
+                return self._parse_foreach()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "const":
+                return self._parse_local_decl(expect_const=True)
+            if token.text in _PRIMITIVE_TYPES:
+                return self._parse_local_decl(expect_const=False)
+            # ``Type name = expr;`` (agent-typed local without const)
+            next_token = self._peek(1)
+            after = self._peek(2)
+            if (
+                next_token.type is TokenType.IDENT
+                and after.type is TokenType.ASSIGN
+                and token.text not in ("this",)
+            ):
+                return self._parse_local_decl(expect_const=False)
+        return self._parse_simple_statement()
+
+    def _parse_local_decl(self, expect_const: bool) -> LocalDecl:
+        is_const = False
+        if expect_const:
+            self._expect_keyword("const")
+            is_const = True
+        type_name = self._expect(TokenType.IDENT).text
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.ASSIGN)
+        initializer = self.parse_expression()
+        self._expect(TokenType.SEMICOLON)
+        return LocalDecl(type_name=type_name, name=name, initializer=initializer, is_const=is_const)
+
+    def _parse_foreach(self) -> ForEach:
+        self._expect_keyword("foreach")
+        self._expect(TokenType.LPAREN)
+        element_type = self._expect(TokenType.IDENT).text
+        variable = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.COLON)
+        self._expect_keyword("Extent")
+        self._expect(TokenType.LT)
+        extent_type = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.GT)
+        self._expect(TokenType.RPAREN)
+        if extent_type != element_type:
+            raise BrasilSyntaxError(
+                f"foreach variable type {element_type!r} does not match Extent<{extent_type}>"
+            )
+        body = self.parse_block()
+        return ForEach(element_type=element_type, variable=variable, body=body)
+
+    def _parse_if(self) -> If:
+        self._expect_keyword("if")
+        self._expect(TokenType.LPAREN)
+        condition = self.parse_expression()
+        self._expect(TokenType.RPAREN)
+        then_block = self._parse_block_or_statement()
+        else_block = None
+        if self._check(TokenType.IDENT, "else"):
+            self._advance()
+            else_block = self._parse_block_or_statement()
+        return If(condition=condition, then_block=then_block, else_block=else_block)
+
+    def _parse_block_or_statement(self) -> Block:
+        if self._check(TokenType.LBRACE):
+            return self.parse_block()
+        return Block(statements=[self.parse_statement()])
+
+    def _parse_simple_statement(self):
+        expression = self.parse_expression()
+        if self._match(TokenType.EFFECT_ASSIGN):
+            value = self.parse_expression()
+            self._expect(TokenType.SEMICOLON)
+            if isinstance(expression, Name):
+                return EffectAssign(target_agent=None, field_name=expression.identifier, value=value)
+            if isinstance(expression, FieldAccess):
+                return EffectAssign(
+                    target_agent=expression.target, field_name=expression.field_name, value=value
+                )
+            raise BrasilSyntaxError("the target of '<-' must be an effect field")
+        if self._match(TokenType.ASSIGN):
+            value = self.parse_expression()
+            self._expect(TokenType.SEMICOLON)
+            if not isinstance(expression, Name):
+                raise BrasilSyntaxError("only local variables can be reassigned with '='")
+            return Assign(name=expression.identifier, value=value)
+        self._expect(TokenType.SEMICOLON)
+        return ExprStmt(expression=expression)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        """Parse an expression (entry point: the ternary conditional)."""
+        return self._parse_conditional()
+
+    def _parse_conditional(self) -> Expr:
+        condition = self._parse_or()
+        if self._match(TokenType.QUESTION):
+            then_expr = self.parse_expression()
+            self._expect(TokenType.COLON)
+            else_expr = self.parse_expression()
+            return Conditional(condition=condition, then_expr=then_expr, else_expr=else_expr)
+        return condition
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._match(TokenType.OR):
+            left = BinaryOp("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_equality()
+        while self._match(TokenType.AND):
+            left = BinaryOp("&&", left, self._parse_equality())
+        return left
+
+    def _parse_equality(self) -> Expr:
+        left = self._parse_comparison()
+        while True:
+            if self._match(TokenType.EQ):
+                left = BinaryOp("==", left, self._parse_comparison())
+            elif self._match(TokenType.NE):
+                left = BinaryOp("!=", left, self._parse_comparison())
+            else:
+                return left
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        while True:
+            if self._match(TokenType.LT):
+                left = BinaryOp("<", left, self._parse_additive())
+            elif self._match(TokenType.GT):
+                left = BinaryOp(">", left, self._parse_additive())
+            elif self._match(TokenType.LE):
+                left = BinaryOp("<=", left, self._parse_additive())
+            elif self._match(TokenType.GE):
+                left = BinaryOp(">=", left, self._parse_additive())
+            else:
+                return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._match(TokenType.PLUS):
+                left = BinaryOp("+", left, self._parse_multiplicative())
+            elif self._match(TokenType.MINUS):
+                left = BinaryOp("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self._match(TokenType.STAR):
+                left = BinaryOp("*", left, self._parse_unary())
+            elif self._match(TokenType.SLASH):
+                left = BinaryOp("/", left, self._parse_unary())
+            elif self._match(TokenType.PERCENT):
+                left = BinaryOp("%", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._match(TokenType.MINUS):
+            return UnaryOp("-", self._parse_unary())
+        if self._match(TokenType.NOT):
+            return UnaryOp("!", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expression = self._parse_primary()
+        while self._match(TokenType.DOT):
+            field_name = self._expect(TokenType.IDENT).text
+            expression = FieldAccess(target=expression, field_name=field_name)
+        return expression
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return NumberLit(value=token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expression = self.parse_expression()
+            self._expect(TokenType.RPAREN)
+            return expression
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if token.text == "true":
+                return BoolLit(True)
+            if token.text == "false":
+                return BoolLit(False)
+            if self._check(TokenType.LPAREN):
+                self._advance()
+                arguments: list[Expr] = []
+                if not self._check(TokenType.RPAREN):
+                    while True:
+                        arguments.append(self.parse_expression())
+                        if not self._match(TokenType.COMMA):
+                            break
+                self._expect(TokenType.RPAREN)
+                return Call(function=token.text, arguments=arguments)
+            return Name(identifier=token.text)
+        raise BrasilSyntaxError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+
+def parse(source: str) -> Script:
+    """Parse BRASIL source text into an AST."""
+    return Parser(tokenize(source)).parse_script()

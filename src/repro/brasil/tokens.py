@@ -1,0 +1,87 @@
+"""Token definitions for the BRASIL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    """Every kind of lexical token BRASIL recognises."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    # Punctuation
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMICOLON = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    HASH = "#"
+    QUESTION = "?"
+    # Operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    ASSIGN = "="
+    EFFECT_ASSIGN = "<-"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    # End of input
+    EOF = "eof"
+
+
+#: Reserved words.  They lex as IDENT tokens but the parser treats them
+#: specially; keeping them in one place lets the semantic analyzer reject
+#: their use as identifiers.
+KEYWORDS = frozenset(
+    {
+        "class",
+        "public",
+        "private",
+        "state",
+        "effect",
+        "const",
+        "void",
+        "float",
+        "int",
+        "bool",
+        "foreach",
+        "if",
+        "else",
+        "true",
+        "false",
+        "this",
+        "Extent",
+        "new",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, line {self.line})"

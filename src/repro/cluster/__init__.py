@@ -1,0 +1,26 @@
+"""A simulated shared-nothing cluster.
+
+The paper evaluates BRACE on a 60-node cluster connected by a pair of gigabit
+switches.  This reproduction replaces that hardware with a deterministic
+model: nodes process abstract work units at a configurable rate, messages pay
+a per-message latency and a per-byte cost, and node pairs that live on
+different switches pay an inter-switch penalty (which produces the throughput
+dip around 20 nodes that the paper attributes to its multi-switch topology).
+
+The model is used to convert the *per-worker work and communication totals*
+measured by the BRACE runtime into virtual elapsed time, from which the
+scale-up figures (5–8) report agent-ticks per second.
+"""
+
+from repro.cluster.network import NetworkModel, NetworkTotals
+from repro.cluster.node import SimulatedNode
+from repro.cluster.costmodel import ClusterCostModel, WorkerTickCost, TickCostBreakdown
+
+__all__ = [
+    "NetworkModel",
+    "NetworkTotals",
+    "SimulatedNode",
+    "ClusterCostModel",
+    "WorkerTickCost",
+    "TickCostBreakdown",
+]

@@ -1,0 +1,262 @@
+"""The Agent base class.
+
+Agents are the unit of data parallelism in BRACE.  A concrete agent class
+declares :class:`~repro.core.fields.StateField` and
+:class:`~repro.core.fields.EffectField` attributes and overrides
+:meth:`Agent.query` (the query phase: read neighbours, assign effects) and
+:meth:`Agent.update` (the update phase: read own state + aggregated effects,
+write new state).
+
+Agents are plain Python objects but expose explicit snapshot/merge hooks so
+the BRACE runtime can replicate them to other partitions, merge partially
+aggregated effects coming back from replicas, checkpoint workers and compare
+runs for equivalence.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from typing import Any, Iterator
+
+from repro.core.errors import AgentDefinitionError
+from repro.core.fields import EffectField, StateField
+from repro.spatial.bbox import BBox
+
+
+class AgentMeta(type):
+    """Collects field declarations (including inherited ones) in order."""
+
+    def __new__(mcls, name, bases, namespace):
+        cls = super().__new__(mcls, name, bases, namespace)
+
+        state_fields: dict[str, StateField] = {}
+        effect_fields: dict[str, EffectField] = {}
+        for base in reversed(cls.__mro__[1:]):
+            state_fields.update(getattr(base, "_state_fields", {}))
+            effect_fields.update(getattr(base, "_effect_fields", {}))
+        for attr_name, attr_value in namespace.items():
+            if isinstance(attr_value, StateField):
+                if attr_name in effect_fields:
+                    raise AgentDefinitionError(
+                        f"{name}.{attr_name} redeclares an effect field as state"
+                    )
+                state_fields[attr_name] = attr_value
+            elif isinstance(attr_value, EffectField):
+                if attr_name in state_fields:
+                    raise AgentDefinitionError(
+                        f"{name}.{attr_name} redeclares a state field as effect"
+                    )
+                effect_fields[attr_name] = attr_value
+
+        cls._state_fields = state_fields
+        cls._effect_fields = effect_fields
+        cls._spatial_fields = [
+            field_name for field_name, field in state_fields.items() if field.spatial
+        ]
+        return cls
+
+
+class Agent(metaclass=AgentMeta):
+    """Base class for every simulated agent.
+
+    Subclasses declare fields at class level and implement ``query`` and
+    ``update``.  Instances may be constructed with keyword arguments naming
+    any state field.
+    """
+
+    _state_fields: dict[str, StateField] = {}
+    _effect_fields: dict[str, EffectField] = {}
+    _spatial_fields: list[str] = []
+
+    def __init__(self, agent_id: int | None = None, **field_values: Any):
+        self.agent_id = agent_id
+        self._updating = False
+        self._state: dict[str, Any] = {}
+        self._effects: dict[str, Any] = {}
+        self._effects_touched: set[str] = set()
+        for field_name, field in self._state_fields.items():
+            self._state[field_name] = copy.copy(field.default)
+        for field_name, field in self._effect_fields.items():
+            self._effects[field_name] = field.combinator.identity()
+        unknown = set(field_values) - set(self._state_fields)
+        if unknown:
+            raise AgentDefinitionError(
+                f"unknown state field(s) {sorted(unknown)} for {type(self).__name__}"
+            )
+        for field_name, value in field_values.items():
+            self._state[field_name] = value
+
+    # ------------------------------------------------------------------
+    # Behaviour hooks (overridden by concrete models)
+    # ------------------------------------------------------------------
+    def query(self, ctx) -> None:
+        """Query phase: read neighbouring agents and assign effects.
+
+        ``ctx`` is a :class:`repro.core.context.QueryContext`.
+        """
+
+    def update(self, ctx) -> None:
+        """Update phase: read own state and aggregated effects, write new state.
+
+        ``ctx`` is a :class:`repro.core.context.UpdateContext`.
+        """
+
+    # ------------------------------------------------------------------
+    # Spatial accessors
+    # ------------------------------------------------------------------
+    @classmethod
+    def spatial_field_names(cls) -> list[str]:
+        """Names of the spatial state fields, in declaration order."""
+        return list(cls._spatial_fields)
+
+    @classmethod
+    def spatial_dim(cls) -> int:
+        """Number of spatial dimensions."""
+        return len(cls._spatial_fields)
+
+    @classmethod
+    def visibility_radii(cls) -> tuple[float | None, ...]:
+        """Per-dimension visibility bounds (None = unbounded)."""
+        return tuple(cls._state_fields[name].visibility for name in cls._spatial_fields)
+
+    @classmethod
+    def reachability_radii(cls) -> tuple[float | None, ...]:
+        """Per-dimension reachability bounds (None = unbounded)."""
+        return tuple(cls._state_fields[name].reachability for name in cls._spatial_fields)
+
+    @classmethod
+    def has_bounded_visibility(cls) -> bool:
+        """True when every spatial dimension has a finite visibility bound."""
+        radii = cls.visibility_radii()
+        return bool(radii) and all(radius is not None for radius in radii)
+
+    def position(self) -> tuple[float, ...]:
+        """The agent's spatial location (tuple of its spatial state fields)."""
+        return tuple(self._state[name] for name in self._spatial_fields)
+
+    def visible_region(self) -> BBox | None:
+        """The box the agent may read from / assign effects into, or None if unbounded."""
+        if not self.has_bounded_visibility():
+            return None
+        radii = [radius for radius in self.visibility_radii()]
+        return BBox.around(self.position(), radii)
+
+    def reachable_region(self) -> BBox | None:
+        """The box the agent may move into during the next update, or None if unbounded."""
+        radii = self.reachability_radii()
+        if not radii or any(radius is None for radius in radii):
+            return None
+        return BBox.around(self.position(), list(radii))
+
+    # ------------------------------------------------------------------
+    # Raw state / effect access (bypasses phase enforcement)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """A copy of the raw state values."""
+        return dict(self._state)
+
+    def set_state_dict(self, values: dict[str, Any]) -> None:
+        """Overwrite raw state values (no phase checks); unknown keys are rejected."""
+        unknown = set(values) - set(self._state_fields)
+        if unknown:
+            raise AgentDefinitionError(f"unknown state field(s) {sorted(unknown)}")
+        self._state.update(values)
+
+    def effect_partials(self) -> dict[str, Any]:
+        """A copy of the raw (not finalized) effect accumulators."""
+        return dict(self._effects)
+
+    def touched_effect_partials(self) -> dict[str, Any]:
+        """Raw accumulators of only the effect fields assigned this tick."""
+        return {name: self._effects[name] for name in self._effects_touched}
+
+    def set_effect_partials(self, partials: dict[str, Any]) -> None:
+        """Overwrite raw effect accumulators (no phase checks)."""
+        unknown = set(partials) - set(self._effect_fields)
+        if unknown:
+            raise AgentDefinitionError(f"unknown effect field(s) {sorted(unknown)}")
+        self._effects.update(partials)
+        self._effects_touched.update(partials)
+
+    def merge_effect_partials(self, partials: dict[str, Any]) -> None:
+        """Merge partial accumulators from a replica using each field's combinator."""
+        for field_name, partial in partials.items():
+            field = self._effect_fields.get(field_name)
+            if field is None:
+                raise AgentDefinitionError(f"unknown effect field {field_name!r}")
+            self._effects[field_name] = field.combinator.merge(
+                self._effects[field_name], partial
+            )
+            self._effects_touched.add(field_name)
+
+    def reset_effects(self) -> None:
+        """Reset every effect accumulator to its combinator identity."""
+        for field_name, field in self._effect_fields.items():
+            self._effects[field_name] = field.combinator.identity()
+        self._effects_touched.clear()
+
+    def effect_value(self, field_name: str) -> Any:
+        """Finalized value of one effect field (no phase checks)."""
+        field = self._effect_fields[field_name]
+        return field.combinator.finalize(self._effects[field_name])
+
+    # ------------------------------------------------------------------
+    # Replication / checkpointing helpers
+    # ------------------------------------------------------------------
+    def clone(self) -> "Agent":
+        """A deep copy sharing nothing with the original (used for replication)."""
+        duplicate = type(self).__new__(type(self))
+        duplicate.agent_id = self.agent_id
+        duplicate._updating = False
+        duplicate._state = copy.deepcopy(self._state)
+        duplicate._effects = copy.deepcopy(self._effects)
+        duplicate._effects_touched = set(self._effects_touched)
+        return duplicate
+
+    def snapshot(self) -> dict[str, Any]:
+        """A serializable snapshot (class name, id, state, effects)."""
+        return {
+            "class": type(self).__name__,
+            "agent_id": self.agent_id,
+            "state": copy.deepcopy(self._state),
+            "effects": copy.deepcopy(self._effects),
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Restore state and effects from a snapshot taken with :meth:`snapshot`."""
+        self.agent_id = snapshot["agent_id"]
+        self._state = copy.deepcopy(snapshot["state"])
+        self._effects = copy.deepcopy(snapshot["effects"])
+        self._effects_touched = set()
+
+    def same_state_as(self, other: "Agent", tolerance: float = 0.0) -> bool:
+        """True when ``other`` has the same id and (numerically close) state.
+
+        ``tolerance`` is used both as a relative and an absolute bound
+        (``math.isclose``); 0.0 demands exact equality.
+        """
+        if self.agent_id != other.agent_id or type(self).__name__ != type(other).__name__:
+            return False
+        for field_name in self._state_fields:
+            mine = self._state[field_name]
+            theirs = other._state[field_name]
+            if isinstance(mine, (int, float)) and isinstance(theirs, (int, float)):
+                if not math.isclose(mine, theirs, rel_tol=tolerance, abs_tol=tolerance):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def approximate_size_bytes(self) -> int:
+        """A rough serialized size used by the network cost model."""
+        # 8 bytes per numeric field plus a small per-agent header.
+        return 16 + 8 * (len(self._state) + len(self._effects))
+
+    def __repr__(self) -> str:
+        position = ", ".join(f"{value:.3g}" for value in self.position())
+        return f"<{type(self).__name__} #{self.agent_id} @ ({position})>"
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        """Iterate over ``(state field name, value)`` pairs."""
+        return iter(self._state.items())

@@ -1,0 +1,133 @@
+"""Effect combinators.
+
+Every effect field has an associated *decomposable, order-independent*
+combinator.  Because the combinators are commutative and associative, effect
+assignments made by different agents — possibly on different workers against
+different replicas of the same agent — can be aggregated in any order and
+partially aggregated results can be merged later (the second reduce pass of
+the map-reduce-reduce model).
+
+A combinator is described by:
+
+* ``identity`` — the value an effect field holds before any assignment;
+* ``combine(accumulated, value)`` — folds one more assignment in;
+* ``merge(a, b)`` — merges two partial aggregates (defaults to ``combine``);
+* ``finalize(accumulated)`` — converts the internal accumulator into the
+  value visible to the update phase (identity for most combinators; the MEAN
+  combinator keeps a ``(sum, count)`` pair internally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.errors import CombinatorError
+
+
+@dataclass(frozen=True)
+class Combinator:
+    """A decomposable, order-independent aggregate for effect fields."""
+
+    name: str
+    identity_factory: Callable[[], Any]
+    combine_fn: Callable[[Any, Any], Any]
+    merge_fn: Callable[[Any, Any], Any] | None = None
+    finalize_fn: Callable[[Any], Any] | None = None
+
+    def identity(self) -> Any:
+        """Return a fresh identity accumulator."""
+        return self.identity_factory()
+
+    def combine(self, accumulated: Any, value: Any) -> Any:
+        """Fold a single effect assignment into the accumulator."""
+        return self.combine_fn(accumulated, value)
+
+    def merge(self, left: Any, right: Any) -> Any:
+        """Merge two partial accumulators (used by the second reduce pass)."""
+        if self.merge_fn is not None:
+            return self.merge_fn(left, right)
+        return self.combine_fn(left, right)
+
+    def finalize(self, accumulated: Any) -> Any:
+        """Convert the accumulator into the value read during the update phase."""
+        if self.finalize_fn is not None:
+            return self.finalize_fn(accumulated)
+        return accumulated
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Combinator({self.name})"
+
+
+def _mean_combine(acc, value):
+    total, count = acc
+    return (total + value, count + 1)
+
+
+def _mean_merge(left, right):
+    return (left[0] + right[0], left[1] + right[1])
+
+
+def _mean_finalize(acc):
+    total, count = acc
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def _collect_finalize(acc):
+    # Sort for order-independence: the same multiset of assignments yields the
+    # same tuple regardless of assignment order or distribution.
+    return tuple(sorted(acc, key=repr))
+
+
+SUM = Combinator("sum", lambda: 0.0, lambda acc, v: acc + v)
+COUNT = Combinator("count", lambda: 0, lambda acc, v: acc + 1, merge_fn=lambda a, b: a + b)
+MIN = Combinator("min", lambda: float("inf"), min)
+MAX = Combinator("max", lambda: float("-inf"), max)
+PRODUCT = Combinator("product", lambda: 1.0, lambda acc, v: acc * v)
+ANY = Combinator("any", lambda: False, lambda acc, v: bool(acc or v))
+ALL = Combinator("all", lambda: True, lambda acc, v: bool(acc and v))
+MEAN = Combinator(
+    "mean",
+    lambda: (0.0, 0),
+    _mean_combine,
+    merge_fn=_mean_merge,
+    finalize_fn=_mean_finalize,
+)
+COLLECT = Combinator(
+    "collect",
+    tuple,
+    lambda acc, v: acc + (v,),
+    merge_fn=lambda a, b: a + b,
+    finalize_fn=_collect_finalize,
+)
+
+_REGISTRY: dict[str, Combinator] = {
+    combinator.name: combinator
+    for combinator in (SUM, COUNT, MIN, MAX, PRODUCT, ANY, ALL, MEAN, COLLECT)
+}
+
+
+def register_combinator(combinator: Combinator) -> None:
+    """Register a custom combinator so BRASIL scripts can refer to it by name."""
+    if combinator.name in _REGISTRY:
+        raise CombinatorError(f"combinator {combinator.name!r} is already registered")
+    _REGISTRY[combinator.name] = combinator
+
+
+def get_combinator(name_or_combinator: str | Combinator) -> Combinator:
+    """Resolve a combinator by name, passing through Combinator instances."""
+    if isinstance(name_or_combinator, Combinator):
+        return name_or_combinator
+    try:
+        return _REGISTRY[name_or_combinator]
+    except KeyError:
+        raise CombinatorError(
+            f"unknown combinator {name_or_combinator!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_combinators() -> list[str]:
+    """Names of every registered combinator."""
+    return sorted(_REGISTRY)

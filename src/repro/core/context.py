@@ -1,0 +1,272 @@
+"""Query- and update-phase contexts handed to agent behaviour code.
+
+The *query context* is how an agent sees the rest of the world during the
+query phase: it can enumerate the agents inside its visible region (a spatial
+index accelerates the lookup) and draw deterministic random numbers.  The
+*update context* lets an agent draw random numbers and request births and
+deaths, which the engine applies at the tick boundary.
+
+Both the sequential reference engine and the BRACE workers build the same
+context classes, so agent code is oblivious to where it runs — exactly the
+transparency BRASIL promises domain scientists.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import VisibilityError, WorldError
+from repro.spatial.bbox import BBox
+from repro.spatial.grid import UniformGrid
+from repro.spatial.kdtree import KDTree
+from repro.spatial.quadtree import QuadTree
+
+
+def agent_rng(seed: int, tick: int, agent_id: Any) -> np.random.Generator:
+    """A deterministic per-(seed, tick, agent) random generator.
+
+    The stream depends only on the triple, never on execution order, so a
+    sequential run and a distributed BRACE run draw identical numbers for the
+    same agent at the same tick — the foundation of the equivalence tests.
+    """
+    if isinstance(agent_id, (tuple, list)):
+        components = [int(part) for part in agent_id]
+    else:
+        components = [int(agent_id)]
+    return np.random.default_rng([int(seed) & 0x7FFFFFFF, int(tick), *components])
+
+
+class QueryContext:
+    """The read-only view of the world an agent gets during the query phase.
+
+    Parameters
+    ----------
+    agents:
+        Every agent this context can serve (the full extent for the
+        sequential engine; owned agents plus replicas for a BRACE worker).
+    tick:
+        Current tick number.
+    seed:
+        Simulation seed used for the per-agent random streams.
+    index:
+        ``"kdtree"``, ``"grid"``, ``"quadtree"`` or ``None`` (linear scan).
+    cell_size:
+        Grid cell size when ``index == "grid"``.
+    check_visibility:
+        When True, :meth:`neighbors` raises :class:`VisibilityError` if asked
+        for a radius larger than the probing agent's declared visibility.
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[Any],
+        tick: int,
+        seed: int,
+        index: str | None = "kdtree",
+        cell_size: float | None = None,
+        check_visibility: bool = True,
+    ):
+        self._agents = list(agents)
+        self.tick = tick
+        self.seed = seed
+        self.index_kind = index
+        self.check_visibility = check_visibility
+        self.work_units = 0
+        self.index_probes = 0
+        self._index = self._build_index(index, cell_size)
+
+    def _build_index(self, index: str | None, cell_size: float | None):
+        if index is None or not self._agents:
+            return None
+        key = lambda agent: agent.position()
+        if index == "kdtree":
+            return KDTree(self._agents, key=key)
+        if index == "grid":
+            if cell_size is None:
+                cell_size = self._default_cell_size()
+            return UniformGrid(self._agents, cell_size, key=key)
+        if index == "quadtree":
+            return QuadTree(self._agents, key=key)
+        raise WorldError(f"unknown spatial index {index!r}")
+
+    def _default_cell_size(self) -> float:
+        radii = [
+            radius
+            for agent in self._agents
+            for radius in agent.visibility_radii()
+            if radius is not None
+        ]
+        return max(radii) if radii else 1.0
+
+    # ------------------------------------------------------------------
+    # Extent access
+    # ------------------------------------------------------------------
+    def agents(self) -> list[Any]:
+        """Every agent visible to this context (the BRASIL ``Extent``)."""
+        self.work_units += len(self._agents)
+        return list(self._agents)
+
+    def __len__(self) -> int:
+        return len(self._agents)
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries
+    # ------------------------------------------------------------------
+    def neighbors(
+        self,
+        agent: Any,
+        radius: float | None = None,
+        include_self: bool = False,
+    ) -> list[Any]:
+        """Agents within Euclidean ``radius`` of ``agent``.
+
+        ``radius`` defaults to the agent's smallest declared visibility bound.
+        """
+        if radius is None:
+            radius = self._default_radius(agent)
+        self._check_radius(agent, radius)
+        center = agent.position()
+        candidates = self._candidates(BBox.around(center, radius))
+        radius_sq = radius * radius
+        matches = []
+        for candidate in candidates:
+            if candidate is agent and not include_self:
+                continue
+            point = candidate.position()
+            dist_sq = sum((p - c) ** 2 for p, c in zip(point, center))
+            if dist_sq <= radius_sq:
+                matches.append(candidate)
+        self.work_units += len(candidates)
+        return matches
+
+    def neighbors_in_box(self, agent: Any, box: BBox, include_self: bool = False) -> list[Any]:
+        """Agents whose position lies inside ``box``."""
+        candidates = self._candidates(box)
+        matches = []
+        for candidate in candidates:
+            if candidate is agent and not include_self:
+                continue
+            if box.contains_point(candidate.position()):
+                matches.append(candidate)
+        self.work_units += len(candidates)
+        return matches
+
+    def visible(self, agent: Any, include_self: bool = False) -> list[Any]:
+        """Agents inside ``agent``'s declared visible region (box semantics)."""
+        region = agent.visible_region()
+        if region is None:
+            result = [a for a in self._agents if include_self or a is not agent]
+            self.work_units += len(self._agents)
+            return result
+        return self.neighbors_in_box(agent, region, include_self=include_self)
+
+    def nearest(self, agent: Any, k: int = 1, max_radius: float | None = None) -> list[Any]:
+        """Up to ``k`` nearest other agents, optionally within ``max_radius``."""
+        center = agent.position()
+        if isinstance(self._index, KDTree):
+            self.index_probes += 1
+            # Ask for one extra in case the agent itself is indexed here.
+            found = [a for a in self._index.k_nearest(center, k + 1) if a is not agent][:k]
+        else:
+            ranked = sorted(
+                (a for a in self._agents if a is not agent),
+                key=lambda a: sum((p - c) ** 2 for p, c in zip(a.position(), center)),
+            )
+            self.work_units += len(self._agents)
+            found = ranked[:k]
+        if max_radius is not None:
+            radius_sq = max_radius * max_radius
+            found = [
+                a
+                for a in found
+                if sum((p - c) ** 2 for p, c in zip(a.position(), center)) <= radius_sq
+            ]
+        return found
+
+    def rng(self, agent: Any) -> np.random.Generator:
+        """Deterministic random generator for ``agent`` at this tick."""
+        return agent_rng(self.seed, self.tick, agent.agent_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _candidates(self, box: BBox) -> Iterable[Any]:
+        if self._index is None:
+            return self._agents
+        self.index_probes += 1
+        self.work_units += max(1, int(math.log2(len(self._agents) + 1)))
+        return self._index.range_query(box)
+
+    def _default_radius(self, agent: Any) -> float:
+        radii = [radius for radius in agent.visibility_radii() if radius is not None]
+        if not radii:
+            raise WorldError(
+                f"{type(agent).__name__} has no bounded visibility; pass an explicit radius"
+            )
+        return min(radii)
+
+    def _check_radius(self, agent: Any, radius: float) -> None:
+        if not self.check_visibility:
+            return
+        for bound in agent.visibility_radii():
+            if bound is not None and radius > bound * (1 + 1e-9):
+                raise VisibilityError(
+                    f"{type(agent).__name__} #{agent.agent_id} queried radius {radius} "
+                    f"which exceeds its visibility bound {bound}"
+                )
+
+
+class UpdateContext:
+    """The view an agent gets during the update phase.
+
+    Only the agent's own state and aggregated effects may be read; the context
+    additionally offers deterministic randomness and birth/death requests.
+    """
+
+    def __init__(self, tick: int, seed: int, world_bounds: BBox | None = None):
+        self.tick = tick
+        self.seed = seed
+        self.world_bounds = world_bounds
+        self._spawn_requests: list[tuple[Any, int, Any]] = []
+        self._kill_requests: set[Any] = set()
+        self._spawn_counts: dict[Any, int] = {}
+
+    def rng(self, agent: Any) -> np.random.Generator:
+        """Deterministic random generator for ``agent`` at this tick.
+
+        The stream is offset from the query-phase stream so query and update
+        draws never overlap.
+        """
+        return agent_rng(self.seed ^ 0x5BD1E995, self.tick, agent.agent_id)
+
+    def spawn(self, parent: Any, child: Any) -> None:
+        """Request that ``child`` (an agent without an id) joins the world next tick."""
+        sequence = self._spawn_counts.get(parent.agent_id, 0)
+        self._spawn_counts[parent.agent_id] = sequence + 1
+        self._spawn_requests.append((parent.agent_id, sequence, child))
+
+    def kill(self, agent: Any) -> None:
+        """Request that ``agent`` is removed from the world at the tick boundary."""
+        self._kill_requests.add(agent.agent_id)
+
+    @property
+    def spawn_requests(self) -> list[tuple[Any, int, Any]]:
+        """Pending ``(parent_id, sequence, child)`` spawn requests."""
+        return list(self._spawn_requests)
+
+    @property
+    def kill_requests(self) -> set[Any]:
+        """Ids of agents whose removal has been requested."""
+        return set(self._kill_requests)
+
+    def merge(self, other: "UpdateContext") -> None:
+        """Fold another context's birth/death requests into this one.
+
+        Used by the BRACE master to combine the requests collected by every
+        worker before applying them globally in a deterministic order.
+        """
+        self._spawn_requests.extend(other._spawn_requests)
+        self._kill_requests.update(other._kill_requests)

@@ -1,0 +1,77 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class AgentDefinitionError(ReproError):
+    """An agent class is declared incorrectly (bad fields, duplicate names...)."""
+
+
+class PhaseViolationError(ReproError):
+    """A state/effect access violated the state-effect pattern.
+
+    Raised when, for example, a state field is written during the query phase
+    or an effect field is read during the query phase.
+    """
+
+
+class VisibilityError(ReproError):
+    """An agent touched another agent outside of its visible region."""
+
+
+class CombinatorError(ReproError):
+    """An effect combinator was used incorrectly (type mismatch, unknown name)."""
+
+
+class WorldError(ReproError):
+    """The simulation world is in an inconsistent configuration."""
+
+
+class PartitioningError(ReproError):
+    """A spatial partitioning function was configured or queried incorrectly."""
+
+
+class MapReduceError(ReproError):
+    """Raised by the generic MapReduce engine for malformed jobs."""
+
+
+class ClusterError(ReproError):
+    """Raised by the simulated cluster (unknown node, routing failure...)."""
+
+
+class BraceError(ReproError):
+    """Raised by the BRACE runtime."""
+
+
+class CheckpointError(BraceError):
+    """Checkpointing or recovery failed."""
+
+
+class LoadBalanceError(BraceError):
+    """The load balancer produced an invalid repartitioning."""
+
+
+class BrasilError(ReproError):
+    """Base class for BRASIL compilation errors."""
+
+
+class BrasilSyntaxError(BrasilError):
+    """The BRASIL source text could not be parsed."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column})" if column is not None else ")")
+        super().__init__(f"{message}{location}")
+
+
+class BrasilSemanticError(BrasilError):
+    """The BRASIL program violates the state-effect pattern or typing rules."""
+
+
+class BrasilRuntimeError(BrasilError):
+    """A compiled BRASIL program failed while executing."""

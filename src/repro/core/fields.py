@@ -1,0 +1,155 @@
+"""State and effect field descriptors.
+
+Agent classes declare their attributes with :class:`StateField` and
+:class:`EffectField`, mirroring BRASIL's ``state``/``effect`` tags:
+
+.. code-block:: python
+
+    class Fish(Agent):
+        x = StateField(0.0, spatial=True, visibility=5.0, reachability=1.0)
+        y = StateField(0.0, spatial=True, visibility=5.0, reachability=1.0)
+        vx = StateField(0.0)
+        vy = StateField(0.0)
+        avoid_x = EffectField(SUM)
+        avoid_y = EffectField(SUM)
+        count = EffectField(COUNT)
+
+The descriptors enforce the read/write rules of the state-effect pattern
+(see :mod:`repro.core.phase`) and, for effect fields, route assignments
+through the field's combinator so that concurrent writes from many agents are
+order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.combinators import Combinator, get_combinator
+from repro.core.errors import PhaseViolationError
+from repro.core.phase import Phase, current_phase, enforcement_enabled
+
+
+class StateField:
+    """A public state attribute, updated only at tick boundaries.
+
+    Parameters
+    ----------
+    default:
+        Initial value for agents that do not override it at construction.
+    spatial:
+        True when this field is one coordinate of the agent's spatial
+        location.  The agent's position is the tuple of its spatial fields in
+        declaration order.
+    visibility:
+        For spatial fields: how far (in this dimension) the agent can *see* —
+        i.e. read other agents or assign effects to them.  ``None`` means
+        unbounded visibility.
+    reachability:
+        For spatial fields: how far the agent can *move* in one tick.  The
+        update phase clamps changes to this field to the reachability bound.
+        ``None`` means unbounded.
+    doc:
+        Optional human-readable description.
+    """
+
+    def __init__(
+        self,
+        default: Any = 0.0,
+        spatial: bool = False,
+        visibility: float | None = None,
+        reachability: float | None = None,
+        doc: str | None = None,
+    ):
+        self.default = default
+        self.spatial = bool(spatial)
+        self.visibility = None if visibility is None else float(visibility)
+        self.reachability = None if reachability is None else float(reachability)
+        self.doc = doc
+        self.name: str | None = None
+        if not self.spatial and (visibility is not None or reachability is not None):
+            raise ValueError("visibility/reachability only apply to spatial state fields")
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return instance._state[self.name]
+
+    def __set__(self, instance, value):
+        if enforcement_enabled():
+            phase_now = current_phase()
+            if phase_now is Phase.QUERY:
+                raise PhaseViolationError(
+                    f"state field {self.name!r} written during the query phase; "
+                    "state is read-only while effects are being computed"
+                )
+            if phase_now is Phase.UPDATE and not instance._updating:
+                raise PhaseViolationError(
+                    f"state field {self.name!r} of agent {instance.agent_id} written "
+                    "during another agent's update phase; agents may only update "
+                    "their own state"
+                )
+        if (
+            self.spatial
+            and self.reachability is not None
+            and current_phase() is Phase.UPDATE
+        ):
+            # Reachability clamp: the new coordinate may not move farther than
+            # the reachability bound from the coordinate at the start of the tick.
+            old = instance._state[self.name]
+            lo, hi = old - self.reachability, old + self.reachability
+            value = min(max(value, lo), hi)
+        instance._state[self.name] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "spatial state" if self.spatial else "state"
+        return f"<{kind} field {self.name!r} default={self.default!r}>"
+
+
+class EffectField:
+    """An effect attribute aggregated with a combinator during the query phase.
+
+    Assignments during the query phase (``agent.field = value``) are folded
+    into the field's accumulator with the combinator — they are *aggregated*,
+    not overwritten, matching BRASIL's ``<-`` operator.  During the update
+    phase the field is read-only and yields the finalized aggregate.
+    """
+
+    def __init__(self, combinator: Combinator | str = "sum", doc: str | None = None):
+        self.combinator = get_combinator(combinator)
+        self.doc = doc
+        self.name: str | None = None
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        if enforcement_enabled() and current_phase() is Phase.QUERY:
+            raise PhaseViolationError(
+                f"effect field {self.name!r} read during the query phase; "
+                "effects are write-only until the update phase"
+            )
+        return self.combinator.finalize(instance._effects[self.name])
+
+    def __set__(self, instance, value):
+        phase_now = current_phase()
+        if phase_now is Phase.QUERY:
+            instance._effects[self.name] = self.combinator.combine(
+                instance._effects[self.name], value
+            )
+            instance._effects_touched.add(self.name)
+            return
+        if enforcement_enabled() and phase_now is Phase.UPDATE:
+            raise PhaseViolationError(
+                f"effect field {self.name!r} written during the update phase; "
+                "effects may only be assigned in the query phase"
+            )
+        # IDLE: direct (raw) assignment, used by setup code and tests.
+        instance._effects[self.name] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<effect field {self.name!r} combinator={self.combinator.name}>"

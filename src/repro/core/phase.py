@@ -1,0 +1,63 @@
+"""Tick phase tracking and enforcement of the state-effect pattern.
+
+The engines wrap the query and update phases in the :func:`phase` context
+manager; the field descriptors consult :func:`current_phase` to enforce the
+read/write rules of the state-effect pattern:
+
+=============  ===========================  ===========================
+Phase          state fields                 effect fields
+=============  ===========================  ===========================
+IDLE (setup)   read/write                   read/write
+QUERY          read-only                    write-only (aggregated)
+UPDATE         read, write own              read-only
+=============  ===========================  ===========================
+
+Enforcement can be switched off globally (``set_enforcement(False)``) for
+benchmark runs where the per-access check is measurable overhead; tests and
+examples keep it on.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+
+
+class Phase(enum.Enum):
+    """The three access-control regimes of the state-effect pattern."""
+
+    IDLE = "idle"
+    QUERY = "query"
+    UPDATE = "update"
+
+
+_current_phase: Phase = Phase.IDLE
+_enforcement: bool = True
+
+
+def current_phase() -> Phase:
+    """Return the phase the engine is currently executing."""
+    return _current_phase
+
+
+def enforcement_enabled() -> bool:
+    """Return True when phase rules are being enforced on field access."""
+    return _enforcement
+
+
+def set_enforcement(enabled: bool) -> None:
+    """Enable or disable phase-rule enforcement globally."""
+    global _enforcement
+    _enforcement = bool(enabled)
+
+
+@contextmanager
+def phase(new_phase: Phase):
+    """Execute a block under the given phase, restoring the previous one after."""
+    global _current_phase
+    previous = _current_phase
+    _current_phase = new_phase
+    try:
+        yield
+    finally:
+        _current_phase = previous

@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned text table.
+
+    Numbers are formatted compactly; everything else with ``str``.
+    """
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:.3g}"
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rendered)) if rendered else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup(reference: float, candidate: float) -> float:
+    """``reference / candidate`` guarding against division by zero."""
+    if candidate == 0:
+        return float("inf") if reference > 0 else 1.0
+    return reference / candidate

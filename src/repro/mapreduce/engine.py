@@ -1,0 +1,179 @@
+"""The in-memory MapReduce engine.
+
+The engine implements the classic functional-programming contract:
+
+* ``map : (k1, v1) -> [(k2, v2)]``
+* ``reduce : (k2, [v2]) -> [(k3, v3)]``
+
+(the iterative variant of the paper, where reduce emits key-value pairs so
+its output can feed the next map step).  A ``map_reduce_reduce`` job adds the
+second reduce pass used for non-local effect assignments.
+
+Everything runs in main memory inside one process; "partitions" are the unit
+of reduce-side parallelism and are tracked explicitly so callers (the BRACE
+runtime, the cluster cost model) can attribute work and communication to
+simulated workers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.core.errors import MapReduceError
+from repro.mapreduce.types import KeyValue
+
+MapFunction = Callable[[Hashable, Any], Iterable[tuple[Hashable, Any]]]
+ReduceFunction = Callable[[Hashable, list[Any]], Iterable[tuple[Hashable, Any]]]
+
+
+@dataclass
+class ShuffleStatistics:
+    """Counts collected while grouping intermediate pairs by key."""
+
+    pairs: int = 0
+    distinct_keys: int = 0
+
+
+@dataclass
+class JobStatistics:
+    """Work accounting for one MapReduce job execution."""
+
+    map_input_pairs: int = 0
+    map_output_pairs: int = 0
+    reduce_output_pairs: int = 0
+    shuffle: ShuffleStatistics = field(default_factory=ShuffleStatistics)
+    second_reduce_output_pairs: int = 0
+
+
+@dataclass
+class MapReduceJob:
+    """A single-pass job: one map function and one reduce function."""
+
+    map_fn: MapFunction
+    reduce_fn: ReduceFunction
+    name: str = "job"
+
+
+@dataclass
+class MapReduceReduceJob:
+    """A map–reduce–reduce job (the non-local-effect model of Table 1).
+
+    The second map task of the formal model is the identity and "can be
+    eliminated in an implementation", so this job goes straight from the
+    first reduce into a second shuffle + reduce.
+    """
+
+    map_fn: MapFunction
+    reduce1_fn: ReduceFunction
+    reduce2_fn: ReduceFunction
+    name: str = "job"
+
+
+class MapReduceEngine:
+    """Executes jobs over in-memory input pairs."""
+
+    def __init__(self):
+        self.last_statistics: JobStatistics | None = None
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def run_map(
+        self, map_fn: MapFunction, pairs: Sequence[KeyValue], statistics: JobStatistics
+    ) -> list[KeyValue]:
+        """Apply the map function to every input pair."""
+        output: list[KeyValue] = []
+        for pair in pairs:
+            statistics.map_input_pairs += 1
+            emitted = map_fn(pair.key, pair.value)
+            if emitted is None:
+                continue
+            for out_pair in emitted:
+                output.append(KeyValue.wrap(out_pair))
+                statistics.map_output_pairs += 1
+        return output
+
+    def shuffle(
+        self, pairs: Sequence[KeyValue], statistics: JobStatistics | None = None
+    ) -> dict[Hashable, list[Any]]:
+        """Group intermediate values by key."""
+        grouped: dict[Hashable, list[Any]] = defaultdict(list)
+        for pair in pairs:
+            grouped[pair.key].append(pair.value)
+        if statistics is not None:
+            statistics.shuffle.pairs += len(pairs)
+            statistics.shuffle.distinct_keys += len(grouped)
+        return dict(grouped)
+
+    def run_reduce(
+        self,
+        reduce_fn: ReduceFunction,
+        grouped: dict[Hashable, list[Any]],
+        statistics: JobStatistics,
+        second_pass: bool = False,
+    ) -> list[KeyValue]:
+        """Apply the reduce function to every key group (keys in sorted order)."""
+        output: list[KeyValue] = []
+        for key in sorted(grouped, key=repr):
+            emitted = reduce_fn(key, grouped[key])
+            if emitted is None:
+                continue
+            for out_pair in emitted:
+                output.append(KeyValue.wrap(out_pair))
+                if second_pass:
+                    statistics.second_reduce_output_pairs += 1
+                else:
+                    statistics.reduce_output_pairs += 1
+        return output
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def run(self, job: MapReduceJob | MapReduceReduceJob, pairs: Iterable[Any]) -> list[KeyValue]:
+        """Run one job over ``pairs`` and return the reduce output."""
+        input_pairs = [KeyValue.wrap(pair) for pair in pairs]
+        statistics = JobStatistics()
+        if isinstance(job, MapReduceJob):
+            mapped = self.run_map(job.map_fn, input_pairs, statistics)
+            grouped = self.shuffle(mapped, statistics)
+            output = self.run_reduce(job.reduce_fn, grouped, statistics)
+        elif isinstance(job, MapReduceReduceJob):
+            mapped = self.run_map(job.map_fn, input_pairs, statistics)
+            grouped = self.shuffle(mapped, statistics)
+            intermediate = self.run_reduce(job.reduce1_fn, grouped, statistics)
+            regrouped = self.shuffle(intermediate, statistics)
+            output = self.run_reduce(job.reduce2_fn, regrouped, statistics, second_pass=True)
+        else:
+            raise MapReduceError(f"unsupported job type {type(job).__name__}")
+        self.last_statistics = statistics
+        return output
+
+
+class IterativeMapReduce:
+    """Runs a job repeatedly, feeding each iteration's output into the next.
+
+    This is the iterated MapReduce model of Section 2.2: the reduce output is
+    a list of key-value pairs that becomes the next map step's input.
+    """
+
+    def __init__(self, engine: MapReduceEngine | None = None):
+        self.engine = engine or MapReduceEngine()
+        self.iteration_statistics: list[JobStatistics] = []
+
+    def run(
+        self,
+        job_factory: Callable[[int], MapReduceJob | MapReduceReduceJob],
+        initial_pairs: Iterable[Any],
+        iterations: int,
+    ) -> list[KeyValue]:
+        """Run ``iterations`` rounds; ``job_factory(i)`` builds the job for round ``i``."""
+        pairs = [KeyValue.wrap(pair) for pair in initial_pairs]
+        self.iteration_statistics = []
+        for iteration in range(iterations):
+            job = job_factory(iteration)
+            pairs = self.engine.run(job, pairs)
+            if self.engine.last_statistics is not None:
+                self.iteration_statistics.append(self.engine.last_statistics)
+        return pairs

@@ -1,0 +1,189 @@
+"""Executable versions of the formal map/reduce functions of Appendix A.
+
+These jobs run a behavioral simulation tick-by-tick *through the generic
+MapReduce engine*, following the formal model literally:
+
+* the map task of tick ``t`` applies the update phase of tick ``t - 1`` and
+  replicates each agent to every partition whose visible region contains it
+  (Figure 9 / 10, ``map^t``);
+* the (first) reduce task executes the query phase for the agents its
+  partition owns (``reduce^t_1``);
+* with non-local effects, a second reduce pass merges the partially
+  aggregated effect values of all replicas of an agent at its owning
+  partition (``reduce^t_2``); the identity second map task is elided.
+
+They exist to cross-check the optimized BRACE runtime: both must agree with
+the sequential reference engine.  The formal jobs only support fixed
+populations (no births/deaths), matching the scope of Appendix A.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.agent import Agent
+from repro.core.context import QueryContext, UpdateContext
+from repro.core.errors import MapReduceError
+from repro.core.phase import Phase, phase
+from repro.mapreduce.engine import (
+    IterativeMapReduce,
+    MapReduceJob,
+    MapReduceReduceJob,
+)
+from repro.mapreduce.types import KeyValue
+from repro.spatial.partitioning import SpatialPartitioning
+
+
+def _visibility_for_replication(agent: Agent, partitioning: SpatialPartitioning) -> list[int]:
+    """Partitions that must receive a replica of ``agent``."""
+    radii = agent.visibility_radii()
+    if not radii or any(radius is None for radius in radii):
+        # Unbounded visibility: every partition needs the agent.
+        return [part.partition_id for part in partitioning.partitions()]
+    return partitioning.replication_targets(agent.position(), list(radii))
+
+
+class _SimulationJobBase:
+    """Shared machinery of the local-effect and non-local-effect jobs."""
+
+    def __init__(
+        self,
+        partitioning: SpatialPartitioning,
+        seed: int = 0,
+        index: str | None = "kdtree",
+        cell_size: float | None = None,
+        check_visibility: bool = True,
+    ):
+        self.partitioning = partitioning
+        self.seed = int(seed)
+        self.index = index
+        self.cell_size = cell_size
+        self.check_visibility = check_visibility
+        self.engine = IterativeMapReduce()
+
+    # -- map task -------------------------------------------------------
+    def _map_fn(self, tick: int):
+        """Build ``map^t``: update phase of tick ``t - 1`` plus distribution."""
+
+        def map_fn(_key: Any, agent: Agent) -> Iterable[tuple[int, Agent]]:
+            if tick > 0:
+                self._apply_update(agent, tick - 1)
+            agent.reset_effects()
+            for partition_id in _visibility_for_replication(agent, self.partitioning):
+                yield (partition_id, agent.clone())
+
+        return map_fn
+
+    def _apply_update(self, agent: Agent, update_tick: int) -> None:
+        update_context = UpdateContext(tick=update_tick, seed=self.seed)
+        with phase(Phase.UPDATE):
+            agent._updating = True
+            try:
+                agent.update(update_context)
+            finally:
+                agent._updating = False
+        if update_context.spawn_requests or update_context.kill_requests:
+            raise MapReduceError(
+                "the Appendix A simulation jobs do not support births/deaths; "
+                "use the BRACE runtime for models with dynamic populations"
+            )
+
+    # -- query phase ----------------------------------------------------
+    def _run_query_phase(self, partition_id: int, agents: Sequence[Agent], tick: int) -> list[Agent]:
+        """Run the query phase for the agents owned by ``partition_id``."""
+        context = QueryContext(
+            agents,
+            tick=tick,
+            seed=self.seed,
+            index=self.index,
+            cell_size=self.cell_size,
+            check_visibility=self.check_visibility,
+        )
+        owned = [
+            agent
+            for agent in agents
+            if self.partitioning.partition_of(agent.position()) == partition_id
+        ]
+        with phase(Phase.QUERY):
+            for agent in owned:
+                agent.query(context)
+        return owned
+
+    # -- shared driver ----------------------------------------------------
+    def initial_pairs(self, agents: Iterable[Agent]) -> list[KeyValue]:
+        """Wrap the initial agent population as input key-value pairs."""
+        return [KeyValue(agent.agent_id, agent.clone()) for agent in agents]
+
+    def run(self, agents: Iterable[Agent], ticks: int) -> list[Agent]:
+        """Simulate ``ticks`` ticks and return the final agent states.
+
+        The returned agents are fresh clones sorted by agent id; the input
+        agents are never mutated.
+        """
+        pairs = self.initial_pairs(agents)
+        if ticks == 0:
+            return sorted((pair.value for pair in pairs), key=lambda a: repr(a.agent_id))
+        output = self.engine.run(self.job_for_iteration, pairs, ticks)
+        # The last iteration ran query^T but not update^T; apply it now so the
+        # result matches ``ticks`` full ticks of the sequential engine.
+        finals: dict[Any, Agent] = {}
+        for pair in output:
+            agent = pair.value
+            if agent.agent_id in finals:
+                continue
+            self._apply_update(agent, ticks - 1)
+            finals[agent.agent_id] = agent
+        return [finals[agent_id] for agent_id in sorted(finals, key=repr)]
+
+    def job_for_iteration(self, iteration: int):
+        raise NotImplementedError
+
+
+class LocalEffectSimulationJob(_SimulationJobBase):
+    """Figure 9: simulations whose effect assignments are all local."""
+
+    def job_for_iteration(self, iteration: int) -> MapReduceJob:
+        """Build the single-reduce job for tick ``iteration``."""
+
+        def reduce_fn(partition_id: int, agents: list[Agent]):
+            owned = self._run_query_phase(partition_id, agents, iteration)
+            for agent in owned:
+                yield (partition_id, agent)
+
+        return MapReduceJob(self._map_fn(iteration), reduce_fn, name=f"tick-{iteration}")
+
+
+class NonLocalEffectSimulationJob(_SimulationJobBase):
+    """Figure 10: simulations with non-local effect assignments.
+
+    The first reduce computes partial effect aggregates at each partition;
+    the second reduce merges all partials of an agent at its owning
+    partition.
+    """
+
+    def job_for_iteration(self, iteration: int) -> MapReduceReduceJob:
+        """Build the map–reduce–reduce job for tick ``iteration``."""
+
+        def reduce1_fn(partition_id: int, agents: list[Agent]):
+            self._run_query_phase(partition_id, agents, iteration)
+            for agent in agents:
+                owner = self.partitioning.partition_of(agent.position())
+                if owner == partition_id or agent.touched_effect_partials():
+                    # Route the copy (state + partial effects) to its owner.
+                    yield (owner, agent)
+
+        def reduce2_fn(partition_id: int, agents: list[Agent]):
+            by_oid: dict[Any, list[Agent]] = {}
+            for agent in agents:
+                by_oid.setdefault(agent.agent_id, []).append(agent)
+            for agent_id in sorted(by_oid, key=repr):
+                copies = by_oid[agent_id]
+                base = copies[0].clone()
+                base.reset_effects()
+                for copy in copies:
+                    base.merge_effect_partials(copy.touched_effect_partials())
+                yield (partition_id, base)
+
+        return MapReduceReduceJob(
+            self._map_fn(iteration), reduce1_fn, reduce2_fn, name=f"tick-{iteration}"
+        )

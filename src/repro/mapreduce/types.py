@@ -1,0 +1,26 @@
+"""Key-value records for the MapReduce engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    """An immutable key-value pair flowing between map and reduce tasks."""
+
+    key: Hashable
+    value: Any
+
+    def as_tuple(self) -> tuple[Hashable, Any]:
+        """Return ``(key, value)``."""
+        return (self.key, self.value)
+
+    @staticmethod
+    def wrap(pair) -> "KeyValue":
+        """Coerce a ``(key, value)`` tuple or an existing KeyValue."""
+        if isinstance(pair, KeyValue):
+            return pair
+        key, value = pair
+        return KeyValue(key, value)

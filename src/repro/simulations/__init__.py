@@ -1,0 +1,31 @@
+"""The paper's simulation workloads.
+
+* :mod:`repro.simulations.traffic` — the MITSIM-style highway simulation
+  (lane changing + car following) used for Table 2 and Figures 3 and 6;
+* :mod:`repro.simulations.fish` — the Couzin information-transfer fish
+  school used for Figures 4, 7 and 8;
+* :mod:`repro.simulations.predator` — the artificial-society style predator
+  simulation with non-local effect assignments used for Figure 5.
+"""
+
+from repro.simulations.traffic import TrafficParameters, Vehicle, build_traffic_world
+from repro.simulations.fish import CouzinParameters, Fish, build_fish_world
+from repro.simulations.predator import (
+    PredatorParameters,
+    NonLocalPredator,
+    LocalPredator,
+    build_predator_world,
+)
+
+__all__ = [
+    "TrafficParameters",
+    "Vehicle",
+    "build_traffic_world",
+    "CouzinParameters",
+    "Fish",
+    "build_fish_world",
+    "PredatorParameters",
+    "NonLocalPredator",
+    "LocalPredator",
+    "build_predator_world",
+]

@@ -1,0 +1,16 @@
+"""Couzin-style fish school simulation (information transfer in animal groups)."""
+
+from repro.simulations.fish.model import CouzinParameters
+from repro.simulations.fish.fish import Fish, make_fish_class
+from repro.simulations.fish.workload import build_fish_world
+from repro.simulations.fish.statistics import school_polarization, school_spread, group_centroid
+
+__all__ = [
+    "CouzinParameters",
+    "Fish",
+    "make_fish_class",
+    "build_fish_world",
+    "school_polarization",
+    "school_spread",
+    "group_centroid",
+]

@@ -1,0 +1,147 @@
+"""The fish agent implementing the Couzin information-transfer model.
+
+Behaviour per tick (Appendix C of the paper):
+
+* **avoidance** has priority: if any neighbour is closer than ``alpha`` the
+  fish turns away from the sum of the unit vectors pointing at those
+  neighbours;
+* otherwise the fish is **attracted to and aligns with** neighbours within
+  ``rho``: the desired direction is the sum of unit vectors towards them and
+  of their heading vectors, normalised;
+* **informed individuals** blend the social vector with their preferred
+  direction using the weight ``omega``;
+* the turn towards the desired direction is limited to ``max_turn`` radians
+  and perturbed by Gaussian rotational noise.
+
+Every effect assignment is local, so this model runs with a single reduce
+pass in BRACE (as in the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.agent import Agent
+from repro.core.combinators import SUM
+from repro.core.fields import EffectField, StateField
+from repro.simulations.fish.model import CouzinParameters
+
+
+def make_fish_class(parameters: CouzinParameters, name: str = "Fish") -> type:
+    """Build a Fish agent class bound to ``parameters``."""
+
+    class _Fish(Agent):
+        """One fish of the school."""
+
+        params = parameters
+
+        x = StateField(
+            0.0, spatial=True, visibility=parameters.rho, reachability=parameters.reachability()
+        )
+        y = StateField(
+            0.0, spatial=True, visibility=parameters.rho, reachability=parameters.reachability()
+        )
+        #: Unit heading vector.
+        dx = StateField(1.0)
+        dy = StateField(0.0)
+        #: 0 = uninformed, 1 = informed group one, 2 = informed group two.
+        informed = StateField(0)
+
+        # Social forces accumulated during the query phase.
+        repulsion_x = EffectField(SUM)
+        repulsion_y = EffectField(SUM)
+        repulsion_count = EffectField(SUM)
+        attraction_x = EffectField(SUM)
+        attraction_y = EffectField(SUM)
+        attraction_count = EffectField(SUM)
+
+        # ------------------------------------------------------------------
+        # Query phase
+        # ------------------------------------------------------------------
+        def query(self, ctx) -> None:
+            p = self.params
+            my_x, my_y = self.x, self.y
+            alpha_sq = p.alpha * p.alpha
+
+            repulsion_x = repulsion_y = 0.0
+            repulsion_count = 0
+            attraction_x = attraction_y = 0.0
+            attraction_count = 0
+
+            for other in ctx.neighbors(self, p.rho):
+                offset_x = other.x - my_x
+                offset_y = other.y - my_y
+                distance_sq = offset_x * offset_x + offset_y * offset_y
+                if distance_sq == 0.0:
+                    continue
+                distance = math.sqrt(distance_sq)
+                unit_x = offset_x / distance
+                unit_y = offset_y / distance
+                if distance_sq < alpha_sq:
+                    repulsion_x -= unit_x
+                    repulsion_y -= unit_y
+                    repulsion_count += 1
+                else:
+                    attraction_x += unit_x + other.dx
+                    attraction_y += unit_y + other.dy
+                    attraction_count += 1
+
+            self.repulsion_x = repulsion_x
+            self.repulsion_y = repulsion_y
+            self.repulsion_count = repulsion_count
+            self.attraction_x = attraction_x
+            self.attraction_y = attraction_y
+            self.attraction_count = attraction_count
+
+        # ------------------------------------------------------------------
+        # Update phase
+        # ------------------------------------------------------------------
+        def update(self, ctx) -> None:
+            p = self.params
+            rng = ctx.rng(self)
+
+            if self.repulsion_count > 0:
+                desired_x, desired_y = self.repulsion_x, self.repulsion_y
+            elif self.attraction_count > 0:
+                desired_x, desired_y = self.attraction_x, self.attraction_y
+            else:
+                desired_x, desired_y = self.dx, self.dy
+
+            norm = math.hypot(desired_x, desired_y)
+            if norm > 0:
+                desired_x /= norm
+                desired_y /= norm
+            else:
+                desired_x, desired_y = self.dx, self.dy
+
+            if self.informed in (1, 2):
+                preferred = p.preferred_directions[int(self.informed) - 1]
+                preferred_x, preferred_y = math.cos(preferred), math.sin(preferred)
+                desired_x = (1.0 - p.omega) * desired_x + p.omega * preferred_x
+                desired_y = (1.0 - p.omega) * desired_y + p.omega * preferred_y
+                norm = math.hypot(desired_x, desired_y)
+                if norm > 0:
+                    desired_x /= norm
+                    desired_y /= norm
+
+            # Limited turn towards the desired direction plus rotational noise.
+            current_angle = math.atan2(self.dy, self.dx)
+            desired_angle = math.atan2(desired_y, desired_x)
+            turn = math.remainder(desired_angle - current_angle, 2.0 * math.pi)
+            turn = max(-p.max_turn, min(p.max_turn, turn))
+            turn += float(rng.normal(0.0, p.noise_sigma))
+            new_angle = current_angle + turn
+
+            new_dx, new_dy = math.cos(new_angle), math.sin(new_angle)
+            self.dx = new_dx
+            self.dy = new_dy
+            self.x = self.x + new_dx * p.speed * p.time_step
+            self.y = self.y + new_dy * p.speed * p.time_step
+
+    _Fish.__name__ = name
+    _Fish.__qualname__ = name
+    return _Fish
+
+
+#: Fish class built with the default parameters.
+Fish = make_fish_class(CouzinParameters())

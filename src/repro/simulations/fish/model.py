@@ -1,0 +1,48 @@
+"""Parameters of the Couzin information-transfer model.
+
+The fish school model follows Couzin et al. (Nature 2005), the model the
+paper implements: each fish reacts to neighbours in two nested zones —
+*avoidance* within distance ``alpha`` (highest priority) and
+*attraction/alignment* within distance ``rho`` — while *informed individuals*
+additionally balance their social vector against a preferred direction with
+weight ``omega``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CouzinParameters:
+    """Tunable constants of the fish school simulation."""
+
+    #: Avoidance zone radius (fish turn away from anything closer than this).
+    alpha: float = 1.0
+    #: Attraction/alignment zone radius (the visibility bound of the agent).
+    rho: float = 6.0
+    #: Swimming speed (distance per tick).
+    speed: float = 0.75
+    #: Maximum turning angle per tick (radians).
+    max_turn: float = 0.6
+    #: Standard deviation of the rotational noise (radians).
+    noise_sigma: float = 0.05
+    #: Fraction of informed individuals (split evenly between the two groups).
+    informed_fraction: float = 0.1
+    #: Weight an informed individual gives its preferred direction.
+    omega: float = 0.6
+    #: Preferred directions (radians) of the two informed groups.
+    preferred_directions: tuple[float, float] = (0.0, math.pi)
+    #: Side length of the square region the school is seeded in.
+    seed_region: float = 60.0
+    #: Size of the (bounded) ocean used for spatial partitioning.  The model
+    #: itself is unbounded; this box only has to be large enough that fish do
+    #: not reach its edge during an experiment.
+    ocean_size: float = 2000.0
+    #: Integration time step.
+    time_step: float = 1.0
+
+    def reachability(self) -> float:
+        """Upper bound on per-tick displacement (speed × dt)."""
+        return self.speed * self.time_step

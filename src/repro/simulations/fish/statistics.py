@@ -1,0 +1,42 @@
+"""School-level statistics for the fish simulation."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def group_centroid(fish: Iterable) -> tuple[float, float]:
+    """Mean position of the school."""
+    xs, ys, count = 0.0, 0.0, 0
+    for agent in fish:
+        xs += agent.x
+        ys += agent.y
+        count += 1
+    if count == 0:
+        return (0.0, 0.0)
+    return (xs / count, ys / count)
+
+
+def school_polarization(fish: Iterable) -> float:
+    """Alignment of the school: |mean heading vector| in [0, 1]."""
+    dx, dy, count = 0.0, 0.0, 0
+    for agent in fish:
+        dx += agent.dx
+        dy += agent.dy
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.hypot(dx / count, dy / count)
+
+
+def school_spread(fish: Iterable) -> float:
+    """Root mean square distance of the fish from the school centroid."""
+    agents = list(fish)
+    centroid_x, centroid_y = group_centroid(agents)
+    if not agents:
+        return 0.0
+    total = 0.0
+    for agent in agents:
+        total += (agent.x - centroid_x) ** 2 + (agent.y - centroid_y) ** 2
+    return math.sqrt(total / len(agents))

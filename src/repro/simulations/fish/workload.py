@@ -1,0 +1,52 @@
+"""World construction for the fish school simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.world import World
+from repro.simulations.fish.model import CouzinParameters
+from repro.simulations.fish.fish import make_fish_class
+from repro.spatial.bbox import BBox
+
+
+def build_fish_world(
+    num_fish: int,
+    parameters: CouzinParameters | None = None,
+    seed: int = 0,
+    fish_class: type | None = None,
+) -> World:
+    """Build a world with ``num_fish`` fish seeded in a compact square.
+
+    Informed individuals are split evenly between the two preferred
+    directions; with the default parameters they eventually pull the school
+    apart into two groups, the load-imbalance scenario of Figures 7 and 8.
+    """
+    parameters = parameters or CouzinParameters()
+    fish_class = fish_class or make_fish_class(parameters)
+    half = parameters.ocean_size / 2.0
+    world = World(bounds=BBox(((-half, half), (-half, half))), seed=seed)
+    rng = np.random.default_rng(seed)
+
+    num_informed = int(round(num_fish * parameters.informed_fraction))
+    group_one = num_informed // 2
+    group_two = num_informed - group_one
+
+    for index in range(num_fish):
+        if index < group_one:
+            informed = 1
+        elif index < group_one + group_two:
+            informed = 2
+        else:
+            informed = 0
+        angle = float(rng.uniform(0.0, 2.0 * np.pi))
+        world.add_agent(
+            fish_class(
+                x=float(rng.uniform(-parameters.seed_region / 2, parameters.seed_region / 2)),
+                y=float(rng.uniform(-parameters.seed_region / 2, parameters.seed_region / 2)),
+                dx=float(np.cos(angle)),
+                dy=float(np.sin(angle)),
+                informed=informed,
+            )
+        )
+    return world

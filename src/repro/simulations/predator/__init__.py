@@ -1,0 +1,23 @@
+"""Predator simulation with non-local effect assignments (spawn/bite)."""
+
+from repro.simulations.predator.model import PredatorParameters
+from repro.simulations.predator.predator import (
+    NonLocalPredator,
+    LocalPredator,
+    make_predator_classes,
+)
+from repro.simulations.predator.workload import build_predator_world
+from repro.simulations.predator.brasil_scripts import (
+    PREDATOR_NON_LOCAL_SCRIPT,
+    PREDATOR_LOCAL_SCRIPT,
+)
+
+__all__ = [
+    "PredatorParameters",
+    "NonLocalPredator",
+    "LocalPredator",
+    "make_predator_classes",
+    "build_predator_world",
+    "PREDATOR_NON_LOCAL_SCRIPT",
+    "PREDATOR_LOCAL_SCRIPT",
+]

@@ -1,0 +1,100 @@
+"""BRASIL sources for the predator simulation.
+
+The paper programs biting "either as a non-local effect assignment (fish
+assign 'hurt' effects to others) or as a local one (fish collect 'hurt'
+effects from others) in otherwise identical BRASIL scripts" because the
+original BRASIL compiler did not yet implement effect inversion.  Both
+scripts are reproduced here; this compiler *does* implement inversion, so
+compiling the non-local script with ``effect_inversion="auto"`` yields the
+local formulation automatically (the tests verify the two agree).
+
+The scripts model a simplified, fixed-population variant of the predator
+simulation (BRASIL update rules cannot express births/deaths); the full
+dynamic-population model lives in :mod:`repro.simulations.predator.predator`.
+"""
+
+PREDATOR_NON_LOCAL_SCRIPT = """
+class Predator {
+    // Position in the plane; fish can see and move a bounded distance.
+    public state float x : (x + dx); #range[-8, 8];
+    public state float y : (y + dy); #range[-8, 8];
+    // Heading, steered away from the local crowd.
+    public state float dx : (crowd > 0) ? (0 - crowdx / crowd) : dx;
+    public state float dy : (crowd > 0) ? (0 - crowdy / crowd) : dy;
+    // Energy: grazing gain minus metabolic cost minus damage received.
+    public state float energy : energy + 0.2 - hurt;
+
+    private effect float hurt : sum;
+    private effect float crowdx : sum;
+    private effect float crowdy : sum;
+    private effect int crowd : sum;
+
+    public void run() {
+        foreach (Predator p : Extent<Predator>) {
+            const float distance = sqrt((p.x - x) * (p.x - x) + (p.y - y) * (p.y - y));
+            if (distance > 0) {
+                crowdx <- (p.x - x) / distance;
+                crowdy <- (p.y - y) / distance;
+                crowd <- 1;
+                if (distance < 2) {
+                    p.hurt <- 1.5;
+                }
+            }
+        }
+    }
+}
+"""
+
+PREDATOR_LOCAL_SCRIPT = """
+class Predator {
+    public state float x : (x + dx); #range[-8, 8];
+    public state float y : (y + dy); #range[-8, 8];
+    public state float dx : (crowd > 0) ? (0 - crowdx / crowd) : dx;
+    public state float dy : (crowd > 0) ? (0 - crowdy / crowd) : dy;
+    public state float energy : energy + 0.2 - hurt;
+
+    private effect float hurt : sum;
+    private effect float crowdx : sum;
+    private effect float crowdy : sum;
+    private effect int crowd : sum;
+
+    public void run() {
+        foreach (Predator p : Extent<Predator>) {
+            const float distance = sqrt((p.x - x) * (p.x - x) + (p.y - y) * (p.y - y));
+            if (distance > 0) {
+                crowdx <- (p.x - x) / distance;
+                crowdy <- (p.y - y) / distance;
+                crowd <- 1;
+                if (distance < 2) {
+                    hurt <- 1.5;
+                }
+            }
+        }
+    }
+}
+"""
+
+FISH_SCHOOL_SCRIPT = """
+class Fish {
+    // The fish location.
+    public state float x : (x + vx); #range[-6, 6];
+    public state float y : (y + vy); #range[-6, 6];
+    // The latest fish velocity, nudged by the avoidance forces.
+    public state float vx : (count > 0) ? (vx + avoidx / count) : vx;
+    public state float vy : (count > 0) ? (vy + avoidy / count) : vy;
+
+    // Used to update the velocity.
+    private effect float avoidx : sum;
+    private effect float avoidy : sum;
+    private effect int count : sum;
+
+    /** The query phase: repel fish that are too close. */
+    public void run() {
+        foreach (Fish p : Extent<Fish>) {
+            p.avoidx <- 1 / (x - p.x);
+            p.avoidy <- 1 / (y - p.y);
+            p.count <- 1;
+        }
+    }
+}
+"""

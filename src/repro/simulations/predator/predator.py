@@ -1,0 +1,175 @@
+"""Predator agents in two otherwise-identical formulations.
+
+``NonLocalPredator`` programs biting as a *non-local* effect assignment: the
+biter writes a ``hurt`` effect onto its victims, so BRACE needs the second
+reduce pass.  ``LocalPredator`` programs the same behaviour as a *local*
+assignment — each fish collects the bites it receives from nearby biters —
+which is the rewrite effect inversion produces; BRACE then needs a single
+reduce pass.  Both classes share every other behaviour (crowd sensing,
+movement, energy bookkeeping, spawning and dying), so any throughput
+difference between them isolates the cost of the extra pass, exactly as in
+the paper's Figure 5 experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.agent import Agent
+from repro.core.combinators import COUNT, SUM
+from repro.core.fields import EffectField, StateField
+from repro.simulations.predator.model import PredatorParameters
+
+
+def make_predator_classes(parameters: PredatorParameters) -> tuple[type, type]:
+    """Build the (non-local, local) predator classes bound to ``parameters``."""
+
+    class _PredatorBase(Agent):
+        """Shared state, movement and energy dynamics."""
+
+        params = parameters
+
+        x = StateField(
+            0.0, spatial=True, visibility=parameters.rho, reachability=parameters.reachability()
+        )
+        y = StateField(
+            0.0, spatial=True, visibility=parameters.rho, reachability=parameters.reachability()
+        )
+        dx = StateField(1.0)
+        dy = StateField(0.0)
+        energy = StateField(parameters.initial_energy)
+
+        #: Damage received this tick (written by biters or collected locally).
+        hurt = EffectField(SUM)
+        #: Number of bites this fish landed this tick (always local).
+        bites_landed = EffectField(SUM)
+        #: Number of neighbours (used to steer away from crowds).
+        crowd = EffectField(COUNT)
+        crowd_x = EffectField(SUM)
+        crowd_y = EffectField(SUM)
+
+        # ------------------------------------------------------------------
+        # Shared movement / energy update
+        # ------------------------------------------------------------------
+        def update(self, ctx) -> None:
+            p = self.params
+            rng = ctx.rng(self)
+
+            new_energy = (
+                self.energy
+                - self.hurt
+                - p.metabolic_cost
+                + p.grazing_gain
+                + p.bite_gain * self.bites_landed
+            )
+
+            # Steer away from the local crowd centre, with random wander.
+            crowd = self.crowd
+            if crowd > 0:
+                away_x = -(self.crowd_x / crowd)
+                away_y = -(self.crowd_y / crowd)
+                desired_angle = math.atan2(away_y, away_x)
+            else:
+                desired_angle = math.atan2(self.dy, self.dx)
+            current_angle = math.atan2(self.dy, self.dx)
+            turn = math.remainder(desired_angle - current_angle, 2.0 * math.pi)
+            turn = max(-p.max_turn, min(p.max_turn, turn))
+            turn += float(rng.normal(0.0, 0.2))
+            new_angle = current_angle + turn
+            new_dx, new_dy = math.cos(new_angle), math.sin(new_angle)
+
+            new_x = self.x + new_dx * p.speed * p.time_step
+            new_y = self.y + new_dy * p.speed * p.time_step
+            # Keep fish inside the region with reflecting walls.
+            half = p.region_size / 2.0
+            if new_x > half or new_x < -half:
+                new_dx = -new_dx
+                new_x = max(-half, min(half, new_x))
+            if new_y > half or new_y < -half:
+                new_dy = -new_dy
+                new_y = max(-half, min(half, new_y))
+
+            self.dx = new_dx
+            self.dy = new_dy
+            self.x = new_x
+            self.y = new_y
+
+            if p.dynamic_population:
+                if new_energy <= 0.0:
+                    self.energy = 0.0
+                    ctx.kill(self)
+                    return
+                if new_energy >= p.spawn_threshold and rng.random() < p.spawn_probability:
+                    new_energy -= p.spawn_energy
+                    child = type(self)(
+                        x=self.x,
+                        y=self.y,
+                        dx=-self.dx,
+                        dy=-self.dy,
+                        energy=p.spawn_energy,
+                    )
+                    ctx.spawn(self, child)
+            self.energy = new_energy
+
+        # ------------------------------------------------------------------
+        # Shared crowd sensing (local assignments only)
+        # ------------------------------------------------------------------
+        def _sense_crowd(self, ctx) -> None:
+            my_x, my_y = self.x, self.y
+            for other in ctx.neighbors(self, self.params.rho):
+                offset_x = other.x - my_x
+                offset_y = other.y - my_y
+                distance = math.hypot(offset_x, offset_y)
+                if distance == 0.0:
+                    continue
+                self.crowd = 1
+                self.crowd_x = offset_x / distance
+                self.crowd_y = offset_y / distance
+
+    class NonLocalPredator(_PredatorBase):
+        """Biting as a non-local effect assignment (the biter hurts its victims)."""
+
+        def query(self, ctx) -> None:
+            p = self.params
+            self._sense_crowd(ctx)
+            my_x, my_y = self.x, self.y
+            bite_range_sq = p.bite_range * p.bite_range
+            for other in ctx.neighbors(self, p.rho):
+                offset_x = other.x - my_x
+                offset_y = other.y - my_y
+                if offset_x * offset_x + offset_y * offset_y <= bite_range_sq:
+                    other.hurt = p.bite_damage  # non-local effect assignment
+                    self.bites_landed = 1.0
+
+    class LocalPredator(_PredatorBase):
+        """Biting as a local effect assignment (each fish collects its bites).
+
+        This is the effect-inverted formulation: it produces exactly the same
+        aggregate ``hurt`` values because the bite predicate is symmetric in
+        the positions of the two fish.
+        """
+
+        def query(self, ctx) -> None:
+            p = self.params
+            self._sense_crowd(ctx)
+            my_x, my_y = self.x, self.y
+            bite_range_sq = p.bite_range * p.bite_range
+            for other in ctx.neighbors(self, p.rho):
+                offset_x = other.x - my_x
+                offset_y = other.y - my_y
+                if offset_x * offset_x + offset_y * offset_y <= bite_range_sq:
+                    self.hurt = p.bite_damage  # collected locally
+                    self.bites_landed = 1.0
+
+    NonLocalPredator.__name__ = "Predator"
+    NonLocalPredator.__qualname__ = "Predator"
+    LocalPredator.__name__ = "Predator"
+    LocalPredator.__qualname__ = "Predator"
+    return NonLocalPredator, LocalPredator
+
+
+_DEFAULT_CLASSES = make_predator_classes(PredatorParameters())
+#: Predator class using non-local effect assignments (needs two reduce passes).
+NonLocalPredator = _DEFAULT_CLASSES[0]
+#: Effect-inverted predator class (single reduce pass).
+LocalPredator = _DEFAULT_CLASSES[1]

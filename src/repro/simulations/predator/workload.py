@@ -1,0 +1,45 @@
+"""World construction for the predator simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.world import World
+from repro.simulations.predator.model import PredatorParameters
+from repro.simulations.predator.predator import make_predator_classes
+from repro.spatial.bbox import BBox
+
+
+def build_predator_world(
+    num_fish: int,
+    parameters: PredatorParameters | None = None,
+    seed: int = 0,
+    non_local: bool = True,
+    agent_class: type | None = None,
+) -> World:
+    """Build a world with ``num_fish`` predators scattered over the region.
+
+    ``non_local`` selects the formulation: True uses the class with non-local
+    bite assignments (two reduce passes in BRACE), False the effect-inverted
+    local one.  Pass ``agent_class`` to override entirely (e.g. with a
+    BRASIL-compiled class).
+    """
+    parameters = parameters or PredatorParameters()
+    if agent_class is None:
+        non_local_class, local_class = make_predator_classes(parameters)
+        agent_class = non_local_class if non_local else local_class
+    half = parameters.region_size / 2.0
+    world = World(bounds=BBox(((-half, half), (-half, half))), seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(num_fish):
+        angle = float(rng.uniform(0.0, 2.0 * np.pi))
+        world.add_agent(
+            agent_class(
+                x=float(rng.uniform(-half, half)),
+                y=float(rng.uniform(-half, half)),
+                dx=float(np.cos(angle)),
+                dy=float(np.sin(angle)),
+                energy=float(rng.uniform(0.6, 1.4) * parameters.initial_energy),
+            )
+        )
+    return world

@@ -1,0 +1,20 @@
+"""MITSIM-style traffic simulation (lane changing + car following)."""
+
+from repro.simulations.traffic.model import TrafficParameters
+from repro.simulations.traffic.vehicle import Vehicle, make_vehicle_class
+from repro.simulations.traffic.workload import build_traffic_world
+from repro.simulations.traffic.statistics import (
+    LaneStatistics,
+    TrafficStatisticsCollector,
+    compare_lane_statistics,
+)
+
+__all__ = [
+    "TrafficParameters",
+    "Vehicle",
+    "make_vehicle_class",
+    "build_traffic_world",
+    "LaneStatistics",
+    "TrafficStatisticsCollector",
+    "compare_lane_statistics",
+]

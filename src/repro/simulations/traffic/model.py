@@ -1,0 +1,86 @@
+"""Parameters of the MITSIM-style driver behaviour models.
+
+The traffic simulation follows the structure of MITSIM's behavioural models
+as described in Section 5.1 and Appendix C of the paper:
+
+* a **car-following / acceleration model**: a driver adapts her acceleration
+  to the lead vehicle in her lane (within the lookahead distance); without a
+  lead vehicle she follows a free-flow model towards her desired speed;
+* a **lane-selection model**: each tick the driver computes a utility for
+  the current, left and right lanes from the average speed of the vehicles
+  ahead and the gap to the lead vehicle, picks a candidate lane
+  probabilistically, and only moves if the lead and rear gaps in the target
+  lane pass a gap-acceptance test;
+* a **reluctance factor** discourages moving to the right-most lane — the
+  detail the paper uses to explain the larger RMSPE on lane 4 of Table 2.
+
+The numbers below are not MITSIM's calibrated values (those are not public);
+they are chosen to produce realistic-looking flow while keeping the model
+shape identical, which is what Table 2's validation exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TrafficParameters:
+    """Tunable constants shared by the agent model and the hand-coded baseline."""
+
+    # Road geometry -----------------------------------------------------
+    segment_length: float = 5000.0
+    num_lanes: int = 4
+    #: Vehicles per unit of road length per lane used when seeding the world.
+    density_per_lane: float = 0.02
+
+    # Perception ---------------------------------------------------------
+    #: Fixed lookahead/lookbehind distance (the paper fixes 200 for BRACE).
+    lookahead: float = 200.0
+
+    # Car following -------------------------------------------------------
+    desired_speed: float = 30.0
+    speed_jitter: float = 3.0          # per-driver desired-speed variation
+    max_acceleration: float = 2.0
+    max_deceleration: float = 4.0
+    #: Sensitivity of the car-following response to the speed difference.
+    following_gain: float = 0.6
+    #: Minimum safe bumper-to-bumper gap.
+    min_gap: float = 5.0
+    #: Desired time headway (seconds) to the lead vehicle.
+    desired_headway: float = 1.4
+
+    # Lane changing --------------------------------------------------------
+    #: Weight of lane average speed in the lane utility.
+    utility_speed_weight: float = 1.0
+    #: Weight of the lead gap in the lane utility.
+    utility_gap_weight: float = 0.02
+    #: Penalty applied to the utility of the right-most lane (reluctance).
+    rightmost_lane_penalty: float = 8.0
+    #: Fixed bonus for staying in the current lane (discourages weaving).
+    keep_lane_bonus: float = 2.0
+    #: Logit scale converting utilities into lane-change probabilities.
+    utility_scale: float = 0.35
+    #: Minimum acceptable lead gap in the target lane.
+    lead_gap_acceptance: float = 10.0
+    #: Minimum acceptable rear gap in the target lane.
+    rear_gap_acceptance: float = 8.0
+    #: Probability scale of actually attempting a change once it is attractive.
+    change_probability: float = 0.6
+
+    # Integration -------------------------------------------------------------
+    time_step: float = 1.0
+
+    def max_speed(self) -> float:
+        """Upper bound on vehicle speed (used for reachability reasoning)."""
+        return self.desired_speed + 3.0 * self.speed_jitter
+
+    def vehicles_total(self) -> int:
+        """Number of vehicles implied by the density and geometry."""
+        return int(self.segment_length * self.density_per_lane * self.num_lanes)
+
+    def scaled_to(self, segment_length: float) -> "TrafficParameters":
+        """A copy with a different segment length (used by the sweeps)."""
+        copy = TrafficParameters(**vars(self))
+        copy.segment_length = float(segment_length)
+        return copy

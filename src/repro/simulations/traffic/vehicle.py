@@ -1,0 +1,233 @@
+"""The vehicle agent: MITSIM-style car following and lane changing.
+
+Each vehicle is an agent on a multi-lane circular highway segment (vehicles
+that reach the end re-enter at the start, which keeps the spatial
+distribution near-uniform — the paper's constant upstream inflow has the same
+effect).  The query phase inspects the lead and rear vehicles and the average
+speeds of the current, left and right lanes within the lookahead distance;
+the update phase applies the acceleration model and the probabilistic
+lane-selection model.
+
+All effect assignments are local (a driver only writes her own effects), so
+BRACE runs this model with a single reduce pass, exactly as the paper notes
+for its traffic workload.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.agent import Agent
+from repro.core.combinators import MIN, SUM
+from repro.core.fields import EffectField, StateField
+from repro.simulations.traffic.model import TrafficParameters
+
+_INFINITY = float("inf")
+
+
+def make_vehicle_class(parameters: TrafficParameters, name: str = "Vehicle") -> type:
+    """Build a Vehicle agent class bound to ``parameters``.
+
+    The lookahead distance becomes the visibility bound of the spatial field,
+    so the class must be rebuilt when the lookahead changes (it is a class
+    level property, exactly like BRASIL's ``#range`` annotation).
+    """
+
+    class _Vehicle(Agent):
+        """One driver/vehicle on the highway segment."""
+
+        params = parameters
+
+        # Position along the segment.  Reachability is unbounded because the
+        # segment is circular (wrap-around would violate a per-tick bound).
+        x = StateField(0.0, spatial=True, visibility=parameters.lookahead)
+        #: Lane index, 0 (left-most) .. num_lanes - 1 (right-most).
+        lane = StateField(0)
+        speed = StateField(0.0)
+        #: Per-driver desired speed (sampled at construction).
+        desired_speed = StateField(parameters.desired_speed)
+        #: Cumulative number of lane changes (used by the statistics collector).
+        lane_changes = StateField(0)
+
+        # Current-lane observations.
+        lead_gap = EffectField(MIN)
+        lead_speed = EffectField(SUM)
+        lane_speed_sum = EffectField(SUM)
+        lane_speed_count = EffectField(SUM)
+        # Left-lane observations.
+        left_lead_gap = EffectField(MIN)
+        left_rear_gap = EffectField(MIN)
+        left_speed_sum = EffectField(SUM)
+        left_speed_count = EffectField(SUM)
+        # Right-lane observations.
+        right_lead_gap = EffectField(MIN)
+        right_rear_gap = EffectField(MIN)
+        right_speed_sum = EffectField(SUM)
+        right_speed_count = EffectField(SUM)
+
+        # ------------------------------------------------------------------
+        # Query phase
+        # ------------------------------------------------------------------
+        def query(self, ctx) -> None:
+            p = self.params
+            my_x = self.x
+            my_lane = self.lane
+
+            lead_gap = _INFINITY
+            lead_speed = 0.0
+            lane_speed_sum = 0.0
+            lane_speed_count = 0
+            left_lead_gap = _INFINITY
+            left_rear_gap = _INFINITY
+            left_speed_sum = 0.0
+            left_speed_count = 0
+            right_lead_gap = _INFINITY
+            right_rear_gap = _INFINITY
+            right_speed_sum = 0.0
+            right_speed_count = 0
+
+            for other in ctx.neighbors(self, p.lookahead):
+                gap = other.x - my_x
+                other_lane = other.lane
+                if other_lane == my_lane:
+                    if gap > 0:
+                        lane_speed_sum += other.speed
+                        lane_speed_count += 1
+                        if gap < lead_gap:
+                            lead_gap = gap
+                            lead_speed = other.speed
+                elif other_lane == my_lane - 1:
+                    if gap > 0:
+                        left_speed_sum += other.speed
+                        left_speed_count += 1
+                        if gap < left_lead_gap:
+                            left_lead_gap = gap
+                    elif -gap < left_rear_gap:
+                        left_rear_gap = -gap
+                elif other_lane == my_lane + 1:
+                    if gap > 0:
+                        right_speed_sum += other.speed
+                        right_speed_count += 1
+                        if gap < right_lead_gap:
+                            right_lead_gap = gap
+                    elif -gap < right_rear_gap:
+                        right_rear_gap = -gap
+
+            self.lead_gap = lead_gap
+            self.lead_speed = lead_speed
+            self.lane_speed_sum = lane_speed_sum
+            self.lane_speed_count = lane_speed_count
+            self.left_lead_gap = left_lead_gap
+            self.left_rear_gap = left_rear_gap
+            self.left_speed_sum = left_speed_sum
+            self.left_speed_count = left_speed_count
+            self.right_lead_gap = right_lead_gap
+            self.right_rear_gap = right_rear_gap
+            self.right_speed_sum = right_speed_sum
+            self.right_speed_count = right_speed_count
+
+        # ------------------------------------------------------------------
+        # Update phase
+        # ------------------------------------------------------------------
+        def update(self, ctx) -> None:
+            p = self.params
+            rng = ctx.rng(self)
+
+            acceleration = self._acceleration_model()
+            new_speed = max(0.0, self.speed + acceleration * p.time_step)
+            new_speed = min(new_speed, p.max_speed())
+
+            new_lane = self._lane_selection_model(rng)
+            if new_lane != self.lane:
+                self.lane_changes = self.lane_changes + 1
+            self.lane = new_lane
+            self.speed = new_speed
+
+            new_x = self.x + new_speed * p.time_step
+            if new_x >= p.segment_length:
+                new_x -= p.segment_length
+            self.x = new_x
+
+        # -- car following / free flow ---------------------------------------
+        def _acceleration_model(self) -> float:
+            p = self.params
+            lead_gap = self.lead_gap
+            if math.isinf(lead_gap):
+                # Free-flow model: drive towards the desired speed.
+                acceleration = p.following_gain * (self.desired_speed - self.speed)
+            else:
+                desired_gap = p.min_gap + self.speed * p.desired_headway
+                speed_term = p.following_gain * (self.lead_speed - self.speed)
+                gap_term = 0.5 * (lead_gap - desired_gap) / max(desired_gap, 1.0)
+                acceleration = speed_term + gap_term
+                if lead_gap < p.min_gap:
+                    acceleration = -p.max_deceleration
+            return max(-p.max_deceleration, min(p.max_acceleration, acceleration))
+
+        # -- lane selection ----------------------------------------------------
+        def _lane_utility(self, average_speed: float, lead_gap: float, lane_index: int) -> float:
+            p = self.params
+            gap = min(lead_gap, p.lookahead)
+            utility = (
+                p.utility_speed_weight * average_speed + p.utility_gap_weight * gap
+            )
+            if lane_index == p.num_lanes - 1:
+                utility -= p.rightmost_lane_penalty
+            return utility
+
+        def _lane_selection_model(self, rng) -> int:
+            p = self.params
+            lane = self.lane
+
+            lane_count = self.lane_speed_count
+            current_average = (
+                self.lane_speed_sum / lane_count if lane_count > 0 else self.desired_speed
+            )
+            current_utility = (
+                self._lane_utility(current_average, self.lead_gap, lane) + p.keep_lane_bonus
+            )
+
+            candidates: list[tuple[int, float]] = []
+            if lane > 0:
+                left_count = self.left_speed_count
+                left_average = (
+                    self.left_speed_sum / left_count if left_count > 0 else self.desired_speed
+                )
+                candidates.append((lane - 1, self._lane_utility(left_average, self.left_lead_gap, lane - 1)))
+            if lane < p.num_lanes - 1:
+                right_count = self.right_speed_count
+                right_average = (
+                    self.right_speed_sum / right_count if right_count > 0 else self.desired_speed
+                )
+                candidates.append((lane + 1, self._lane_utility(right_average, self.right_lead_gap, lane + 1)))
+
+            best_lane, best_utility = lane, current_utility
+            for candidate_lane, utility in candidates:
+                if utility > best_utility:
+                    best_lane, best_utility = candidate_lane, utility
+            if best_lane == lane:
+                return lane
+
+            # Probabilistic decision: the more attractive the target lane, the
+            # more likely the driver attempts the change.
+            advantage = best_utility - current_utility
+            probability = p.change_probability * (1.0 - math.exp(-p.utility_scale * advantage))
+            if rng.random() >= probability:
+                return lane
+
+            # Gap acceptance in the target lane.
+            if best_lane == lane - 1:
+                lead_gap, rear_gap = self.left_lead_gap, self.left_rear_gap
+            else:
+                lead_gap, rear_gap = self.right_lead_gap, self.right_rear_gap
+            if lead_gap < p.lead_gap_acceptance or rear_gap < p.rear_gap_acceptance:
+                return lane
+            return best_lane
+
+    _Vehicle.__name__ = name
+    _Vehicle.__qualname__ = name
+    return _Vehicle
+
+
+#: Vehicle class built with the default parameters.
+Vehicle = make_vehicle_class(TrafficParameters())

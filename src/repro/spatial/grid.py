@@ -1,0 +1,150 @@
+"""A uniform grid spatial index.
+
+The grid index buckets points into regular cells.  It is the cheapest index to
+build (a single pass) and works well when visibility radii are comparable to
+the cell size — the typical regime in the paper's traffic simulation, where
+vehicles only look a fixed distance ahead and behind.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.spatial.bbox import BBox
+
+
+class UniformGrid:
+    """A uniform grid over ``(point, item)`` pairs.
+
+    Parameters
+    ----------
+    items:
+        Objects to index.
+    cell_size:
+        Side length of a (hyper)cubic cell, or a per-dimension sequence.
+    key:
+        Maps an item to its point; identity by default.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[Any],
+        cell_size: float | Sequence[float],
+        key: Callable[[Any], Sequence[float]] | None = None,
+    ):
+        self._key = key or (lambda item: item)
+        self._cells: dict[tuple[int, ...], list[Any]] = defaultdict(list)
+        self._size = 0
+        self._dim = 0
+        self._cell_size: tuple[float, ...] = ()
+
+        entries = [(tuple(map(float, self._key(item))), item) for item in items]
+        if entries:
+            self._dim = len(entries[0][0])
+            if isinstance(cell_size, (int, float)):
+                self._cell_size = (float(cell_size),) * self._dim
+            else:
+                self._cell_size = tuple(map(float, cell_size))
+                if len(self._cell_size) != self._dim:
+                    raise ValueError("cell_size must match the point dimensionality")
+            if any(size <= 0 for size in self._cell_size):
+                raise ValueError("cell sizes must be positive")
+            for point, item in entries:
+                if len(point) != self._dim:
+                    raise ValueError("all indexed points must share the same dimensionality")
+                self._cells[self._cell_of(point)].append(item)
+                self._size += 1
+        else:
+            if isinstance(cell_size, (int, float)):
+                self._cell_size = (float(cell_size),)
+            else:
+                self._cell_size = tuple(map(float, cell_size))
+
+    def _cell_of(self, point: Sequence[float]) -> tuple[int, ...]:
+        return tuple(
+            int(math.floor(coordinate / size))
+            for coordinate, size in zip(point, self._cell_size)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points (0 when the grid is empty)."""
+        return self._dim
+
+    @property
+    def cell_size(self) -> tuple[float, ...]:
+        """Per-dimension cell side lengths."""
+        return self._cell_size
+
+    def occupied_cells(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    def items(self) -> list[Any]:
+        """Return every indexed item."""
+        result = []
+        for bucket in self._cells.values():
+            result.extend(bucket)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, box: BBox) -> list[Any]:
+        """Return every item whose point lies inside ``box`` (closed)."""
+        if self._size == 0:
+            return []
+        if box.dim != self._dim:
+            raise ValueError("query box dimensionality does not match the grid")
+        lows = box.lows
+        highs = box.highs
+        low_cell = self._cell_of(lows)
+        high_cell = self._cell_of(highs)
+
+        result = []
+        for cell in self._iterate_cells(low_cell, high_cell):
+            bucket = self._cells.get(cell)
+            if not bucket:
+                continue
+            for item in bucket:
+                point = tuple(map(float, self._key(item)))
+                if all(lo <= p <= hi for p, lo, hi in zip(point, lows, highs)):
+                    result.append(item)
+        return result
+
+    def radius_query(self, center: Sequence[float], radius: float) -> list[Any]:
+        """Return every item within Euclidean ``radius`` of ``center``."""
+        if self._size == 0:
+            return []
+        center = tuple(map(float, center))
+        box = BBox.around(center, radius)
+        radius_sq = radius * radius
+        result = []
+        for item in self.range_query(box):
+            point = tuple(map(float, self._key(item)))
+            dist_sq = sum((p - c) ** 2 for p, c in zip(point, center))
+            if dist_sq <= radius_sq:
+                result.append(item)
+        return result
+
+    def _iterate_cells(self, low_cell, high_cell):
+        """Yield every integer cell coordinate in the inclusive hyper-rectangle."""
+
+        def recurse(prefix, dimension):
+            if dimension == self._dim:
+                yield tuple(prefix)
+                return
+            for index in range(low_cell[dimension], high_cell[dimension] + 1):
+                prefix.append(index)
+                yield from recurse(prefix, dimension + 1)
+                prefix.pop()
+
+        yield from recurse([], 0)

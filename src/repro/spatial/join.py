@@ -1,0 +1,144 @@
+"""Spatial self-join algorithms.
+
+Processing one tick of a behavioral simulation is "similar to a spatial
+self-join": each agent is joined with every agent inside its visible region.
+Two strategies are provided, matching the paper's single-node experiments:
+
+* :func:`nested_loop_self_join` — the un-indexed quadratic scan (the
+  "BRACE - no indexing" series of Figures 3 and 4).
+* :func:`index_self_join` — an orthogonal range query against a spatial
+  index built for the tick (the "BRACE - indexing" series).
+
+Both return, for each probe item, the list of items falling inside its query
+box; :func:`neighbor_lists` is a radius-based convenience wrapper used by the
+fish and predator models.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.spatial.bbox import BBox
+from repro.spatial.grid import UniformGrid
+from repro.spatial.kdtree import KDTree
+from repro.spatial.quadtree import QuadTree
+
+IndexFactory = Callable[..., Any]
+
+_INDEX_FACTORIES: dict[str, IndexFactory] = {
+    "kdtree": KDTree,
+    "grid": UniformGrid,
+    "quadtree": QuadTree,
+}
+
+
+def available_indexes() -> list[str]:
+    """Names of the spatial index implementations usable by :func:`index_self_join`."""
+    return sorted(_INDEX_FACTORIES)
+
+
+def build_index(
+    items: Iterable[Any],
+    key: Callable[[Any], Sequence[float]],
+    index: str = "kdtree",
+    cell_size: float | None = None,
+):
+    """Build the named spatial index over ``items``.
+
+    ``cell_size`` is only used by the grid index; when omitted it defaults to
+    1.0 which is almost always wrong for real workloads, so callers that use
+    the grid should pass an explicit value (typically the visibility radius).
+    """
+    if index not in _INDEX_FACTORIES:
+        raise ValueError(f"unknown spatial index {index!r}; choose from {available_indexes()}")
+    if index == "grid":
+        return UniformGrid(items, cell_size if cell_size is not None else 1.0, key=key)
+    if index == "quadtree":
+        return QuadTree(items, key=key)
+    return KDTree(items, key=key)
+
+
+def nested_loop_self_join(
+    items: Sequence[Any],
+    key: Callable[[Any], Sequence[float]],
+    query_box: Callable[[Any], BBox],
+) -> dict[int, list[Any]]:
+    """Quadratic self-join: test every pair of items.
+
+    Returns a mapping from the index of each probe item in ``items`` to the
+    list of items whose point falls inside ``query_box(probe)``.  The probe
+    item itself is included when it falls inside its own box, mirroring the
+    semantics of a BRASIL ``foreach`` over the full extent.
+    """
+    points = [tuple(map(float, key(item))) for item in items]
+    result: dict[int, list[Any]] = {}
+    for probe_index, probe in enumerate(items):
+        box = query_box(probe)
+        matches = []
+        for candidate_index, candidate in enumerate(items):
+            if box.contains_point(points[candidate_index]):
+                matches.append(candidate)
+        result[probe_index] = matches
+    return result
+
+
+def index_self_join(
+    items: Sequence[Any],
+    key: Callable[[Any], Sequence[float]],
+    query_box: Callable[[Any], BBox],
+    index: str = "kdtree",
+    cell_size: float | None = None,
+) -> dict[int, list[Any]]:
+    """Index-driven self-join: one range query per probe item.
+
+    Semantically identical to :func:`nested_loop_self_join` (up to the order
+    of the matches) but with log-linear instead of quadratic cost for bounded
+    visible regions.
+    """
+    spatial_index = build_index(items, key, index=index, cell_size=cell_size)
+    result: dict[int, list[Any]] = {}
+    for probe_index, probe in enumerate(items):
+        result[probe_index] = spatial_index.range_query(query_box(probe))
+    return result
+
+
+def neighbor_lists(
+    items: Sequence[Any],
+    key: Callable[[Any], Sequence[float]],
+    radius: float,
+    index: str | None = "kdtree",
+    include_self: bool = False,
+) -> dict[int, list[Any]]:
+    """Radius-based neighbour lists for every item.
+
+    ``index=None`` selects the nested-loop strategy.  The probe item is
+    excluded from its own neighbour list unless ``include_self`` is True.
+    """
+    points = [tuple(map(float, key(item))) for item in items]
+    radius_sq = radius * radius
+
+    def prune(probe_index: int, candidates: Iterable[Any]) -> list[Any]:
+        center = points[probe_index]
+        matches = []
+        for candidate in candidates:
+            if candidate is items[probe_index] and not include_self:
+                continue
+            point = tuple(map(float, key(candidate)))
+            dist_sq = sum((p - c) ** 2 for p, c in zip(point, center))
+            if dist_sq <= radius_sq:
+                matches.append(candidate)
+        return matches
+
+    if index is None:
+        joined = nested_loop_self_join(
+            items, key, lambda item: BBox.around(tuple(map(float, key(item))), radius)
+        )
+    else:
+        joined = index_self_join(
+            items,
+            key,
+            lambda item: BBox.around(tuple(map(float, key(item))), radius),
+            index=index,
+            cell_size=radius if radius > 0 else None,
+        )
+    return {probe_index: prune(probe_index, matches) for probe_index, matches in joined.items()}

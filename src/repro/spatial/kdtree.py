@@ -1,0 +1,209 @@
+"""A semidynamic k-d tree for point data.
+
+The paper's prototype "includes a generic KD-tree based spatial index
+capability" (citing Bentley's semidynamic k-d trees) which converts the
+query-phase neighbour enumeration from a quadratic scan into an orthogonal
+range query.  This module provides that index: it is built in bulk from a set
+of points (rebuilt each tick by the engines), supports orthogonal range
+queries, radius queries and k-nearest-neighbour queries, and tolerates
+duplicate coordinates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.spatial.bbox import BBox
+
+
+class _Node:
+    """Internal k-d tree node."""
+
+    __slots__ = ("point", "item", "axis", "left", "right")
+
+    def __init__(self, point, item, axis):
+        self.point = point
+        self.item = item
+        self.axis = axis
+        self.left = None
+        self.right = None
+
+
+class KDTree:
+    """A bulk-loaded k-d tree over ``(point, item)`` pairs.
+
+    Parameters
+    ----------
+    items:
+        Iterable of arbitrary objects to index.
+    key:
+        Function mapping an item to its point (a sequence of floats).  When
+        omitted the items themselves are treated as points.
+    """
+
+    def __init__(self, items: Iterable[Any], key: Callable[[Any], Sequence[float]] | None = None):
+        self._key = key or (lambda item: item)
+        entries = [(tuple(map(float, self._key(item))), item) for item in items]
+        self._size = len(entries)
+        if entries:
+            self._dim = len(entries[0][0])
+            for point, _ in entries:
+                if len(point) != self._dim:
+                    raise ValueError("all indexed points must share the same dimensionality")
+        else:
+            self._dim = 0
+        self._root = self._build(entries, depth=0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, entries, depth):
+        if not entries:
+            return None
+        axis = depth % self._dim
+        entries.sort(key=lambda entry: entry[0][axis])
+        median = len(entries) // 2
+        # Move the median left while previous entries share the same coordinate,
+        # so that the "strictly greater goes right" invariant holds with duplicates.
+        while median > 0 and entries[median - 1][0][axis] == entries[median][0][axis]:
+            median -= 1
+        point, item = entries[median]
+        node = _Node(point, item, axis)
+        node.left = self._build(entries[:median], depth + 1)
+        node.right = self._build(entries[median + 1 :], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points (0 when the tree is empty)."""
+        return self._dim
+
+    def height(self) -> int:
+        """Height of the tree (0 for an empty tree)."""
+
+        def walk(node):
+            if node is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def items(self) -> list[Any]:
+        """Return every indexed item (pre-order)."""
+        result = []
+
+        def walk(node):
+            if node is None:
+                return
+            result.append(node.item)
+            walk(node.left)
+            walk(node.right)
+
+        walk(self._root)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, box: BBox) -> list[Any]:
+        """Return every item whose point lies inside ``box`` (closed)."""
+        if self._root is None:
+            return []
+        if box.dim != self._dim:
+            raise ValueError("query box dimensionality does not match the tree")
+        result = []
+        lows = box.lows
+        highs = box.highs
+
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            point = node.point
+            inside = True
+            for d in range(self._dim):
+                if not lows[d] <= point[d] <= highs[d]:
+                    inside = False
+                    break
+            if inside:
+                result.append(node.item)
+            axis = node.axis
+            coordinate = point[axis]
+            if node.left is not None and lows[axis] <= coordinate:
+                stack.append(node.left)
+            if node.right is not None and coordinate <= highs[axis]:
+                stack.append(node.right)
+        return result
+
+    def radius_query(self, center: Sequence[float], radius: float) -> list[Any]:
+        """Return every item within Euclidean ``radius`` of ``center``."""
+        if self._root is None:
+            return []
+        center = tuple(map(float, center))
+        if len(center) != self._dim:
+            raise ValueError("query point dimensionality does not match the tree")
+        box = BBox.around(center, radius)
+        radius_sq = radius * radius
+        result = []
+        for item in self.range_query(box):
+            point = tuple(map(float, self._key(item)))
+            dist_sq = sum((p - c) ** 2 for p, c in zip(point, center))
+            if dist_sq <= radius_sq:
+                result.append(item)
+        return result
+
+    def nearest(self, point: Sequence[float]) -> Any | None:
+        """Return the item nearest to ``point`` (None when the tree is empty)."""
+        results = self.k_nearest(point, 1)
+        return results[0] if results else None
+
+    def k_nearest(self, point: Sequence[float], k: int) -> list[Any]:
+        """Return up to ``k`` items nearest to ``point`` in increasing distance."""
+        if self._root is None or k <= 0:
+            return []
+        point = tuple(map(float, point))
+        if len(point) != self._dim:
+            raise ValueError("query point dimensionality does not match the tree")
+
+        # Max-heap of (-distance_sq, counter, item); counter breaks distance ties.
+        heap: list[tuple[float, int, Any]] = []
+        counter = 0
+
+        def visit(node):
+            nonlocal counter
+            if node is None:
+                return
+            dist_sq = sum((p - c) ** 2 for p, c in zip(node.point, point))
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist_sq, counter, node.item))
+                counter += 1
+            elif dist_sq < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist_sq, counter, node.item))
+                counter += 1
+            axis = node.axis
+            diff = point[axis] - node.point[axis]
+            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
+            visit(near)
+            if len(heap) < k or diff * diff <= -heap[0][0]:
+                visit(far)
+
+        visit(self._root)
+        ordered = sorted(heap, key=lambda entry: (-entry[0], entry[1]))
+        return [item for _, _, item in ordered]
+
+    def nearest_within(self, point: Sequence[float], radius: float) -> Any | None:
+        """Return the nearest item no farther than ``radius``, or None."""
+        nearest = self.nearest(point)
+        if nearest is None:
+            return None
+        nearest_point = tuple(map(float, self._key(nearest)))
+        dist_sq = sum((p - c) ** 2 for p, c in zip(nearest_point, point))
+        if dist_sq <= radius * radius:
+            return nearest
+        return None

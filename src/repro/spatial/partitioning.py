@@ -1,0 +1,243 @@
+"""Spatial partitioning of the simulated space onto workers.
+
+The BRACE map tasks use a *spatial partitioning function* ``P : L -> P`` that
+assigns every location to a partition (one per worker / reducer).  Each
+partition has an *owned region* (the inverse image of its id) and a *visible
+region* (every location visible from some point of the owned region); agents
+are replicated to every partition whose visible region contains them.
+
+Two concrete partitionings are provided:
+
+* :class:`GridPartitioning` — a rectilinear grid, the scheme used by the
+  BRACE prototype in the paper.
+* :class:`StripPartitioning` — one-dimensional strips along a chosen axis,
+  the representation manipulated by the paper's one-dimensional load
+  balancer (strip boundaries move to even out the number of owned agents).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import PartitioningError
+from repro.spatial.bbox import BBox
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A single spatial partition: an id plus its owned region."""
+
+    partition_id: int
+    owned_region: BBox
+
+    def visible_region(self, visibility: Sequence[float] | float) -> BBox:
+        """Return the owned region grown by the per-dimension visibility radii."""
+        return self.owned_region.expanded(visibility)
+
+
+class SpatialPartitioning:
+    """Base class for partitioning functions.
+
+    A partitioning exposes the mapping from locations to partition ids, the
+    list of partitions, and the replication target computation used by the
+    BRACE map task (every partition whose visible region contains a point).
+    """
+
+    def partitions(self) -> list[Partition]:
+        """Return every partition."""
+        raise NotImplementedError
+
+    def partition_of(self, point: Sequence[float]) -> int:
+        """Return the id of the partition owning ``point``."""
+        raise NotImplementedError
+
+    def num_partitions(self) -> int:
+        """Return the number of partitions."""
+        return len(self.partitions())
+
+    def partition(self, partition_id: int) -> Partition:
+        """Return the partition with the given id."""
+        for part in self.partitions():
+            if part.partition_id == partition_id:
+                return part
+        raise PartitioningError(f"unknown partition id {partition_id}")
+
+    def replication_targets(
+        self, point: Sequence[float], visibility: Sequence[float] | float
+    ) -> list[int]:
+        """Return the ids of every partition that must receive a replica.
+
+        A partition needs a replica of an agent at ``point`` exactly when the
+        agent falls inside the partition's visible region, i.e. the owned
+        region expanded by the visibility radii.
+        """
+        targets = []
+        for part in self.partitions():
+            if part.visible_region(visibility).contains_point(point):
+                targets.append(part.partition_id)
+        return targets
+
+
+class GridPartitioning(SpatialPartitioning):
+    """A rectilinear grid partitioning of a bounding box.
+
+    Parameters
+    ----------
+    bounds:
+        The region of space to partition.
+    cells_per_dim:
+        Number of grid cells along each dimension; the total number of
+        partitions is their product.
+    """
+
+    def __init__(self, bounds: BBox, cells_per_dim: Sequence[int]):
+        if len(cells_per_dim) != bounds.dim:
+            raise PartitioningError("cells_per_dim must match the bounds dimensionality")
+        if any(int(c) < 1 for c in cells_per_dim):
+            raise PartitioningError("every dimension needs at least one cell")
+        self._bounds = bounds
+        self._cells = tuple(int(c) for c in cells_per_dim)
+        self._partitions = self._build_partitions()
+
+    def _build_partitions(self) -> list[Partition]:
+        partitions = []
+        for pid in range(self._total_cells()):
+            coords = self._id_to_coords(pid)
+            intervals = []
+            for dimension, cell_index in enumerate(coords):
+                lo, hi = self._bounds.intervals[dimension]
+                width = (hi - lo) / self._cells[dimension]
+                intervals.append((lo + cell_index * width, lo + (cell_index + 1) * width))
+            partitions.append(Partition(pid, BBox(tuple(intervals))))
+        return partitions
+
+    def _total_cells(self) -> int:
+        total = 1
+        for count in self._cells:
+            total *= count
+        return total
+
+    def _id_to_coords(self, pid: int) -> tuple[int, ...]:
+        coords = []
+        for count in reversed(self._cells):
+            coords.append(pid % count)
+            pid //= count
+        return tuple(reversed(coords))
+
+    def _coords_to_id(self, coords: Sequence[int]) -> int:
+        pid = 0
+        for coordinate, count in zip(coords, self._cells):
+            pid = pid * count + coordinate
+        return pid
+
+    @property
+    def bounds(self) -> BBox:
+        """The partitioned region."""
+        return self._bounds
+
+    @property
+    def cells_per_dim(self) -> tuple[int, ...]:
+        """Grid resolution along each dimension."""
+        return self._cells
+
+    def partitions(self) -> list[Partition]:
+        return list(self._partitions)
+
+    def partition(self, partition_id: int) -> Partition:
+        if not 0 <= partition_id < len(self._partitions):
+            raise PartitioningError(f"unknown partition id {partition_id}")
+        return self._partitions[partition_id]
+
+    def partition_of(self, point: Sequence[float]) -> int:
+        coords = []
+        for dimension, coordinate in enumerate(point[: self._bounds.dim]):
+            lo, hi = self._bounds.intervals[dimension]
+            width = (hi - lo) / self._cells[dimension]
+            if width == 0:
+                index = 0
+            else:
+                index = int(math.floor((coordinate - lo) / width))
+            # Points on or past the boundary are clamped into the grid: the
+            # simulated space is conceptually unbounded (fish ocean) but the
+            # partitioning must always produce an owner.
+            index = min(max(index, 0), self._cells[dimension] - 1)
+            coords.append(index)
+        return self._coords_to_id(coords)
+
+
+class StripPartitioning(SpatialPartitioning):
+    """One-dimensional strips over a chosen axis.
+
+    The strips cover the full bounds in every other dimension.  Strip
+    boundaries are explicit so the load balancer can move them: a
+    partitioning with ``n`` strips has ``n - 1`` interior boundaries.
+    """
+
+    def __init__(self, bounds: BBox, axis: int, boundaries: Sequence[float]):
+        if not 0 <= axis < bounds.dim:
+            raise PartitioningError(f"axis {axis} out of range for {bounds.dim}-d bounds")
+        lo, hi = bounds.intervals[axis]
+        boundaries = [float(b) for b in boundaries]
+        if any(b1 >= b2 for b1, b2 in zip(boundaries, boundaries[1:])):
+            raise PartitioningError("strip boundaries must be strictly increasing")
+        if boundaries and (boundaries[0] <= lo or boundaries[-1] >= hi):
+            raise PartitioningError("strip boundaries must lie strictly inside the bounds")
+        self._bounds = bounds
+        self._axis = axis
+        self._boundaries = list(boundaries)
+        self._partitions = self._build_partitions()
+
+    @staticmethod
+    def uniform(bounds: BBox, axis: int, num_strips: int) -> "StripPartitioning":
+        """Build a partitioning with ``num_strips`` equal-width strips."""
+        if num_strips < 1:
+            raise PartitioningError("need at least one strip")
+        lo, hi = bounds.intervals[axis]
+        width = (hi - lo) / num_strips
+        boundaries = [lo + width * i for i in range(1, num_strips)]
+        return StripPartitioning(bounds, axis, boundaries)
+
+    def _build_partitions(self) -> list[Partition]:
+        lo, hi = self._bounds.intervals[self._axis]
+        edges = [lo, *self._boundaries, hi]
+        partitions = []
+        for pid, (strip_lo, strip_hi) in enumerate(zip(edges, edges[1:])):
+            intervals = list(self._bounds.intervals)
+            intervals[self._axis] = (strip_lo, strip_hi)
+            partitions.append(Partition(pid, BBox(tuple(intervals))))
+        return partitions
+
+    @property
+    def bounds(self) -> BBox:
+        """The partitioned region."""
+        return self._bounds
+
+    @property
+    def axis(self) -> int:
+        """The axis along which the strips are cut."""
+        return self._axis
+
+    @property
+    def boundaries(self) -> list[float]:
+        """Interior strip boundaries (length ``num_partitions() - 1``)."""
+        return list(self._boundaries)
+
+    def partitions(self) -> list[Partition]:
+        return list(self._partitions)
+
+    def partition(self, partition_id: int) -> Partition:
+        if not 0 <= partition_id < len(self._partitions):
+            raise PartitioningError(f"unknown partition id {partition_id}")
+        return self._partitions[partition_id]
+
+    def partition_of(self, point: Sequence[float]) -> int:
+        coordinate = point[self._axis]
+        index = bisect.bisect_right(self._boundaries, coordinate)
+        return index
+
+    def with_boundaries(self, boundaries: Sequence[float]) -> "StripPartitioning":
+        """Return a new partitioning with the same bounds/axis but new boundaries."""
+        return StripPartitioning(self._bounds, self._axis, boundaries)

@@ -1,0 +1,152 @@
+"""A point-region quadtree for two-dimensional point data.
+
+The quadtree is an alternative to the k-d tree for the query-phase spatial
+join; the ablation benchmark ``benchmarks/test_ablation_index_choice.py``
+compares the two.  It subdivides a bounding square into four quadrants when a
+leaf exceeds its capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.spatial.bbox import BBox
+
+
+class _QuadNode:
+    """Internal quadtree node covering a rectangular region."""
+
+    __slots__ = ("box", "entries", "children", "capacity", "depth")
+
+    def __init__(self, box: BBox, capacity: int, depth: int):
+        self.box = box
+        self.entries: list[tuple[tuple[float, float], Any]] = []
+        self.children: list["_QuadNode"] | None = None
+        self.capacity = capacity
+        self.depth = depth
+
+    def insert(self, point, item, max_depth):
+        if self.children is not None:
+            self._child_for(point).insert(point, item, max_depth)
+            return
+        self.entries.append((point, item))
+        if len(self.entries) > self.capacity and self.depth < max_depth:
+            self._split(max_depth)
+
+    def _split(self, max_depth):
+        (x_lo, x_hi), (y_lo, y_hi) = self.box.intervals
+        x_mid = (x_lo + x_hi) / 2.0
+        y_mid = (y_lo + y_hi) / 2.0
+        boxes = [
+            BBox(((x_lo, x_mid), (y_lo, y_mid))),
+            BBox(((x_mid, x_hi), (y_lo, y_mid))),
+            BBox(((x_lo, x_mid), (y_mid, y_hi))),
+            BBox(((x_mid, x_hi), (y_mid, y_hi))),
+        ]
+        self.children = [_QuadNode(box, self.capacity, self.depth + 1) for box in boxes]
+        entries = self.entries
+        self.entries = []
+        for point, item in entries:
+            self._child_for(point).insert(point, item, max_depth)
+
+    def _child_for(self, point):
+        (x_lo, x_hi), (y_lo, y_hi) = self.box.intervals
+        x_mid = (x_lo + x_hi) / 2.0
+        y_mid = (y_lo + y_hi) / 2.0
+        index = (1 if point[0] > x_mid else 0) + (2 if point[1] > y_mid else 0)
+        return self.children[index]
+
+    def range_query(self, box: BBox, out: list):
+        if not self.box.intersects(box):
+            return
+        if self.children is not None:
+            for child in self.children:
+                child.range_query(box, out)
+            return
+        for point, item in self.entries:
+            if box.contains_point(point):
+                out.append(item)
+
+
+class QuadTree:
+    """A two-dimensional point quadtree bulk-loaded from items.
+
+    Parameters
+    ----------
+    items:
+        Objects to index.
+    key:
+        Maps an item to its ``(x, y)`` point; identity by default.
+    capacity:
+        Maximum number of points per leaf before it splits.
+    max_depth:
+        Depth limit protecting against pathological duplicate-heavy inputs.
+    bounds:
+        Optional :class:`BBox` covering all points; computed when omitted.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[Any],
+        key: Callable[[Any], Sequence[float]] | None = None,
+        capacity: int = 8,
+        max_depth: int = 16,
+        bounds: BBox | None = None,
+    ):
+        self._key = key or (lambda item: item)
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        entries = [(tuple(map(float, self._key(item)))[:2], item) for item in items]
+        self._size = len(entries)
+        self._max_depth = max_depth
+        if not entries:
+            self._root = None
+            return
+        for point, _ in entries:
+            if len(point) != 2:
+                raise ValueError("QuadTree only indexes two-dimensional points")
+        if bounds is None:
+            bounds = BBox.of_points([point for point, _ in entries]).expanded(1e-9)
+        self._root = _QuadNode(bounds, capacity, depth=0)
+        for point, item in entries:
+            if not bounds.contains_point(point):
+                raise ValueError(f"point {point} lies outside the quadtree bounds")
+            self._root.insert(point, item, max_depth)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def range_query(self, box: BBox) -> list[Any]:
+        """Return every item whose point lies inside ``box`` (closed)."""
+        if self._root is None:
+            return []
+        out: list[Any] = []
+        self._root.range_query(box, out)
+        return out
+
+    def radius_query(self, center: Sequence[float], radius: float) -> list[Any]:
+        """Return every item within Euclidean ``radius`` of ``center``."""
+        if self._root is None:
+            return []
+        center = tuple(map(float, center))[:2]
+        box = BBox.around(center, radius)
+        radius_sq = radius * radius
+        result = []
+        for item in self.range_query(box):
+            point = tuple(map(float, self._key(item)))[:2]
+            dist_sq = (point[0] - center[0]) ** 2 + (point[1] - center[1]) ** 2
+            if dist_sq <= radius_sq:
+                result.append(item)
+        return result
+
+    def depth(self) -> int:
+        """Return the maximum leaf depth of the tree (0 when empty)."""
+        if self._root is None:
+            return 0
+
+        def walk(node):
+            if node.children is None:
+                return node.depth
+            return max(walk(child) for child in node.children)
+
+        return walk(self._root)

@@ -1,0 +1,6 @@
+"""Statistics helpers: goodness-of-fit and run summaries."""
+
+from repro.stats.rmspe import rmspe, mape
+from repro.stats.summary import SeriesSummary, summarize, scaling_efficiency
+
+__all__ = ["rmspe", "mape", "SeriesSummary", "summarize", "scaling_efficiency"]

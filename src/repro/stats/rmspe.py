@@ -1,0 +1,52 @@
+"""Relative goodness-of-fit measures.
+
+RMSPE (Relative Mean Square Percentage Error) is the measure the traffic
+simulation literature uses to validate one simulator against another, and
+the measure Table 2 of the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def rmspe(observed: Sequence[float], reference: Sequence[float]) -> float:
+    """Root mean square percentage error of ``observed`` relative to ``reference``.
+
+    ``sqrt(mean(((observed - reference) / reference)^2))``.  Reference values
+    of zero are skipped (their relative error is undefined); if every
+    reference value is zero the result is 0.0 when the observations are also
+    all zero and ``inf`` otherwise.
+    """
+    if len(observed) != len(reference):
+        raise ValueError("observed and reference must have the same length")
+    total = 0.0
+    count = 0
+    any_nonzero_observed = False
+    for observed_value, reference_value in zip(observed, reference):
+        if reference_value == 0:
+            if observed_value != 0:
+                any_nonzero_observed = True
+            continue
+        total += ((observed_value - reference_value) / reference_value) ** 2
+        count += 1
+    if count == 0:
+        return float("inf") if any_nonzero_observed else 0.0
+    return math.sqrt(total / count)
+
+
+def mape(observed: Sequence[float], reference: Sequence[float]) -> float:
+    """Mean absolute percentage error of ``observed`` relative to ``reference``."""
+    if len(observed) != len(reference):
+        raise ValueError("observed and reference must have the same length")
+    total = 0.0
+    count = 0
+    for observed_value, reference_value in zip(observed, reference):
+        if reference_value == 0:
+            continue
+        total += abs((observed_value - reference_value) / reference_value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return total / count

@@ -1,0 +1,54 @@
+"""Simple numeric series summaries used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class SeriesSummary:
+    """Mean / standard deviation / extrema of a numeric series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summarize a series; an empty series yields zeros."""
+    values = list(values)
+    if not values:
+        return SeriesSummary(0, 0.0, 0.0, 0.0, 0.0)
+    mean = sum(values) / len(values)
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return SeriesSummary(
+        count=len(values),
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def scaling_efficiency(throughputs: Sequence[float], workers: Sequence[int]) -> list[float]:
+    """Scale-up efficiency relative to the single-worker configuration.
+
+    For a scale-up experiment (problem size grows with the worker count) the
+    ideal curve is linear in the number of workers; the efficiency at point
+    ``i`` is ``throughput_i / (throughput_0 * workers_i / workers_0)``.
+    """
+    if len(throughputs) != len(workers):
+        raise ValueError("throughputs and workers must have the same length")
+    if not throughputs:
+        return []
+    base_throughput = throughputs[0]
+    base_workers = workers[0]
+    efficiencies = []
+    for throughput, worker_count in zip(throughputs, workers):
+        ideal = base_throughput * worker_count / base_workers
+        efficiencies.append(throughput / ideal if ideal > 0 else 0.0)
+    return efficiencies

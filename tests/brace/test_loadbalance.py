@@ -1,0 +1,112 @@
+"""Tests for the one-dimensional load balancer."""
+
+import numpy as np
+import pytest
+
+from repro.brace.config import BraceConfig
+from repro.brace.loadbalance import OneDimensionalLoadBalancer
+from repro.brace.runtime import BraceRuntime
+from repro.core.errors import LoadBalanceError
+from repro.spatial.bbox import BBox
+from repro.spatial.partitioning import StripPartitioning
+
+from tests.conftest import make_boid_world
+
+BOUNDS = BBox(((0.0, 100.0), (0.0, 100.0)))
+
+
+class TestImbalanceMetric:
+    def test_balanced_counts(self):
+        assert OneDimensionalLoadBalancer.imbalance([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_skewed_counts(self):
+        assert OneDimensionalLoadBalancer.imbalance([30, 0, 0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert OneDimensionalLoadBalancer.imbalance([]) == 1.0
+        assert OneDimensionalLoadBalancer.imbalance([0, 0]) == 1.0
+
+
+class TestBalancedBoundaries:
+    def test_quantile_boundaries_split_evenly(self):
+        coordinates = list(np.linspace(40.0, 60.0, 100))
+        boundaries = OneDimensionalLoadBalancer.balanced_boundaries(coordinates, 4, 0.0, 100.0)
+        partitioning = StripPartitioning(BOUNDS, 0, boundaries)
+        counts = [0] * 4
+        for coordinate in coordinates:
+            counts[partitioning.partition_of((coordinate, 0.0))] += 1
+        assert max(counts) - min(counts) <= 2
+
+    def test_single_strip_has_no_boundaries(self):
+        assert OneDimensionalLoadBalancer.balanced_boundaries([1.0, 2.0], 1, 0.0, 10.0) == []
+
+    def test_boundaries_strictly_increasing_even_with_duplicates(self):
+        coordinates = [50.0] * 40
+        boundaries = OneDimensionalLoadBalancer.balanced_boundaries(coordinates, 4, 0.0, 100.0)
+        assert all(b1 < b2 for b1, b2 in zip(boundaries, boundaries[1:]))
+        StripPartitioning(BOUNDS, 0, boundaries)  # must be a valid partitioning
+
+    def test_invalid_strip_count(self):
+        with pytest.raises(LoadBalanceError):
+            OneDimensionalLoadBalancer.balanced_boundaries([1.0], 0, 0.0, 1.0)
+
+
+class TestDecision:
+    def _concentrated_coordinates(self):
+        rng = np.random.default_rng(0)
+        return list(rng.uniform(40.0, 60.0, size=200))
+
+    def test_rebalances_concentrated_load(self):
+        balancer = OneDimensionalLoadBalancer(threshold=1.2, migration_cost_per_agent=0.01)
+        partitioning = StripPartitioning.uniform(BOUNDS, 0, 4)
+        decision = balancer.decide(partitioning, self._concentrated_coordinates())
+        assert decision.rebalance
+        assert decision.imbalance_after < decision.imbalance_before
+        assert decision.new_partitioning is not None
+
+    def test_does_not_rebalance_uniform_load(self):
+        balancer = OneDimensionalLoadBalancer(threshold=1.2)
+        partitioning = StripPartitioning.uniform(BOUNDS, 0, 4)
+        rng = np.random.default_rng(1)
+        decision = balancer.decide(partitioning, list(rng.uniform(0.0, 100.0, size=400)))
+        assert not decision.rebalance
+
+    def test_migration_cost_can_veto(self):
+        expensive = OneDimensionalLoadBalancer(
+            threshold=1.2, migration_cost_per_agent=1e9, ticks_to_amortize=1
+        )
+        partitioning = StripPartitioning.uniform(BOUNDS, 0, 4)
+        decision = expensive.decide(partitioning, self._concentrated_coordinates())
+        assert not decision.rebalance
+        assert decision.estimated_cost > decision.estimated_benefit
+
+    def test_invalid_threshold(self):
+        with pytest.raises(LoadBalanceError):
+            OneDimensionalLoadBalancer(threshold=0.9)
+
+
+class TestRuntimeIntegration:
+    def test_load_balancing_evens_out_concentrated_worlds(self):
+        # All agents start in a 10-unit-wide band of a 60-unit world.
+        world = make_boid_world(num_agents=80, seed=2)
+        for agent in world.agents():
+            agent.set_state_dict({"x": 25.0 + (agent.agent_id % 10)})
+        config = BraceConfig(
+            num_workers=4,
+            ticks_per_epoch=1,
+            load_balance=True,
+            load_balance_threshold=1.1,
+        )
+        runtime = BraceRuntime(world, config)
+        before = max(runtime.owned_counts())
+        runtime.run(2)  # one epoch triggers the rebalance
+        after = max(runtime.owned_counts())
+        assert runtime.master.rebalances_performed() >= 1
+        assert after < before
+
+    def test_disabled_load_balancer_never_rebalances(self):
+        world = make_boid_world(num_agents=40, seed=2)
+        config = BraceConfig(num_workers=4, ticks_per_epoch=1, load_balance=False)
+        runtime = BraceRuntime(world, config)
+        runtime.run(3)
+        assert runtime.master.rebalances_performed() == 0

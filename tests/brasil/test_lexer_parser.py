@@ -1,0 +1,183 @@
+"""Tests for the BRASIL lexer and parser."""
+
+import pytest
+
+from repro.brasil.ast_nodes import (
+    BinaryOp,
+    Call,
+    Conditional,
+    EffectAssign,
+    FieldAccess,
+    ForEach,
+    If,
+    LocalDecl,
+    Name,
+    NumberLit,
+    UnaryOp,
+)
+from repro.brasil.lexer import tokenize
+from repro.brasil.parser import Parser, parse
+from repro.brasil.tokens import TokenType
+from repro.core.errors import BrasilSyntaxError
+
+FISH = """
+class Fish {
+  // The fish location
+  public state float x : (x + vx); #range[-1, 1];
+  public state float y : (y + vy); #range[-1, 1];
+  public state float vx : vx + avoidx / count * vx;
+  public state float vy : vy + avoidy / count * vy;
+  private effect float avoidx : sum;
+  private effect float avoidy : sum;
+  private effect int count : sum;
+  /** The query-phase for this fish. */
+  public void run() {
+    foreach (Fish p : Extent<Fish>) {
+      p.avoidx <- 1 / abs(x - p.x);
+      p.avoidy <- 1 / abs(y - p.y);
+      p.count <- 1;
+    }
+  }
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_operators(self):
+        kinds = [token.type for token in tokenize("a <- b <= c == d && !e")]
+        assert TokenType.EFFECT_ASSIGN in kinds
+        assert TokenType.LE in kinds
+        assert TokenType.EQ in kinds
+        assert TokenType.AND in kinds
+        assert TokenType.NOT in kinds
+        assert kinds[-1] is TokenType.EOF
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        values = [token.value for token in tokens[:-1]]
+        assert values == [1, 2.5, 1000.0, 0.025]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // comment\n /* block \n comment */ b")
+        assert [token.text for token in tokens[:-1]] == ["a", "b"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(BrasilSyntaxError):
+            tokenize("/* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(BrasilSyntaxError):
+            tokenize("a @ b")
+
+
+class TestParserStructure:
+    def test_fish_script_structure(self):
+        script = parse(FISH)
+        fish = script.class_named("Fish")
+        assert fish is not None
+        assert [field.name for field in fish.state_fields()] == ["x", "y", "vx", "vy"]
+        assert [field.name for field in fish.effect_fields()] == ["avoidx", "avoidy", "count"]
+        assert fish.field_named("avoidx").combinator == "sum"
+        assert fish.run_method() is not None
+
+    def test_range_annotation_after_semicolon(self):
+        script = parse(FISH)
+        x = script.class_named("Fish").field_named("x")
+        assert x.is_spatial
+        assert x.visibility_radius() == 1.0
+        assert x.reachability_radius() == 1.0
+
+    def test_update_rules_parsed(self):
+        script = parse(FISH)
+        vx = script.class_named("Fish").field_named("vx")
+        assert isinstance(vx.update_rule, BinaryOp)
+
+    def test_foreach_body(self):
+        script = parse(FISH)
+        body = script.class_named("Fish").run_method().body
+        loop = body.statements[0]
+        assert isinstance(loop, ForEach)
+        assert loop.variable == "p"
+        assert len(loop.body.statements) == 3
+        first = loop.body.statements[0]
+        assert isinstance(first, EffectAssign)
+        assert isinstance(first.target_agent, Name)
+        assert first.field_name == "avoidx"
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(BrasilSyntaxError):
+            parse("   ")
+
+    def test_foreach_type_mismatch_rejected(self):
+        with pytest.raises(BrasilSyntaxError):
+            parse("class A { public void run() { foreach (A p : Extent<B>) { } } }")
+
+    def test_unknown_annotation_rejected(self):
+        with pytest.raises(BrasilSyntaxError):
+            parse("class A { public state float x : x; #speed[1]; }")
+
+    def test_unknown_combinator_rejected(self):
+        with pytest.raises(BrasilSyntaxError):
+            parse("class A { private effect float e : median; }")
+
+    def test_if_else_and_locals(self):
+        source = """
+        class A {
+          public state float x : x;
+          private effect float total : sum;
+          public void run() {
+            const float limit = 2 * 3;
+            foreach (A p : Extent<A>) {
+              if (p.x - x < limit) { total <- 1; } else { total <- 0.5; }
+            }
+          }
+        }
+        """
+        script = parse(source)
+        body = script.class_named("A").run_method().body
+        assert isinstance(body.statements[0], LocalDecl)
+        loop = body.statements[1]
+        assert isinstance(loop.body.statements[0], If)
+        assert loop.body.statements[0].else_block is not None
+
+
+class TestExpressions:
+    def parse_expression(self, text):
+        return Parser(tokenize(text)).parse_expression()
+
+    def test_precedence_multiplication_before_addition(self):
+        expression = self.parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryOp)
+        assert expression.operator == "+"
+        assert isinstance(expression.right, BinaryOp)
+        assert expression.right.operator == "*"
+
+    def test_parentheses_override_precedence(self):
+        expression = self.parse_expression("(1 + 2) * 3")
+        assert expression.operator == "*"
+        assert isinstance(expression.left, BinaryOp)
+
+    def test_unary_and_field_access(self):
+        expression = self.parse_expression("-p.x")
+        assert isinstance(expression, UnaryOp)
+        assert isinstance(expression.operand, FieldAccess)
+
+    def test_function_call(self):
+        expression = self.parse_expression("atan2(y, x)")
+        assert isinstance(expression, Call)
+        assert expression.function == "atan2"
+        assert len(expression.arguments) == 2
+
+    def test_ternary_conditional(self):
+        expression = self.parse_expression("a > 0 ? 1 : 2")
+        assert isinstance(expression, Conditional)
+        assert isinstance(expression.then_expr, NumberLit)
+
+    def test_comparison_chain_via_logical_and(self):
+        expression = self.parse_expression("a < b && b < c || !d")
+        assert expression.operator == "||"

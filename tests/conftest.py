@@ -1,0 +1,116 @@
+"""Shared fixtures and helper agent classes for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.agent import Agent
+from repro.core.combinators import COUNT, SUM
+from repro.core.fields import EffectField, StateField
+from repro.core.world import World
+from repro.spatial.bbox import BBox
+
+
+class Boid(Agent):
+    """A small flocking agent used throughout the tests.
+
+    It exercises the interesting machinery: bounded visibility and
+    reachability, local effect assignments with two combinators, and state
+    updates that depend on aggregated effects.
+    """
+
+    x = StateField(0.0, spatial=True, visibility=10.0, reachability=2.0)
+    y = StateField(0.0, spatial=True, visibility=10.0, reachability=2.0)
+    vx = StateField(0.0)
+    vy = StateField(0.0)
+
+    pull_x = EffectField(SUM)
+    pull_y = EffectField(SUM)
+    neighbor_count = EffectField(COUNT)
+
+    def query(self, ctx):
+        for other in ctx.neighbors(self, 6.0):
+            self.pull_x = other.x - self.x
+            self.pull_y = other.y - self.y
+            self.neighbor_count = 1
+
+    def update(self, ctx):
+        count = self.neighbor_count
+        if count > 0:
+            self.vx = 0.8 * self.vx + 0.2 * (self.pull_x / count)
+            self.vy = 0.8 * self.vy + 0.2 * (self.pull_y / count)
+        self.x = self.x + self.vx
+        self.y = self.y + self.vy
+
+
+class NonLocalBoid(Agent):
+    """A variant that pushes its neighbours (non-local effect assignments)."""
+
+    x = StateField(0.0, spatial=True, visibility=10.0, reachability=2.0)
+    y = StateField(0.0, spatial=True, visibility=10.0, reachability=2.0)
+
+    push_x = EffectField(SUM)
+    push_count = EffectField(COUNT)
+
+    def query(self, ctx):
+        for other in ctx.neighbors(self, 6.0):
+            other.push_x = 0.1 * (other.x - self.x)
+            other.push_count = 1
+
+    def update(self, ctx):
+        if self.push_count > 0:
+            self.x = self.x + self.push_x / self.push_count
+
+
+class SpawningAgent(Agent):
+    """An agent with births and deaths, for dynamic-population tests."""
+
+    x = StateField(0.0, spatial=True, visibility=5.0, reachability=1.0)
+    y = StateField(0.0, spatial=True, visibility=5.0, reachability=1.0)
+    age = StateField(0)
+
+    crowd = EffectField(COUNT)
+
+    def query(self, ctx):
+        for _other in ctx.neighbors(self, 4.0):
+            self.crowd = 1
+
+    def update(self, ctx):
+        self.age = self.age + 1
+        if self.age > 6 and self.crowd > 3:
+            ctx.kill(self)
+            return
+        if self.age == 3 and self.crowd <= 1:
+            ctx.spawn(self, type(self)(x=self.x + 0.5, y=self.y + 0.5))
+        self.x = self.x + 0.3
+        self.y = self.y - 0.2
+
+
+def make_boid_world(num_agents: int = 60, seed: int = 7, agent_class: type = Boid,
+                    size: float = 60.0) -> World:
+    """A deterministic world of ``num_agents`` agents scattered over a square."""
+    world = World(bounds=BBox(((0.0, size), (0.0, size))), seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(num_agents):
+        kwargs = {
+            "x": float(rng.uniform(0, size)),
+            "y": float(rng.uniform(0, size)),
+        }
+        if "vx" in agent_class._state_fields:
+            kwargs["vx"] = float(rng.uniform(-1, 1))
+            kwargs["vy"] = float(rng.uniform(-1, 1))
+        world.add_agent(agent_class(**kwargs))
+    return world
+
+
+@pytest.fixture
+def boid_world() -> World:
+    """A 60-agent Boid world."""
+    return make_boid_world()
+
+
+@pytest.fixture
+def small_boid_world() -> World:
+    """A 20-agent Boid world for cheaper tests."""
+    return make_boid_world(num_agents=20, seed=3)

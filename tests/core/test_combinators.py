@@ -1,0 +1,122 @@
+"""Tests for effect combinators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.combinators import (
+    ALL,
+    ANY,
+    COLLECT,
+    COUNT,
+    MAX,
+    MEAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    Combinator,
+    available_combinators,
+    get_combinator,
+    register_combinator,
+)
+from repro.core.errors import CombinatorError
+
+values = st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=0, max_size=30)
+
+
+def fold(combinator, items):
+    accumulator = combinator.identity()
+    for item in items:
+        accumulator = combinator.combine(accumulator, item)
+    return combinator.finalize(accumulator)
+
+
+class TestBasicCombinators:
+    def test_sum(self):
+        assert fold(SUM, [1, 2, 3]) == 6
+        assert fold(SUM, []) == 0.0
+
+    def test_count_ignores_values(self):
+        assert fold(COUNT, ["a", "b", "c"]) == 3
+        assert fold(COUNT, []) == 0
+
+    def test_min_max_identities(self):
+        assert fold(MIN, []) == float("inf")
+        assert fold(MAX, []) == float("-inf")
+        assert fold(MIN, [3, 1, 2]) == 1
+        assert fold(MAX, [3, 1, 2]) == 3
+
+    def test_product(self):
+        assert fold(PRODUCT, [2, 3, 4]) == 24
+        assert fold(PRODUCT, []) == 1.0
+
+    def test_any_all(self):
+        assert fold(ANY, [False, True]) is True
+        assert fold(ANY, []) is False
+        assert fold(ALL, [True, True]) is True
+        assert fold(ALL, [True, False]) is False
+        assert fold(ALL, []) is True
+
+    def test_mean_uses_pair_accumulator(self):
+        assert fold(MEAN, [2, 4, 6]) == 4
+        assert fold(MEAN, []) == 0.0
+
+    def test_collect_is_order_independent(self):
+        assert fold(COLLECT, [3, 1, 2]) == fold(COLLECT, [2, 3, 1])
+
+
+class TestMergeSemantics:
+    """Partial aggregates merged across replicas must equal a single fold."""
+
+    @given(values, values)
+    def test_sum_merge(self, left, right):
+        merged = SUM.merge(
+            sum(left, 0.0), sum(right, 0.0)
+        )
+        assert merged == pytest.approx(fold(SUM, left + right), rel=1e-9, abs=1e-9)
+
+    @given(values, values)
+    def test_mean_merge(self, left, right):
+        left_partial = MEAN.identity()
+        for item in left:
+            left_partial = MEAN.combine(left_partial, item)
+        right_partial = MEAN.identity()
+        for item in right:
+            right_partial = MEAN.combine(right_partial, item)
+        merged = MEAN.finalize(MEAN.merge(left_partial, right_partial))
+        assert merged == pytest.approx(fold(MEAN, left + right), rel=1e-6, abs=1e-9)
+
+    @given(values, values)
+    def test_min_merge(self, left, right):
+        merged = MIN.merge(fold(MIN, left), fold(MIN, right))
+        assert merged == fold(MIN, left + right)
+
+    @given(st.lists(st.integers(0, 100), max_size=20), st.lists(st.integers(0, 100), max_size=20))
+    def test_count_merge(self, left, right):
+        left_count = fold(COUNT, left)
+        right_count = fold(COUNT, right)
+        assert COUNT.merge(left_count, right_count) == len(left) + len(right)
+
+    @given(values)
+    def test_order_independence_of_sum(self, items):
+        assert fold(SUM, items) == pytest.approx(fold(SUM, list(reversed(items))), rel=1e-9, abs=1e-9)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert get_combinator("sum") is SUM
+        assert get_combinator(MAX) is MAX
+
+    def test_unknown_name(self):
+        with pytest.raises(CombinatorError):
+            get_combinator("does-not-exist")
+
+    def test_available_names(self):
+        names = available_combinators()
+        assert "sum" in names and "mean" in names and "collect" in names
+
+    def test_register_custom_and_reject_duplicates(self):
+        custom = Combinator("test_custom_xor", lambda: 0, lambda a, v: a ^ int(v))
+        register_combinator(custom)
+        assert get_combinator("test_custom_xor") is custom
+        with pytest.raises(CombinatorError):
+            register_combinator(custom)

@@ -1,0 +1,150 @@
+"""Tests for the query and update contexts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.context import QueryContext, UpdateContext, agent_rng
+from repro.core.errors import VisibilityError, WorldError
+
+from tests.conftest import Boid, make_boid_world
+
+
+def brute_force_neighbors(agents, probe, radius):
+    result = []
+    for other in agents:
+        if other is probe:
+            continue
+        distance = math.dist(other.position(), probe.position())
+        if distance <= radius:
+            result.append(other)
+    return result
+
+
+class TestNeighborQueries:
+    @pytest.mark.parametrize("index", [None, "kdtree", "grid", "quadtree"])
+    def test_neighbors_match_brute_force(self, index):
+        world = make_boid_world(num_agents=50, seed=9)
+        agents = world.agents()
+        context = QueryContext(agents, tick=0, seed=0, index=index, cell_size=6.0)
+        for probe in agents[:10]:
+            expected = brute_force_neighbors(agents, probe, 6.0)
+            actual = context.neighbors(probe, 6.0)
+            assert sorted(a.agent_id for a in actual) == sorted(a.agent_id for a in expected)
+
+    def test_default_radius_uses_visibility(self):
+        world = make_boid_world(num_agents=20)
+        agents = world.agents()
+        context = QueryContext(agents, tick=0, seed=0)
+        probe = agents[0]
+        assert sorted(a.agent_id for a in context.neighbors(probe)) == sorted(
+            a.agent_id for a in brute_force_neighbors(agents, probe, 10.0)
+        )
+
+    def test_radius_beyond_visibility_raises(self):
+        world = make_boid_world(num_agents=5)
+        context = QueryContext(world.agents(), tick=0, seed=0)
+        with pytest.raises(VisibilityError):
+            context.neighbors(world.agents()[0], 50.0)
+
+    def test_visibility_check_can_be_disabled(self):
+        world = make_boid_world(num_agents=5)
+        context = QueryContext(world.agents(), tick=0, seed=0, check_visibility=False)
+        context.neighbors(world.agents()[0], 50.0)  # does not raise
+
+    def test_include_self(self):
+        world = make_boid_world(num_agents=5)
+        agents = world.agents()
+        context = QueryContext(agents, tick=0, seed=0)
+        probe = agents[0]
+        assert probe in context.neighbors(probe, 6.0, include_self=True)
+        assert probe not in context.neighbors(probe, 6.0)
+
+    def test_visible_uses_box_semantics(self):
+        world = make_boid_world(num_agents=30, seed=4)
+        agents = world.agents()
+        context = QueryContext(agents, tick=0, seed=0)
+        probe = agents[0]
+        region = probe.visible_region()
+        expected = [a for a in agents if a is not probe and region.contains_point(a.position())]
+        assert sorted(a.agent_id for a in context.visible(probe)) == sorted(
+            a.agent_id for a in expected
+        )
+
+    def test_nearest(self):
+        world = make_boid_world(num_agents=30, seed=2)
+        agents = world.agents()
+        context = QueryContext(agents, tick=0, seed=0)
+        probe = agents[0]
+        nearest = context.nearest(probe, k=3)
+        distances = [math.dist(a.position(), probe.position()) for a in nearest]
+        assert distances == sorted(distances)
+        assert probe not in nearest
+
+    def test_agents_returns_full_extent(self):
+        world = make_boid_world(num_agents=7)
+        context = QueryContext(world.agents(), tick=0, seed=0)
+        assert len(context.agents()) == 7
+        assert len(context) == 7
+
+    def test_work_units_accumulate(self):
+        world = make_boid_world(num_agents=20)
+        context = QueryContext(world.agents(), tick=0, seed=0)
+        context.neighbors(world.agents()[0], 6.0)
+        assert context.work_units > 0
+
+    def test_unknown_index_rejected(self):
+        world = make_boid_world(num_agents=3)
+        with pytest.raises(WorldError):
+            QueryContext(world.agents(), tick=0, seed=0, index="rtree")
+
+
+class TestRandomStreams:
+    def test_agent_rng_is_deterministic(self):
+        first = agent_rng(1, 2, 3).random(5)
+        second = agent_rng(1, 2, 3).random(5)
+        assert np.allclose(first, second)
+
+    def test_agent_rng_differs_across_agents_and_ticks(self):
+        base = agent_rng(1, 2, 3).random()
+        assert agent_rng(1, 2, 4).random() != base
+        assert agent_rng(1, 3, 3).random() != base
+        assert agent_rng(2, 2, 3).random() != base
+
+    def test_tuple_agent_ids_supported(self):
+        assert agent_rng(0, 0, (1, 2)).random() == agent_rng(0, 0, (1, 2)).random()
+
+    def test_query_and_update_streams_differ(self):
+        world = make_boid_world(num_agents=2)
+        agent = world.agents()[0]
+        query_context = QueryContext(world.agents(), tick=5, seed=7)
+        update_context = UpdateContext(tick=5, seed=7)
+        assert query_context.rng(agent).random() != update_context.rng(agent).random()
+
+
+class TestUpdateContext:
+    def test_spawn_requests_record_parent_and_sequence(self):
+        context = UpdateContext(tick=0, seed=0)
+        parent = Boid(agent_id=4)
+        first_child, second_child = Boid(), Boid()
+        context.spawn(parent, first_child)
+        context.spawn(parent, second_child)
+        requests = context.spawn_requests
+        assert [(parent_id, sequence) for parent_id, sequence, _ in requests] == [(4, 0), (4, 1)]
+
+    def test_kill_requests_deduplicate(self):
+        context = UpdateContext(tick=0, seed=0)
+        agent = Boid(agent_id=9)
+        context.kill(agent)
+        context.kill(agent)
+        assert context.kill_requests == {9}
+
+    def test_merge_combines_requests(self):
+        first = UpdateContext(tick=0, seed=0)
+        second = UpdateContext(tick=0, seed=0)
+        first.spawn(Boid(agent_id=1), Boid())
+        second.kill(Boid(agent_id=2))
+        first.merge(second)
+        assert len(first.spawn_requests) == 1
+        assert first.kill_requests == {2}

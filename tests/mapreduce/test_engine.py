@@ -1,0 +1,123 @@
+"""Tests for the generic in-memory MapReduce engine."""
+
+import pytest
+
+from repro.core.errors import MapReduceError
+from repro.mapreduce.engine import (
+    IterativeMapReduce,
+    MapReduceEngine,
+    MapReduceJob,
+    MapReduceReduceJob,
+)
+from repro.mapreduce.types import KeyValue
+
+
+def word_count_job():
+    def map_fn(_key, line):
+        for word in line.split():
+            yield (word, 1)
+
+    def reduce_fn(word, counts):
+        yield (word, sum(counts))
+
+    return MapReduceJob(map_fn, reduce_fn, name="word-count")
+
+
+class TestKeyValue:
+    def test_wrap_tuple(self):
+        pair = KeyValue.wrap(("a", 1))
+        assert pair.key == "a" and pair.value == 1
+        assert pair.as_tuple() == ("a", 1)
+
+    def test_wrap_passthrough(self):
+        pair = KeyValue("a", 1)
+        assert KeyValue.wrap(pair) is pair
+
+
+class TestSinglePassJobs:
+    def test_word_count(self):
+        engine = MapReduceEngine()
+        output = engine.run(word_count_job(), [(0, "a b a"), (1, "b c")])
+        counts = {pair.key: pair.value for pair in output}
+        assert counts == {"a": 2, "b": 2, "c": 1}
+
+    def test_statistics_collected(self):
+        engine = MapReduceEngine()
+        engine.run(word_count_job(), [(0, "a b a"), (1, "b c")])
+        statistics = engine.last_statistics
+        assert statistics.map_input_pairs == 2
+        assert statistics.map_output_pairs == 5
+        assert statistics.shuffle.distinct_keys == 3
+        assert statistics.reduce_output_pairs == 3
+
+    def test_reduce_sees_all_values_for_a_key(self):
+        seen = {}
+
+        def map_fn(key, value):
+            yield (value % 2, value)
+
+        def reduce_fn(key, values):
+            seen[key] = sorted(values)
+            return []
+
+        MapReduceEngine().run(MapReduceJob(map_fn, reduce_fn), [(i, i) for i in range(6)])
+        assert seen == {0: [0, 2, 4], 1: [1, 3, 5]}
+
+    def test_map_may_emit_nothing(self):
+        job = MapReduceJob(lambda k, v: [], lambda k, values: [(k, values)])
+        assert MapReduceEngine().run(job, [(1, "x")]) == []
+
+    def test_unknown_job_type_rejected(self):
+        with pytest.raises(MapReduceError):
+            MapReduceEngine().run(object(), [])
+
+
+class TestMapReduceReduce:
+    def test_two_pass_aggregation(self):
+        # First pass: partial sums per (partition, word); second: global sums.
+        def map_fn(_key, line):
+            for index, word in enumerate(line.split()):
+                yield ((index % 2, word), 1)
+
+        def reduce1_fn(key, counts):
+            _partition, word = key
+            yield (word, sum(counts))
+
+        def reduce2_fn(word, partial_sums):
+            yield (word, sum(partial_sums))
+
+        job = MapReduceReduceJob(map_fn, reduce1_fn, reduce2_fn)
+        output = MapReduceEngine().run(job, [(0, "a b a b"), (1, "a")])
+        counts = {pair.key: pair.value for pair in output}
+        assert counts == {"a": 3, "b": 2}
+
+    def test_second_pass_statistics(self):
+        job = MapReduceReduceJob(
+            lambda k, v: [(k, v)],
+            lambda k, values: [(k, sum(values))],
+            lambda k, values: [(k, sum(values))],
+        )
+        engine = MapReduceEngine()
+        engine.run(job, [(0, 1), (0, 2), (1, 3)])
+        assert engine.last_statistics.second_reduce_output_pairs == 2
+
+
+class TestIterativeMapReduce:
+    def test_iteration_feeds_output_forward(self):
+        # Each iteration increments every value by one.
+        def job_factory(_iteration):
+            return MapReduceJob(
+                lambda k, v: [(k, v + 1)],
+                lambda k, values: [(k, value) for value in values],
+            )
+
+        runner = IterativeMapReduce()
+        output = runner.run(job_factory, [(0, 0), (1, 10)], iterations=5)
+        values = {pair.key: pair.value for pair in output}
+        assert values == {0: 5, 1: 15}
+        assert len(runner.iteration_statistics) == 5
+
+    def test_zero_iterations(self):
+        runner = IterativeMapReduce()
+        output = runner.run(lambda i: word_count_job(), [(0, "a")], iterations=0)
+        assert [pair.as_tuple() for pair in output] == [(0, "a")]

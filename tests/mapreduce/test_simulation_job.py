@@ -1,0 +1,90 @@
+"""The Appendix A MapReduce jobs must agree with the sequential engine."""
+
+import pytest
+
+from repro.core.engine import SequentialEngine
+from repro.core.errors import MapReduceError
+from repro.mapreduce.simulation_job import (
+    LocalEffectSimulationJob,
+    NonLocalEffectSimulationJob,
+)
+from repro.spatial.partitioning import GridPartitioning, StripPartitioning
+
+from tests.conftest import Boid, NonLocalBoid, SpawningAgent, make_boid_world
+
+
+def run_sequential(agent_class, seed, ticks):
+    world = make_boid_world(num_agents=40, seed=seed, agent_class=agent_class)
+    SequentialEngine(world).run(ticks)
+    return world
+
+
+class TestLocalEffectJob:
+    @pytest.mark.parametrize("num_strips", [1, 2, 4])
+    def test_matches_sequential(self, num_strips):
+        reference = run_sequential(Boid, seed=6, ticks=4)
+        world = make_boid_world(num_agents=40, seed=6, agent_class=Boid)
+        partitioning = StripPartitioning.uniform(world.bounds, 0, num_strips)
+        job = LocalEffectSimulationJob(partitioning, seed=world.seed)
+        finals = job.run(world.agents(), ticks=4)
+        assert len(finals) == reference.agent_count()
+        for agent in finals:
+            assert agent.same_state_as(reference.get_agent(agent.agent_id), tolerance=1e-9)
+
+    def test_grid_partitioning_also_works(self):
+        reference = run_sequential(Boid, seed=2, ticks=3)
+        world = make_boid_world(num_agents=40, seed=2, agent_class=Boid)
+        partitioning = GridPartitioning(world.bounds, [2, 2])
+        job = LocalEffectSimulationJob(partitioning, seed=world.seed)
+        finals = job.run(world.agents(), ticks=3)
+        for agent in finals:
+            assert agent.same_state_as(reference.get_agent(agent.agent_id), tolerance=1e-9)
+
+    def test_zero_ticks_returns_clones(self):
+        world = make_boid_world(num_agents=5, seed=1)
+        partitioning = StripPartitioning.uniform(world.bounds, 0, 2)
+        job = LocalEffectSimulationJob(partitioning, seed=0)
+        finals = job.run(world.agents(), ticks=0)
+        assert len(finals) == 5
+        assert all(
+            final.same_state_as(world.get_agent(final.agent_id)) for final in finals
+        )
+        assert all(final is not world.get_agent(final.agent_id) for final in finals)
+
+    def test_input_agents_not_mutated(self):
+        world = make_boid_world(num_agents=10, seed=3)
+        before = {agent.agent_id: agent.position() for agent in world.agents()}
+        partitioning = StripPartitioning.uniform(world.bounds, 0, 2)
+        LocalEffectSimulationJob(partitioning, seed=world.seed).run(world.agents(), ticks=3)
+        for agent in world.agents():
+            assert agent.position() == before[agent.agent_id]
+
+    def test_dynamic_population_rejected(self):
+        world = make_boid_world(num_agents=10, seed=3, agent_class=SpawningAgent, size=10.0)
+        partitioning = StripPartitioning.uniform(world.bounds, 0, 2)
+        job = LocalEffectSimulationJob(partitioning, seed=world.seed)
+        with pytest.raises(MapReduceError):
+            job.run(world.agents(), ticks=6)
+
+
+class TestNonLocalEffectJob:
+    @pytest.mark.parametrize("num_strips", [1, 3, 5])
+    def test_matches_sequential(self, num_strips):
+        reference = run_sequential(NonLocalBoid, seed=11, ticks=4)
+        world = make_boid_world(num_agents=40, seed=11, agent_class=NonLocalBoid)
+        partitioning = StripPartitioning.uniform(world.bounds, 0, num_strips)
+        job = NonLocalEffectSimulationJob(partitioning, seed=world.seed)
+        finals = job.run(world.agents(), ticks=4)
+        assert len(finals) == reference.agent_count()
+        for agent in finals:
+            assert agent.same_state_as(reference.get_agent(agent.agent_id), tolerance=1e-9)
+
+    def test_local_model_also_correct_under_two_pass_job(self):
+        """A local-effects model must be unaffected by the extra reduce pass."""
+        reference = run_sequential(Boid, seed=4, ticks=3)
+        world = make_boid_world(num_agents=40, seed=4, agent_class=Boid)
+        partitioning = StripPartitioning.uniform(world.bounds, 0, 3)
+        job = NonLocalEffectSimulationJob(partitioning, seed=world.seed)
+        finals = job.run(world.agents(), ticks=3)
+        for agent in finals:
+            assert agent.same_state_as(reference.get_agent(agent.agent_id), tolerance=1e-9)

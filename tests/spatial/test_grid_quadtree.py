@@ -1,0 +1,93 @@
+"""Tests for the uniform grid and quadtree indexes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.bbox import BBox
+from repro.spatial.grid import UniformGrid
+from repro.spatial.quadtree import QuadTree
+
+coordinate = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+points_strategy = st.lists(st.tuples(coordinate, coordinate), min_size=0, max_size=50)
+
+
+class TestUniformGrid:
+    def test_empty(self):
+        grid = UniformGrid([], cell_size=1.0)
+        assert len(grid) == 0
+        assert grid.radius_query((0, 0), 5) == []
+
+    def test_range_query(self):
+        grid = UniformGrid([(0, 0), (5, 5), (9, 9)], cell_size=2.0)
+        assert sorted(grid.range_query(BBox(((0, 6), (0, 6))))) == [(0, 0), (5, 5)]
+
+    def test_radius_query(self):
+        grid = UniformGrid([(0, 0), (3, 4), (10, 10)], cell_size=3.0)
+        assert sorted(grid.radius_query((0, 0), 5.0)) == [(0, 0), (3, 4)]
+
+    def test_negative_coordinates(self):
+        grid = UniformGrid([(-5, -5), (5, 5)], cell_size=2.0)
+        assert grid.range_query(BBox(((-6, 0), (-6, 0)))) == [(-5, -5)]
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            UniformGrid([(0, 0)], cell_size=0.0)
+
+    def test_per_dimension_cell_size(self):
+        grid = UniformGrid([(0, 0), (4, 1)], cell_size=[4.0, 1.0])
+        assert grid.cell_size == (4.0, 1.0)
+        assert len(grid.range_query(BBox(((0, 4), (0, 1))))) == 2
+
+    def test_occupied_cells(self):
+        grid = UniformGrid([(0, 0), (0.5, 0.5), (10, 10)], cell_size=2.0)
+        assert grid.occupied_cells() == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, st.tuples(coordinate, coordinate), st.floats(min_value=0.01, max_value=30))
+    def test_matches_brute_force(self, points, center, radius):
+        grid = UniformGrid(points, cell_size=5.0)
+        box = BBox.around(center, radius)
+        expected = [point for point in points if box.contains_point(point)]
+        assert sorted(grid.range_query(box)) == sorted(expected)
+
+
+class TestQuadTree:
+    def test_empty(self):
+        tree = QuadTree([])
+        assert len(tree) == 0
+        assert tree.range_query(BBox(((0, 1), (0, 1)))) == []
+
+    def test_range_query(self):
+        tree = QuadTree([(0, 0), (5, 5), (9, 9)])
+        assert sorted(tree.range_query(BBox(((0, 6), (0, 6))))) == [(0, 0), (5, 5)]
+
+    def test_radius_query(self):
+        tree = QuadTree([(0, 0), (3, 4), (10, 10)])
+        assert sorted(tree.radius_query((0, 0), 5.0)) == [(0, 0), (3, 4)]
+
+    def test_splitting_beyond_capacity(self):
+        points = [(float(i % 10), float(i // 10)) for i in range(100)]
+        tree = QuadTree(points, capacity=4)
+        assert tree.depth() > 0
+        assert sorted(tree.range_query(BBox(((0, 9), (0, 9))))) == sorted(points)
+
+    def test_duplicate_points_respect_max_depth(self):
+        tree = QuadTree([(1.0, 1.0)] * 50, capacity=2, max_depth=5)
+        assert len(tree.range_query(BBox(((0, 2), (0, 2))))) == 50
+        assert tree.depth() <= 5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            QuadTree([(0, 0)], capacity=0)
+
+    def test_rejects_point_outside_given_bounds(self):
+        with pytest.raises(ValueError):
+            QuadTree([(10, 10)], bounds=BBox(((0, 1), (0, 1))))
+
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, st.tuples(coordinate, coordinate), st.floats(min_value=0.01, max_value=30))
+    def test_matches_brute_force(self, points, center, radius):
+        tree = QuadTree(points)
+        box = BBox.around(center, radius)
+        expected = [point for point in points if box.contains_point(point)]
+        assert sorted(tree.range_query(box)) == sorted(expected)

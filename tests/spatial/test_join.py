@@ -1,0 +1,85 @@
+"""Tests for the spatial self-join algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.bbox import BBox
+from repro.spatial.join import (
+    available_indexes,
+    build_index,
+    index_self_join,
+    neighbor_lists,
+    nested_loop_self_join,
+)
+
+coordinate = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+points_strategy = st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=30)
+
+
+def identity_key(point):
+    return point
+
+
+def fixed_box(point):
+    return BBox.around(point, 5.0)
+
+
+class TestSelfJoins:
+    def test_available_indexes(self):
+        assert set(available_indexes()) == {"kdtree", "grid", "quadtree"}
+
+    def test_build_index_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            build_index([(0, 0)], identity_key, index="rtree")
+
+    def test_nested_loop_includes_self_when_in_box(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (100.0, 100.0)]
+        joined = nested_loop_self_join(points, identity_key, fixed_box)
+        assert sorted(joined[0]) == [(0.0, 0.0), (1.0, 1.0)]
+        assert joined[2] == [(100.0, 100.0)]
+
+    @pytest.mark.parametrize("index", ["kdtree", "grid", "quadtree"])
+    def test_index_join_matches_nested_loop(self, index):
+        rng = np.random.default_rng(0)
+        points = [tuple(map(float, rng.uniform(-20, 20, size=2))) for _ in range(80)]
+        expected = nested_loop_self_join(points, identity_key, fixed_box)
+        actual = index_self_join(points, identity_key, fixed_box, index=index, cell_size=5.0)
+        for probe_index in range(len(points)):
+            assert sorted(actual[probe_index]) == sorted(expected[probe_index])
+
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy)
+    def test_property_index_join_matches_nested_loop(self, points):
+        expected = nested_loop_self_join(points, identity_key, fixed_box)
+        actual = index_self_join(points, identity_key, fixed_box, index="kdtree")
+        for probe_index in range(len(points)):
+            assert sorted(map(repr, actual[probe_index])) == sorted(map(repr, expected[probe_index]))
+
+
+class TestNeighborLists:
+    def test_excludes_self_by_default(self):
+        points = [(0.0, 0.0), (1.0, 0.0)]
+        lists = neighbor_lists(points, identity_key, radius=2.0)
+        assert lists[0] == [(1.0, 0.0)]
+        assert lists[1] == [(0.0, 0.0)]
+
+    def test_include_self(self):
+        points = [(0.0, 0.0)]
+        lists = neighbor_lists(points, identity_key, radius=1.0, include_self=True)
+        assert lists[0] == [(0.0, 0.0)]
+
+    def test_radius_is_euclidean(self):
+        points = [(0.0, 0.0), (3.0, 4.0), (4.0, 4.0)]
+        lists = neighbor_lists(points, identity_key, radius=5.0)
+        assert (3.0, 4.0) in lists[0]
+        assert (4.0, 4.0) not in lists[0]
+
+    @pytest.mark.parametrize("index", [None, "kdtree", "grid", "quadtree"])
+    def test_all_strategies_agree(self, index):
+        rng = np.random.default_rng(1)
+        points = [tuple(map(float, rng.uniform(-10, 10, size=2))) for _ in range(50)]
+        reference = neighbor_lists(points, identity_key, radius=4.0, index=None)
+        candidate = neighbor_lists(points, identity_key, radius=4.0, index=index)
+        for probe_index in range(len(points)):
+            assert sorted(candidate[probe_index]) == sorted(reference[probe_index])

@@ -1,0 +1,105 @@
+"""Tests for grid and strip spatial partitionings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PartitioningError
+from repro.spatial.bbox import BBox
+from repro.spatial.partitioning import GridPartitioning, StripPartitioning
+
+BOUNDS = BBox(((0.0, 100.0), (0.0, 100.0)))
+coordinate = st.floats(min_value=0, max_value=100, allow_nan=False)
+
+
+class TestGridPartitioning:
+    def test_number_of_partitions(self):
+        grid = GridPartitioning(BOUNDS, [4, 3])
+        assert grid.num_partitions() == 12
+        assert len(grid.partitions()) == 12
+
+    def test_owned_regions_tile_the_bounds(self):
+        grid = GridPartitioning(BOUNDS, [2, 2])
+        total_volume = sum(part.owned_region.volume() for part in grid.partitions())
+        assert total_volume == pytest.approx(BOUNDS.volume())
+
+    def test_partition_of_center_points(self):
+        grid = GridPartitioning(BOUNDS, [2, 2])
+        for part in grid.partitions():
+            assert grid.partition_of(part.owned_region.center()) == part.partition_id
+
+    def test_clamps_out_of_bounds_points(self):
+        grid = GridPartitioning(BOUNDS, [2, 2])
+        assert grid.partition_of((-5.0, -5.0)) == grid.partition_of((0.0, 0.0))
+        assert grid.partition_of((500.0, 500.0)) == grid.partition_of((99.9, 99.9))
+
+    def test_replication_targets_cover_visible_region(self):
+        grid = GridPartitioning(BOUNDS, [4, 1])
+        targets = grid.replication_targets((26.0, 50.0), 2.0)
+        # The point at x=26 with visibility 2 touches only the [25, 50) cell
+        # and the [0, 25) cell (owned region expanded by 2 reaches 27 > 25).
+        assert grid.partition_of((26.0, 50.0)) in targets
+        assert grid.partition_of((24.0, 50.0)) in targets
+        assert grid.partition_of((60.0, 50.0)) not in targets
+
+    def test_invalid_configuration(self):
+        with pytest.raises(PartitioningError):
+            GridPartitioning(BOUNDS, [0, 2])
+        with pytest.raises(PartitioningError):
+            GridPartitioning(BOUNDS, [2])
+        with pytest.raises(PartitioningError):
+            GridPartitioning(BOUNDS, [2, 2]).partition(99)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coordinate, coordinate)
+    def test_every_point_owned_by_its_partition(self, x, y):
+        grid = GridPartitioning(BOUNDS, [5, 4])
+        part = grid.partition(grid.partition_of((x, y)))
+        assert part.owned_region.contains_point((x, y))
+
+
+class TestStripPartitioning:
+    def test_uniform_strips(self):
+        strips = StripPartitioning.uniform(BOUNDS, axis=0, num_strips=4)
+        assert strips.num_partitions() == 4
+        assert strips.boundaries == [25.0, 50.0, 75.0]
+
+    def test_partition_of_uses_boundaries(self):
+        strips = StripPartitioning(BOUNDS, axis=0, boundaries=[10.0, 60.0])
+        assert strips.partition_of((5.0, 0.0)) == 0
+        assert strips.partition_of((30.0, 0.0)) == 1
+        assert strips.partition_of((90.0, 0.0)) == 2
+
+    def test_with_boundaries_rebuilds(self):
+        strips = StripPartitioning.uniform(BOUNDS, axis=0, num_strips=3)
+        rebalanced = strips.with_boundaries([10.0, 20.0])
+        assert rebalanced.partition_of((15.0, 0.0)) == 1
+        assert strips.partition_of((15.0, 0.0)) == 0  # the original is unchanged
+
+    def test_axis_one(self):
+        strips = StripPartitioning.uniform(BOUNDS, axis=1, num_strips=2)
+        assert strips.partition_of((0.0, 10.0)) == 0
+        assert strips.partition_of((0.0, 90.0)) == 1
+
+    def test_invalid_configurations(self):
+        with pytest.raises(PartitioningError):
+            StripPartitioning(BOUNDS, axis=2, boundaries=[])
+        with pytest.raises(PartitioningError):
+            StripPartitioning(BOUNDS, axis=0, boundaries=[60.0, 50.0])
+        with pytest.raises(PartitioningError):
+            StripPartitioning(BOUNDS, axis=0, boundaries=[150.0])
+        with pytest.raises(PartitioningError):
+            StripPartitioning.uniform(BOUNDS, axis=0, num_strips=0)
+
+    def test_visible_region_expansion(self):
+        strips = StripPartitioning.uniform(BOUNDS, axis=0, num_strips=4)
+        part = strips.partition(1)
+        visible = part.visible_region([5.0, 5.0])
+        assert visible.contains_point((22.0, 50.0))
+        assert not part.owned_region.contains_point((22.0, 50.0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(coordinate, coordinate, st.floats(min_value=0.1, max_value=20))
+    def test_replication_targets_include_owner(self, x, y, radius):
+        strips = StripPartitioning.uniform(BOUNDS, axis=0, num_strips=6)
+        targets = strips.replication_targets((x, y), [radius, radius])
+        assert strips.partition_of((x, y)) in targets

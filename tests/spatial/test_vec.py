@@ -1,0 +1,129 @@
+"""Tests for the fixed-dimension vectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.vec import Vec2, Vec3
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, allow_subnormal=False
+)
+
+
+class TestVec2Arithmetic:
+    def test_addition(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_subtraction(self):
+        assert Vec2(5, 7) - Vec2(2, 3) == Vec2(3, 4)
+
+    def test_scalar_multiplication(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+
+    def test_division(self):
+        assert Vec2(4, 8) / 2 == Vec2(2, 4)
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_indexing_and_iteration(self):
+        vector = Vec2(3, 4)
+        assert vector[0] == 3 and vector[1] == 4
+        assert list(vector) == [3, 4]
+        assert len(vector) == 2
+        with pytest.raises(IndexError):
+            vector[2]
+
+
+class TestVec2Geometry:
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+        assert Vec2(3, 4).norm_sq() == pytest.approx(25.0)
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == pytest.approx(5.0)
+        assert Vec2(0, 0).distance_sq_to(Vec2(3, 4)) == pytest.approx(25.0)
+
+    def test_dot_and_cross(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == 11
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1
+
+    def test_normalized(self):
+        unit = Vec2(3, 4).normalized()
+        assert unit.norm() == pytest.approx(1.0)
+        assert Vec2(0, 0).normalized() == Vec2(0, 0)
+
+    def test_rotation(self):
+        rotated = Vec2(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_from_angle(self):
+        vector = Vec2.from_angle(math.pi, 2.0)
+        assert vector.x == pytest.approx(-2.0)
+        assert vector.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_clamped(self):
+        assert Vec2(10, 0).clamped(3).norm() == pytest.approx(3.0)
+        assert Vec2(1, 0).clamped(3) == Vec2(1, 0)
+
+    def test_angle(self):
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+
+    def test_as_tuple_and_zero(self):
+        assert Vec2(1, 2).as_tuple() == (1, 2)
+        assert Vec2.zero() == Vec2(0, 0)
+
+
+class TestVec2Properties:
+    @given(finite, finite, finite, finite)
+    def test_addition_commutes(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert (a + b) == (b + a)
+
+    @given(finite, finite)
+    def test_normalized_has_unit_norm_or_zero(self, x, y):
+        vector = Vec2(x, y)
+        normalized = vector.normalized()
+        if vector.norm() == 0:
+            assert normalized == Vec2(0, 0)
+        else:
+            assert normalized.norm() == pytest.approx(1.0, rel=1e-9)
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+
+class TestVec3:
+    def test_arithmetic(self):
+        assert Vec3(1, 2, 3) + Vec3(4, 5, 6) == Vec3(5, 7, 9)
+        assert Vec3(4, 5, 6) - Vec3(1, 2, 3) == Vec3(3, 3, 3)
+        assert Vec3(1, 2, 3) * 2 == Vec3(2, 4, 6)
+        assert Vec3(2, 4, 6) / 2 == Vec3(1, 2, 3)
+        assert -Vec3(1, -2, 3) == Vec3(-1, 2, -3)
+
+    def test_norm_and_distance(self):
+        assert Vec3(1, 2, 2).norm() == pytest.approx(3.0)
+        assert Vec3(0, 0, 0).distance_to(Vec3(1, 2, 2)) == pytest.approx(3.0)
+
+    def test_cross_product(self):
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+
+    def test_dot_product(self):
+        assert Vec3(1, 2, 3).dot(Vec3(4, 5, 6)) == 32
+
+    def test_normalized(self):
+        assert Vec3(0, 3, 4).normalized().norm() == pytest.approx(1.0)
+        assert Vec3.zero().normalized() == Vec3(0, 0, 0)
+
+    def test_indexing(self):
+        vector = Vec3(1, 2, 3)
+        assert [vector[i] for i in range(3)] == [1, 2, 3]
+        assert len(vector) == 3
+        with pytest.raises(IndexError):
+            vector[3]

@@ -1,0 +1,62 @@
+"""Tests for RMSPE/MAPE and series summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.rmspe import mape, rmspe
+from repro.stats.summary import scaling_efficiency, summarize
+
+
+class TestRmspe:
+    def test_identical_series_have_zero_error(self):
+        assert rmspe([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # 10% relative error everywhere -> RMSPE and MAPE are 10%.
+        assert rmspe([1.1, 2.2], [1.0, 2.0]) == pytest.approx(0.1)
+        assert mape([1.1, 2.2], [1.0, 2.0]) == pytest.approx(0.1)
+
+    def test_zero_reference_values_skipped(self):
+        assert rmspe([1.0, 5.0], [0.0, 5.0]) == 0.0
+        assert rmspe([0.0, 0.0], [0.0, 0.0]) == 0.0
+        assert rmspe([1.0], [0.0]) == float("inf")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmspe([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mape([1.0], [1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_rmspe_nonnegative_and_zero_on_self(self, values):
+        assert rmspe(values, values) == pytest.approx(0.0)
+
+
+class TestSummary:
+    def test_summarize_known_series(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(1.1180, rel=1e-3)
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_scaling_efficiency_linear_curve(self):
+        workers = [1, 2, 4]
+        throughputs = [100.0, 200.0, 400.0]
+        assert scaling_efficiency(throughputs, workers) == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_scaling_efficiency_sublinear_curve(self):
+        efficiencies = scaling_efficiency([100.0, 150.0], [1, 2])
+        assert efficiencies[1] == pytest.approx(0.75)
+
+    def test_scaling_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            scaling_efficiency([1.0], [1, 2])
+        assert scaling_efficiency([], []) == []
