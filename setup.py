@@ -1,10 +1,35 @@
-"""Setuptools shim.
+"""Package metadata for the BRACE/BRASIL reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so the package can be installed in environments without the ``wheel``
-package (legacy editable installs via ``pip install -e . --no-use-pep517``).
+A plain ``setup.py`` (src layout, setuptools) so ``pip install -e .`` works
+everywhere, including environments without PEP 517 build isolation.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="brace-repro",
+    version="1.0.0",
+    description=(
+        "From-scratch Python reproduction of 'Behavioral Simulations in "
+        "MapReduce' (Wang et al., PVLDB 2010): the BRACE runtime, the BRASIL "
+        "language, and the paper's experiments"
+    ),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="brace-repro contributors",
+    license="MIT",
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

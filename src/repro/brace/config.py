@@ -27,6 +27,15 @@ class BraceConfig:
     grid_cells: Sequence[int] | None = None  # for "grid": cells per dimension
     load_balance_axis: int = 0
 
+    # Execution backend ---------------------------------------------------
+    #: How worker phases actually execute: "serial" (inline, the default),
+    #: "thread" (a shared thread pool) or "process" (a process pool; worker
+    #: payloads are pickled, so agent classes must be importable by name).
+    executor: str = "serial"
+    #: Parallel task slots for the thread/process executors.  ``None`` uses
+    #: ``min(num_workers, cpu count)``.
+    max_workers: int | None = None
+
     # Iteration structure ------------------------------------------------
     ticks_per_epoch: int = 10
     non_local_effects: bool = False  # run the second reduce pass
@@ -80,6 +89,13 @@ class BraceConfig:
                     "the product of grid_cells must equal num_workers "
                     f"({total} != {self.num_workers})"
                 )
+        if self.executor not in ("serial", "thread", "process"):
+            raise BraceError(
+                f"unknown executor {self.executor!r}; "
+                "expected 'serial', 'thread' or 'process'"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise BraceError("max_workers must be at least 1 (or None for automatic)")
         if self.index not in (None, "kdtree", "grid", "quadtree"):
             raise BraceError(f"unknown spatial index {self.index!r}")
         if self.load_balance_threshold < 1.0:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.mapreduce.executor import wall_clock_imbalance
+
 
 @dataclass
 class BraceTickStatistics:
@@ -26,6 +28,12 @@ class BraceTickStatistics:
     num_passes: int
     spawned: int = 0
     killed: int = 0
+    #: Executor backend that ran the worker phases ("serial", "thread", "process").
+    executor: str = "serial"
+    #: Wall-clock seconds each worker's query phase took, indexed by worker id.
+    query_seconds_per_worker: list[float] = field(default_factory=list)
+    #: Wall-clock seconds each worker's update phase took, indexed by worker id.
+    update_seconds_per_worker: list[float] = field(default_factory=list)
 
     @property
     def agent_ticks(self) -> int:
@@ -38,6 +46,21 @@ class BraceTickStatistics:
         if self.min_worker_agents <= 0:
             return float("inf") if self.max_worker_agents > 0 else 1.0
         return self.max_worker_agents / self.min_worker_agents
+
+    @property
+    def query_wall_imbalance(self) -> float:
+        """Max-over-mean wall-clock ratio across the workers' query phases.
+
+        The observable form of load imbalance: 1.0 means every partition's
+        query phase took equally long; large values mean stragglers dominate
+        the tick (the condition the Figure 7/8 load balancer reacts to).
+        """
+        return wall_clock_imbalance(self.query_seconds_per_worker)
+
+    @property
+    def update_wall_imbalance(self) -> float:
+        """Max-over-mean wall-clock ratio across the workers' update phases."""
+        return wall_clock_imbalance(self.update_seconds_per_worker)
 
 
 @dataclass
@@ -119,3 +142,10 @@ class BraceRunMetrics:
     def total_bytes_over_network(self) -> int:
         """Replication + effect + migration bytes that crossed node boundaries."""
         return sum(t.bytes_replicated + t.bytes_effects + t.bytes_migrated for t in self.ticks)
+
+    def mean_query_wall_imbalance(self, skip_ticks: int = 0) -> float:
+        """Average per-tick query-phase wall-clock imbalance (load-skew indicator)."""
+        ticks = self.ticks[skip_ticks:]
+        if not ticks:
+            return 1.0
+        return sum(t.query_wall_imbalance for t in ticks) / len(ticks)

@@ -29,6 +29,8 @@ restores after an injected failure.
 
 from __future__ import annotations
 
+import functools
+import os
 import time
 from typing import Any
 
@@ -37,7 +39,7 @@ from repro.brace.config import BraceConfig
 from repro.brace.master import Master, WorkerReport
 from repro.brace.metrics import BraceRunMetrics, BraceTickStatistics, EpochStatistics
 from repro.brace.replication import replication_targets
-from repro.brace.worker import Worker
+from repro.brace.worker import Worker, run_query_phase_remote, run_update_phase_remote
 from repro.cluster.costmodel import ClusterCostModel, WorkerTickCost
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import SimulatedNode
@@ -45,6 +47,7 @@ from repro.core.context import UpdateContext
 from repro.core.engine import apply_births_and_deaths
 from repro.core.errors import BraceError
 from repro.core.world import World
+from repro.mapreduce.executor import make_executor
 from repro.spatial.partitioning import StripPartitioning
 
 
@@ -78,6 +81,12 @@ class BraceRuntime:
             network=network, nodes=nodes, barrier_seconds=self.config.barrier_seconds
         )
         self.metrics = BraceRunMetrics()
+
+        max_workers = self.config.max_workers
+        if max_workers is None:
+            max_workers = max(1, min(self.config.num_workers, os.cpu_count() or 1))
+        #: Execution backend running the per-worker query and update phases.
+        self.executor = make_executor(self.config.executor, max_workers)
 
         self._owner_of: dict[Any, int] = {}
         self._assign_initial_ownership()
@@ -169,15 +178,10 @@ class BraceRuntime:
 
         # ------------------------------------------------------------------
         # Reduce 1: query phase over owned agents (with replicas visible).
+        # One task per worker, dispatched through the configured executor.
         # ------------------------------------------------------------------
+        query_seconds = self._run_query_phases(tick)
         for worker in self.workers:
-            worker.run_query_phase(
-                tick=tick,
-                seed=self.seed,
-                index=config.index,
-                cell_size=config.cell_size,
-                check_visibility=config.check_visibility,
-            )
             worker_costs[worker.worker_id].work_units += worker.last_query_work_units
 
         # ------------------------------------------------------------------
@@ -211,10 +215,9 @@ class BraceRuntime:
         # Update phase (the next tick's map task, executed at the boundary).
         # ------------------------------------------------------------------
         merged_updates = UpdateContext(tick=tick, seed=self.seed, world_bounds=world.bounds)
+        update_seconds = self._run_update_phases(tick, merged_updates)
         for worker in self.workers:
             cost = worker_costs[worker.worker_id]
-            context = worker.run_update_phase(tick=tick, seed=self.seed, world_bounds=world.bounds)
-            merged_updates.merge(context)
             cost.work_units += config.update_work_units_per_agent * worker.owned_count()
             cost.agents_owned = worker.owned_count()
 
@@ -255,6 +258,9 @@ class BraceRuntime:
             num_passes=num_passes,
             spawned=len(spawned_agents),
             killed=len(killed_ids),
+            executor=self.executor.name,
+            query_seconds_per_worker=query_seconds,
+            update_seconds_per_worker=update_seconds,
         )
         self.metrics.add_tick(stats)
 
@@ -271,6 +277,101 @@ class BraceRuntime:
         for _ in range(ticks):
             self.run_tick()
         return self.metrics
+
+    # ------------------------------------------------------------------
+    # Phase dispatch through the executor
+    # ------------------------------------------------------------------
+    def _run_query_phases(self, tick: int) -> list[float]:
+        """Run every worker's query phase; return per-worker wall seconds.
+
+        With a memory-sharing backend (serial, thread) each task runs the
+        phase in place on the worker's own agents.  With the process backend
+        the worker's owned agents and replicas are shipped to a pool process
+        and only the computed effects come back — the driver merges them into
+        its copies, so the observable state is identical either way.
+        """
+        config = self.config
+        if self.executor.shares_memory:
+            tasks = [
+                functools.partial(
+                    worker.run_query_phase,
+                    tick=tick,
+                    seed=self.seed,
+                    index=config.index,
+                    cell_size=config.cell_size,
+                    check_visibility=config.check_visibility,
+                )
+                for worker in self.workers
+            ]
+            results = self.executor.run_tasks(tasks)
+        else:
+            tasks = [
+                functools.partial(
+                    run_query_phase_remote,
+                    worker.worker_id,
+                    worker.owned_agents(),
+                    worker.replica_agents(),
+                    tick,
+                    self.seed,
+                    config.index,
+                    config.cell_size,
+                    config.check_visibility,
+                )
+                for worker in self.workers
+            ]
+            results = self.executor.run_tasks(tasks)
+            for result in results:
+                self.workers[result.value.worker_id].apply_query_result(result.value)
+        return [result.wall_seconds for result in results]
+
+    def _run_update_phases(self, tick: int, merged_updates: UpdateContext) -> list[float]:
+        """Run every worker's update phase; return per-worker wall seconds.
+
+        Births and deaths are merged into ``merged_updates`` in worker-id
+        order (results come back in submission order), so the global
+        application at the tick boundary stays deterministic on every
+        backend.
+        """
+        if self.executor.shares_memory:
+            tasks = [
+                functools.partial(
+                    worker.run_update_phase,
+                    tick=tick,
+                    seed=self.seed,
+                    world_bounds=self.world.bounds,
+                )
+                for worker in self.workers
+            ]
+            results = self.executor.run_tasks(tasks)
+            for result in results:
+                merged_updates.merge(result.value)
+        else:
+            tasks = [
+                functools.partial(
+                    run_update_phase_remote,
+                    worker.worker_id,
+                    worker.owned_agents(),
+                    tick,
+                    self.seed,
+                    self.world.bounds,
+                )
+                for worker in self.workers
+            ]
+            results = self.executor.run_tasks(tasks)
+            for result in results:
+                context = self.workers[result.value.worker_id].apply_update_result(result.value)
+                merged_updates.merge(context)
+        return [result.wall_seconds for result in results]
+
+    def close(self) -> None:
+        """Release pooled executor workers (no-op for the serial backend)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "BraceRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @staticmethod
     def _charge_transfers(

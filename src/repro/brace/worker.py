@@ -13,13 +13,116 @@ partials do.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.agent import Agent
 from repro.core.context import QueryContext, UpdateContext
 from repro.core.errors import BraceError
 from repro.core.phase import Phase, phase
+from repro.spatial.bbox import BBox
 from repro.spatial.partitioning import Partition
+
+
+@dataclass
+class QueryPhaseResult:
+    """What a remotely executed query phase sends back to the driver.
+
+    Effects are plain dictionaries (not agent objects) so only the tick's
+    actual output crosses the process boundary, mirroring what a real BRACE
+    worker would put on the wire.
+    """
+
+    worker_id: int
+    #: ``agent_id -> (effect accumulators, touched field names)`` for owned agents.
+    owned_effects: dict[Any, tuple[dict[str, Any], set[str]]]
+    #: ``agent_id -> touched accumulators`` for replicas (non-local partials).
+    replica_partials: dict[Any, dict[str, Any]]
+    work_units: float
+    index_probes: int
+
+
+@dataclass
+class UpdatePhaseResult:
+    """What a remotely executed update phase sends back to the driver."""
+
+    worker_id: int
+    #: ``agent_id -> new state values`` for owned agents.
+    states: dict[Any, dict[str, Any]]
+    #: ``(parent_id, sequence, child agent)`` spawn requests, in request order.
+    spawn_requests: list[tuple[Any, int, Any]] = field(default_factory=list)
+    #: Ids of agents whose removal was requested.
+    kill_requests: set[Any] = field(default_factory=set)
+
+
+def run_query_phase_remote(
+    worker_id: int,
+    owned: list[Agent],
+    replicas: list[Agent],
+    tick: int,
+    seed: int,
+    index: str | None,
+    cell_size: float | None,
+    check_visibility: bool,
+) -> QueryPhaseResult:
+    """Execute one worker's query phase on pickled agent copies.
+
+    Module-level (picklable) so the process executor can ship it.  The agent
+    lists must be sorted the way :meth:`Worker.run_query_phase` sorts them so
+    the spatial index — and therefore every neighbor enumeration — is built
+    identically, keeping the results bit-identical to in-place execution.
+    """
+    agents = owned + replicas
+    context = QueryContext(
+        agents,
+        tick=tick,
+        seed=seed,
+        index=index,
+        cell_size=cell_size,
+        check_visibility=check_visibility,
+    )
+    with phase(Phase.QUERY):
+        for agent in owned:
+            agent.query(context)
+    replica_partials = {}
+    for replica in replicas:
+        touched = replica.touched_effect_partials()
+        if touched:
+            replica_partials[replica.agent_id] = touched
+    return QueryPhaseResult(
+        worker_id=worker_id,
+        owned_effects={
+            agent.agent_id: (agent.effect_partials(), set(agent._effects_touched))
+            for agent in owned
+        },
+        replica_partials=replica_partials,
+        work_units=context.work_units,
+        index_probes=context.index_probes,
+    )
+
+
+def run_update_phase_remote(
+    worker_id: int,
+    owned: list[Agent],
+    tick: int,
+    seed: int,
+    world_bounds: BBox | None,
+) -> UpdatePhaseResult:
+    """Execute one worker's update phase on pickled agent copies."""
+    context = UpdateContext(tick=tick, seed=seed, world_bounds=world_bounds)
+    with phase(Phase.UPDATE):
+        for agent in owned:
+            agent._updating = True
+            try:
+                agent.update(context)
+            finally:
+                agent._updating = False
+    return UpdatePhaseResult(
+        worker_id=worker_id,
+        states={agent.agent_id: agent.state_dict() for agent in owned},
+        spawn_requests=context.spawn_requests,
+        kill_requests=context.kill_requests,
+    )
 
 
 class Worker:
@@ -122,6 +225,32 @@ class Worker:
                 f"worker {self.worker_id} received partials for agent {agent_id} it does not own"
             )
         self.owned[agent_id].merge_effect_partials(partials)
+
+    def apply_query_result(self, result: QueryPhaseResult) -> None:
+        """Install the effects computed by a remotely executed query phase.
+
+        The counterpart of :func:`run_query_phase_remote`: owned agents get
+        their full accumulator set, replicas get the partials touched on the
+        remote copy, and the work accounting is carried over — leaving the
+        worker in the same state as an in-place :meth:`run_query_phase`.
+        """
+        for agent_id, (effects, touched) in result.owned_effects.items():
+            agent = self.owned[agent_id]
+            agent._effects = dict(effects)
+            agent._effects_touched = set(touched)
+        for agent_id, partials in result.replica_partials.items():
+            self.replicas[agent_id].set_effect_partials(partials)
+        self.last_query_work_units = result.work_units
+        self.last_index_probes = result.index_probes
+
+    def apply_update_result(self, result: UpdatePhaseResult) -> UpdateContext:
+        """Install remotely computed states; return the births/deaths context."""
+        for agent_id, state in result.states.items():
+            self.owned[agent_id].set_state_dict(state)
+        context = UpdateContext(tick=0, seed=0)
+        context._spawn_requests = list(result.spawn_requests)
+        context._kill_requests = set(result.kill_requests)
+        return context
 
     def run_update_phase(self, tick: int, seed: int, world_bounds) -> UpdateContext:
         """Execute the update phase for every owned agent, collecting births/deaths."""

@@ -37,6 +37,15 @@ class MapReduceError(ReproError):
     """Raised by the generic MapReduce engine for malformed jobs."""
 
 
+class ExecutorError(MapReduceError):
+    """A parallel execution backend could not run a task.
+
+    The most common cause is handing the :class:`ProcessExecutor` a task that
+    cannot be pickled (a lambda, a closure, or an agent whose class was built
+    dynamically and is not importable by name).
+    """
+
+
 class ClusterError(ReproError):
     """Raised by the simulated cluster (unknown node, routing failure...)."""
 

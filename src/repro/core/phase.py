@@ -20,6 +20,7 @@ examples keep it on.
 from __future__ import annotations
 
 import enum
+import threading
 from contextlib import contextmanager
 
 
@@ -31,13 +32,26 @@ class Phase(enum.Enum):
     UPDATE = "update"
 
 
-_current_phase: Phase = Phase.IDLE
+class _PhaseState(threading.local):
+    """Per-thread current phase.
+
+    Thread-local (not global) so the thread executor can run several
+    workers' query or update phases concurrently: each pool thread enters
+    and leaves its own phase without disturbing the others.  New threads
+    start IDLE; the phase is entered inside the task they run.
+    """
+
+    def __init__(self):
+        self.phase = Phase.IDLE
+
+
+_state = _PhaseState()
 _enforcement: bool = True
 
 
 def current_phase() -> Phase:
-    """Return the phase the engine is currently executing."""
-    return _current_phase
+    """Return the phase the calling thread is currently executing."""
+    return _state.phase
 
 
 def enforcement_enabled() -> bool:
@@ -54,10 +68,9 @@ def set_enforcement(enabled: bool) -> None:
 @contextmanager
 def phase(new_phase: Phase):
     """Execute a block under the given phase, restoring the previous one after."""
-    global _current_phase
-    previous = _current_phase
-    _current_phase = new_phase
+    previous = _state.phase
+    _state.phase = new_phase
     try:
         yield
     finally:
-        _current_phase = previous
+        _state.phase = previous

@@ -64,8 +64,15 @@ def run_figure6(
     ticks: int = 3,
     seed: int = 31,
     base_parameters: TrafficParameters | None = None,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> Figure6Result:
-    """Scale the segment with the worker count and measure throughput."""
+    """Scale the segment with the worker count and measure throughput.
+
+    ``executor``/``max_workers`` select the execution backend the simulated
+    workers' phases actually run on (see ``BraceConfig``); virtual-time
+    throughput is backend-independent, but wall-clock time is not.
+    """
     base_parameters = base_parameters or TrafficParameters()
     result = Figure6Result(ticks=ticks, vehicles_per_worker=vehicles_per_worker)
     for workers in worker_counts:
@@ -84,10 +91,12 @@ def run_figure6(
             index="kdtree",
             check_visibility=False,
             load_balance=False,
+            executor=executor,
+            max_workers=max_workers,
         )
-        runtime = BraceRuntime(world, config)
-        runtime.run(ticks)
-        result.worker_counts.append(workers)
-        result.agents.append(total_vehicles)
-        result.throughputs.append(runtime.throughput())
+        with BraceRuntime(world, config) as runtime:
+            runtime.run(ticks)
+            result.worker_counts.append(workers)
+            result.agents.append(total_vehicles)
+            result.throughputs.append(runtime.throughput())
     return result

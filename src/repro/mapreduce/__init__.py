@@ -15,11 +15,22 @@ reduce), extended with
 """
 
 from repro.mapreduce.types import KeyValue
+from repro.mapreduce.executor import (
+    Executor,
+    SerialExecutor,
+    ThreadExecutor,
+    ProcessExecutor,
+    TaskResult,
+    make_executor,
+    stable_hash_partition,
+)
 from repro.mapreduce.engine import (
     MapReduceEngine,
     MapReduceJob,
     MapReduceReduceJob,
     IterativeMapReduce,
+    JobStatistics,
+    TaskStatistics,
 )
 from repro.mapreduce.simulation_job import (
     LocalEffectSimulationJob,
@@ -28,10 +39,19 @@ from repro.mapreduce.simulation_job import (
 
 __all__ = [
     "KeyValue",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TaskResult",
+    "make_executor",
+    "stable_hash_partition",
     "MapReduceEngine",
     "MapReduceJob",
     "MapReduceReduceJob",
     "IterativeMapReduce",
+    "JobStatistics",
+    "TaskStatistics",
     "LocalEffectSimulationJob",
     "NonLocalEffectSimulationJob",
 ]

@@ -9,10 +9,21 @@ The engine implements the classic functional-programming contract:
 its output can feed the next map step).  A ``map_reduce_reduce`` job adds the
 second reduce pass used for non-local effect assignments.
 
-Everything runs in main memory inside one process; "partitions" are the unit
-of reduce-side parallelism and are tracked explicitly so callers (the BRACE
-runtime, the cluster cost model) can attribute work and communication to
-simulated workers.
+Execution is delegated to a pluggable :class:`~repro.mapreduce.executor.Executor`:
+the input is split into chunked map tasks, intermediate pairs are grouped by
+key and hash-partitioned across reduce tasks with a deterministic partitioner,
+and an optional per-job *combiner* pre-aggregates each map chunk's output
+before the shuffle to cut cross-partition traffic.  With the default
+:class:`~repro.mapreduce.executor.SerialExecutor` everything runs inline in
+one thread, reproducing the original single-process behavior; the thread and
+process backends run the same tasks concurrently.  Output ordering is defined
+by the sorted key order of the reduce input groups — independent of the
+backend — so a job produces bit-identical results on every executor.
+
+"Partitions" are tracked explicitly in :class:`JobStatistics` so callers
+(the BRACE runtime, the cluster cost model, the scale-up benchmarks) can
+attribute work, wall-clock time and communication to individual tasks and
+observe load imbalance.
 """
 
 from __future__ import annotations
@@ -22,10 +33,17 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.core.errors import MapReduceError
+from repro.mapreduce.executor import (
+    Executor,
+    make_executor,
+    stable_hash_partition,
+    wall_clock_imbalance,
+)
 from repro.mapreduce.types import KeyValue
 
 MapFunction = Callable[[Hashable, Any], Iterable[tuple[Hashable, Any]]]
 ReduceFunction = Callable[[Hashable, list[Any]], Iterable[tuple[Hashable, Any]]]
+CombinerFunction = Callable[[Hashable, list[Any]], Iterable[tuple[Hashable, Any]]]
 
 
 @dataclass
@@ -37,6 +55,21 @@ class ShuffleStatistics:
 
 
 @dataclass
+class TaskStatistics:
+    """Accounting for one map chunk or one reduce partition."""
+
+    task: int            #: Chunk index (map) or partition index (reduce).
+    pairs_in: int        #: Input pairs (map) or grouped keys (reduce).
+    pairs_out: int       #: Emitted pairs.
+    wall_seconds: float  #: Wall-clock time of the task body where it ran.
+
+
+def _imbalance(timings: Sequence[TaskStatistics]) -> float:
+    """Max-over-mean wall-clock ratio of a task batch (1.0 = perfectly even)."""
+    return wall_clock_imbalance([timing.wall_seconds for timing in timings])
+
+
+@dataclass
 class JobStatistics:
     """Work accounting for one MapReduce job execution."""
 
@@ -45,15 +78,51 @@ class JobStatistics:
     reduce_output_pairs: int = 0
     shuffle: ShuffleStatistics = field(default_factory=ShuffleStatistics)
     second_reduce_output_pairs: int = 0
+    #: Name of the executor backend the job ran on.
+    executor: str = "serial"
+    #: Map emissions eliminated by the per-chunk combiner before the shuffle.
+    combined_pairs: int = 0
+    #: Per-chunk map-task accounting, in chunk order.
+    map_tasks: list[TaskStatistics] = field(default_factory=list)
+    #: Per-partition reduce-task accounting (both passes), in partition order.
+    reduce_partitions: list[TaskStatistics] = field(default_factory=list)
+
+    @property
+    def map_task_count(self) -> int:
+        """Number of chunked map tasks executed."""
+        return len(self.map_tasks)
+
+    @property
+    def reduce_partition_count(self) -> int:
+        """Number of hash-partitioned reduce tasks executed."""
+        return len(self.reduce_partitions)
+
+    @property
+    def map_imbalance(self) -> float:
+        """Max-over-mean wall-clock ratio across map tasks."""
+        return _imbalance(self.map_tasks)
+
+    @property
+    def reduce_imbalance(self) -> float:
+        """Max-over-mean wall-clock ratio across reduce partitions."""
+        return _imbalance(self.reduce_partitions)
 
 
 @dataclass
 class MapReduceJob:
-    """A single-pass job: one map function and one reduce function."""
+    """A single-pass job: one map function and one reduce function.
+
+    ``combiner_fn`` optionally pre-aggregates each map chunk's output (the
+    classic MapReduce combiner): it receives every value a chunk emitted for
+    a key and must emit pairs equivalent to what the reduce function could
+    later merge.  It must be associative and commutative for the job's result
+    to be independent of the chunking.
+    """
 
     map_fn: MapFunction
     reduce_fn: ReduceFunction
     name: str = "job"
+    combiner_fn: CombinerFunction | None = None
 
 
 @dataclass
@@ -69,30 +138,118 @@ class MapReduceReduceJob:
     reduce1_fn: ReduceFunction
     reduce2_fn: ReduceFunction
     name: str = "job"
+    combiner_fn: CombinerFunction | None = None
+
+
+class _MapChunkTask:
+    """One chunked map task (picklable: no closures, no engine reference)."""
+
+    def __init__(
+        self, map_fn: MapFunction, pairs: list[KeyValue], combiner_fn: CombinerFunction | None
+    ):
+        self.map_fn = map_fn
+        self.pairs = pairs
+        self.combiner_fn = combiner_fn
+
+    def __call__(self) -> tuple[list[KeyValue], int, int]:
+        """Return ``(output pairs, raw emission count, combined-away count)``."""
+        output: list[KeyValue] = []
+        for pair in self.pairs:
+            emitted = self.map_fn(pair.key, pair.value)
+            if emitted is None:
+                continue
+            for out_pair in emitted:
+                output.append(KeyValue.wrap(out_pair))
+        raw_emissions = len(output)
+        if self.combiner_fn is not None and output:
+            grouped: dict[Hashable, list[Any]] = defaultdict(list)
+            for pair in output:
+                grouped[pair.key].append(pair.value)
+            combined: list[KeyValue] = []
+            for key, values in grouped.items():  # insertion order: deterministic
+                emitted = self.combiner_fn(key, values)
+                if emitted is None:
+                    continue
+                combined.extend(KeyValue.wrap(out_pair) for out_pair in emitted)
+            output = combined
+        return output, raw_emissions, raw_emissions - len(output)
+
+
+class _ReducePartitionTask:
+    """One hash partition's worth of reduce work (picklable)."""
+
+    def __init__(self, reduce_fn: ReduceFunction, groups: list[tuple[Hashable, list[Any]]]):
+        self.reduce_fn = reduce_fn
+        self.groups = groups
+
+    def __call__(self) -> list[tuple[Hashable, list[KeyValue]]]:
+        """Return ``(group key, emitted pairs)`` for every key in the partition."""
+        results: list[tuple[Hashable, list[KeyValue]]] = []
+        for key, values in self.groups:
+            emitted = self.reduce_fn(key, values)
+            if emitted is None:
+                results.append((key, []))
+                continue
+            results.append((key, [KeyValue.wrap(out_pair) for out_pair in emitted]))
+        return results
 
 
 class MapReduceEngine:
-    """Executes jobs over in-memory input pairs."""
+    """Executes jobs over in-memory input pairs.
 
-    def __init__(self):
+    Parameters
+    ----------
+    executor:
+        An :class:`~repro.mapreduce.executor.Executor`, a backend name
+        (``"serial"``, ``"thread"``, ``"process"``) or ``None`` (serial).
+    map_tasks_per_worker:
+        Map input is split into ``executor.max_workers * map_tasks_per_worker``
+        chunks so a slow chunk does not stall a whole worker slot.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | str | None = None,
+        map_tasks_per_worker: int = 2,
+    ):
+        self.executor = make_executor(executor)
+        self.map_tasks_per_worker = max(1, int(map_tasks_per_worker))
         self.last_statistics: JobStatistics | None = None
 
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
     def run_map(
-        self, map_fn: MapFunction, pairs: Sequence[KeyValue], statistics: JobStatistics
+        self,
+        map_fn: MapFunction,
+        pairs: Sequence[KeyValue],
+        statistics: JobStatistics,
+        combiner_fn: CombinerFunction | None = None,
     ) -> list[KeyValue]:
-        """Apply the map function to every input pair."""
+        """Apply the map function to every input pair via chunked tasks."""
+        statistics.map_input_pairs += len(pairs)
+        if not pairs:
+            return []
+        num_chunks = min(len(pairs), self.executor.max_workers * self.map_tasks_per_worker)
+        chunk_size = -(-len(pairs) // num_chunks)  # ceil division
+        tasks = [
+            _MapChunkTask(map_fn, list(pairs[start : start + chunk_size]), combiner_fn)
+            for start in range(0, len(pairs), chunk_size)
+        ]
         output: list[KeyValue] = []
-        for pair in pairs:
-            statistics.map_input_pairs += 1
-            emitted = map_fn(pair.key, pair.value)
-            if emitted is None:
-                continue
-            for out_pair in emitted:
-                output.append(KeyValue.wrap(out_pair))
-                statistics.map_output_pairs += 1
+        for result in self.executor.run_tasks(tasks):
+            chunk_output, raw_emissions, combined_away = result.value
+            statistics.map_output_pairs += raw_emissions
+            statistics.combined_pairs += combined_away
+            statistics.map_tasks.append(
+                TaskStatistics(
+                    task=result.index,
+                    pairs_in=len(tasks[result.index].pairs),
+                    pairs_out=len(chunk_output),
+                    wall_seconds=result.wall_seconds,
+                )
+            )
+            output.extend(chunk_output)
         return output
 
     def shuffle(
@@ -114,18 +271,46 @@ class MapReduceEngine:
         statistics: JobStatistics,
         second_pass: bool = False,
     ) -> list[KeyValue]:
-        """Apply the reduce function to every key group (keys in sorted order)."""
+        """Apply the reduce function to every key group.
+
+        Key groups are hash-partitioned across reduce tasks with the
+        deterministic partitioner; the final output is ordered by the sorted
+        key order of the input groups (identical on every backend).
+        """
+        if not grouped:
+            return []
+        sorted_keys = sorted(grouped, key=repr)
+        num_partitions = min(len(sorted_keys), self.executor.max_workers)
+        partitions: list[list[tuple[Hashable, list[Any]]]] = [
+            [] for _ in range(num_partitions)
+        ]
+        for key in sorted_keys:
+            partitions[stable_hash_partition(key, num_partitions)].append((key, grouped[key]))
+        tasks = [_ReducePartitionTask(reduce_fn, groups) for groups in partitions]
+
+        outputs_by_key: dict[Hashable, list[KeyValue]] = {}
+        for result in self.executor.run_tasks(tasks):
+            pairs_out = 0
+            for key, emitted in result.value:
+                outputs_by_key[key] = emitted
+                pairs_out += len(emitted)
+            statistics.reduce_partitions.append(
+                TaskStatistics(
+                    task=result.index,
+                    pairs_in=len(partitions[result.index]),
+                    pairs_out=pairs_out,
+                    wall_seconds=result.wall_seconds,
+                )
+            )
+
         output: list[KeyValue] = []
-        for key in sorted(grouped, key=repr):
-            emitted = reduce_fn(key, grouped[key])
-            if emitted is None:
-                continue
-            for out_pair in emitted:
-                output.append(KeyValue.wrap(out_pair))
-                if second_pass:
-                    statistics.second_reduce_output_pairs += 1
-                else:
-                    statistics.reduce_output_pairs += 1
+        for key in sorted_keys:
+            emitted = outputs_by_key.get(key, [])
+            output.extend(emitted)
+            if second_pass:
+                statistics.second_reduce_output_pairs += len(emitted)
+            else:
+                statistics.reduce_output_pairs += len(emitted)
         return output
 
     # ------------------------------------------------------------------
@@ -134,13 +319,13 @@ class MapReduceEngine:
     def run(self, job: MapReduceJob | MapReduceReduceJob, pairs: Iterable[Any]) -> list[KeyValue]:
         """Run one job over ``pairs`` and return the reduce output."""
         input_pairs = [KeyValue.wrap(pair) for pair in pairs]
-        statistics = JobStatistics()
+        statistics = JobStatistics(executor=self.executor.name)
         if isinstance(job, MapReduceJob):
-            mapped = self.run_map(job.map_fn, input_pairs, statistics)
+            mapped = self.run_map(job.map_fn, input_pairs, statistics, job.combiner_fn)
             grouped = self.shuffle(mapped, statistics)
             output = self.run_reduce(job.reduce_fn, grouped, statistics)
         elif isinstance(job, MapReduceReduceJob):
-            mapped = self.run_map(job.map_fn, input_pairs, statistics)
+            mapped = self.run_map(job.map_fn, input_pairs, statistics, job.combiner_fn)
             grouped = self.shuffle(mapped, statistics)
             intermediate = self.run_reduce(job.reduce1_fn, grouped, statistics)
             regrouped = self.shuffle(intermediate, statistics)
@@ -150,6 +335,10 @@ class MapReduceEngine:
         self.last_statistics = statistics
         return output
 
+    def shutdown(self) -> None:
+        """Release the executor's pooled workers, if any."""
+        self.executor.shutdown()
+
 
 class IterativeMapReduce:
     """Runs a job repeatedly, feeding each iteration's output into the next.
@@ -158,8 +347,17 @@ class IterativeMapReduce:
     a list of key-value pairs that becomes the next map step's input.
     """
 
-    def __init__(self, engine: MapReduceEngine | None = None):
-        self.engine = engine or MapReduceEngine()
+    def __init__(
+        self,
+        engine: MapReduceEngine | None = None,
+        executor: Executor | str | None = None,
+    ):
+        if engine is not None and executor is not None:
+            raise MapReduceError(
+                "pass either an engine or an executor, not both: the engine "
+                "already carries its own executor"
+            )
+        self.engine = engine or MapReduceEngine(executor=executor)
         self.iteration_statistics: list[JobStatistics] = []
 
     def run(

@@ -1,0 +1,285 @@
+"""Pluggable parallel execution backends for the MapReduce engine.
+
+The paper's central performance claim is that behavioral simulations scale
+near-linearly when expressed as iterated map-reduce-reduce passes.  The
+engine in :mod:`repro.mapreduce.engine` expresses the passes; this module
+supplies the *executors* that actually run the map and reduce tasks:
+
+* :class:`SerialExecutor` — runs every task inline in the calling thread
+  (the original single-process behavior, and the default);
+* :class:`ThreadExecutor` — a :class:`concurrent.futures.ThreadPoolExecutor`
+  backend; tasks share the interpreter, so it preserves in-place mutation
+  semantics but is limited by the GIL for pure-Python work;
+* :class:`ProcessExecutor` — a
+  :class:`concurrent.futures.ProcessPoolExecutor` backend; tasks and their
+  inputs are pickled to worker processes, so CPU-bound map/reduce work runs
+  genuinely in parallel.
+
+All three backends share one contract, :meth:`Executor.run_tasks`: execute a
+list of zero-argument callables and return one :class:`TaskResult` per task,
+*in submission order*, with per-task wall-clock timing measured where the
+task ran.  Keeping results in submission order is what lets the engine
+produce bit-identical output regardless of the backend.
+
+The module also provides :func:`stable_hash_partition`, a deterministic
+(process-independent) hash partitioner used for the parallel shuffle.
+Python's builtin ``hash`` is salted per interpreter for strings, so it would
+assign keys to different reduce partitions in different worker processes;
+CRC-32 over ``repr(key)`` is stable everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import zlib
+from concurrent.futures import FIRST_EXCEPTION, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.core.errors import ExecutorError
+
+#: Executor kinds accepted by :func:`make_executor` and ``BraceConfig.executor``.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def stable_hash_partition(key: Hashable, num_partitions: int) -> int:
+    """Deterministically assign ``key`` to one of ``num_partitions`` buckets.
+
+    Uses CRC-32 of ``repr(key)`` so the assignment is identical across
+    interpreter instances and worker processes (unlike the salted builtin
+    ``hash``).
+    """
+    if num_partitions <= 1:
+        return 0
+    data = repr(key).encode("utf-8", "backslashreplace")
+    return zlib.crc32(data) % num_partitions
+
+
+def default_worker_count() -> int:
+    """A sensible default parallelism level: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def wall_clock_imbalance(seconds: Sequence[float]) -> float:
+    """Max-over-mean ratio of per-task wall-clock times (1.0 = perfectly even).
+
+    The load-skew summary shared by the MapReduce task statistics and the
+    BRACE per-worker phase statistics.
+    """
+    if not seconds:
+        return 1.0
+    mean = sum(seconds) / len(seconds)
+    if mean <= 0.0:
+        return 1.0
+    return max(seconds) / mean
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one executed task."""
+
+    index: int          #: Position of the task in the submitted batch.
+    value: Any          #: The task's return value.
+    wall_seconds: float  #: Wall-clock time spent running the task body.
+
+
+def _timed_call(task: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``task`` and measure its wall-clock time where it executes.
+
+    Module-level so the :class:`ProcessExecutor` can pickle it; the timing is
+    taken inside the worker, excluding queueing and serialization overhead.
+    """
+    start = time.perf_counter()
+    value = task()
+    return value, time.perf_counter() - start
+
+
+class Executor:
+    """Base class of the execution backends.
+
+    Subclasses implement :meth:`run_tasks`; everything else (context-manager
+    protocol, idempotent shutdown) is shared.
+    """
+
+    #: Short name used in statistics and configuration ("serial", ...).
+    name: str = "abstract"
+    #: True when tasks run in the caller's address space, so in-place
+    #: mutation of shared objects is visible to the caller.  The BRACE
+    #: runtime uses this to decide between in-place and message-passing
+    #: phase execution.
+    shares_memory: bool = True
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and int(max_workers) < 1:
+            raise ExecutorError("max_workers must be at least 1 (or None for the CPU count)")
+        self.max_workers = int(max_workers) if max_workers is not None else default_worker_count()
+
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
+        """Execute every task and return per-task results in submission order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any pooled workers (idempotent; pools are re-created lazily)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} max_workers={self.max_workers}>"
+
+
+class SerialExecutor(Executor):
+    """Runs every task inline in the calling thread (the default backend)."""
+
+    name = "serial"
+    shares_memory = True
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers=1)
+
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
+        results = []
+        for index, task in enumerate(tasks):
+            value, seconds = _timed_call(task)
+            results.append(TaskResult(index, value, seconds))
+        return results
+
+
+class _PooledExecutor(Executor):
+    """Shared machinery of the thread and process backends (lazy pool reuse)."""
+
+    shares_memory = True
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
+        if not tasks:
+            return []
+        if len(tasks) == 1 and self.shares_memory:
+            # One thread-pool task cannot overlap with anything and has the
+            # same semantics inline, so skip the pool.  The process backend
+            # must NOT shortcut: its pickling contract (and isolation) has to
+            # hold for one task exactly as for many.
+            value, seconds = _timed_call(tasks[0])
+            return [TaskResult(0, value, seconds)]
+        pool = self._ensure_pool()
+        futures: list[Future] = [pool.submit(_timed_call, task) for task in tasks]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                value, seconds = future.result()
+            # A worker that dies deserializing a task (e.g. the task's
+            # function lives in a __main__ the child cannot re-import) takes
+            # the whole pool down.  Drop the broken pool so the next call
+            # starts fresh, and explain the likely cause.
+            except BrokenProcessPool as error:
+                self._pool = None
+                raise ExecutorError(
+                    f"a {self.name} executor worker died while receiving a task "
+                    "(most often the task's function could not be re-imported in "
+                    "the worker process — define map/reduce functions in an "
+                    "importable module, not in __main__ or a REPL). "
+                    f"Original error: {error}"
+                ) from error
+            # Serialization failures surface as PicklingError for module-level
+            # objects, AttributeError for locally defined functions/classes and
+            # TypeError for unpicklable values (locks, generators...).  Only
+            # the process backend pickles tasks, and only errors that actually
+            # talk about pickling are classified, so a genuine
+            # AttributeError/TypeError raised *inside* a task passes through.
+            except (pickle.PickleError, AttributeError, TypeError) as error:
+                if self.shares_memory:
+                    raise
+                if not isinstance(error, pickle.PickleError) and (
+                    "pickle" not in str(error).lower()
+                ):
+                    raise
+                for pending in futures:
+                    pending.cancel()
+                raise ExecutorError(
+                    f"the {self.name} executor could not serialize a task: {error}. "
+                    "Map/reduce functions and the records flowing through them must "
+                    "be picklable (module-level functions or classes); use the "
+                    "serial or thread executor for closures and dynamic classes."
+                ) from error
+            results.append(TaskResult(index, value, seconds))
+        return results
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Runs tasks on a shared :class:`ThreadPoolExecutor`.
+
+    Preserves in-place mutation semantics (tasks see the caller's objects),
+    which makes it a drop-in parallel backend for the BRACE worker phases.
+    Pure-Python work is GIL-bound, so expect overlap rather than speedup
+    unless tasks release the GIL (NumPy kernels, I/O).
+    """
+
+    name = "thread"
+    shares_memory = True
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="mapreduce"
+        )
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Runs tasks on a shared :class:`ProcessPoolExecutor`.
+
+    Tasks, their inputs and their results cross process boundaries by
+    pickling; a task that cannot be pickled raises :class:`ExecutorError`
+    with a pointer at the offending pattern.  The pool is created lazily and
+    reused across calls so repeated jobs (one per simulation tick) amortize
+    the worker start-up cost.
+    """
+
+    name = "process"
+    shares_memory = False
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+def make_executor(
+    executor: "Executor | str | None", max_workers: int | None = None
+) -> Executor:
+    """Coerce a backend name (or an existing executor) into an :class:`Executor`.
+
+    ``None`` and ``"serial"`` yield the serial backend; ``"thread"`` and
+    ``"process"`` yield the pooled backends with ``max_workers`` parallel
+    slots (defaulting to the CPU count).
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None or executor == "serial":
+        return SerialExecutor()
+    if executor == "thread":
+        return ThreadExecutor(max_workers)
+    if executor == "process":
+        return ProcessExecutor(max_workers)
+    raise ExecutorError(
+        f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_KINDS)}"
+    )

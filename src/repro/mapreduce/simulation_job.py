@@ -15,10 +15,17 @@ MapReduce engine*, following the formal model literally:
 They exist to cross-check the optimized BRACE runtime: both must agree with
 the sequential reference engine.  The formal jobs only support fixed
 populations (no births/deaths), matching the scope of Appendix A.
+
+The map and reduce functions are small picklable callables (not closures),
+so the jobs run unchanged on every executor backend — including the
+:class:`~repro.mapreduce.executor.ProcessExecutor`, provided the agent class
+itself is picklable (a module-level class, such as the canonical traffic
+``Vehicle``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.core.agent import Agent
@@ -30,6 +37,7 @@ from repro.mapreduce.engine import (
     MapReduceJob,
     MapReduceReduceJob,
 )
+from repro.mapreduce.executor import Executor
 from repro.mapreduce.types import KeyValue
 from repro.spatial.partitioning import SpatialPartitioning
 
@@ -43,6 +51,122 @@ def _visibility_for_replication(agent: Agent, partitioning: SpatialPartitioning)
     return partitioning.replication_targets(agent.position(), list(radii))
 
 
+@dataclass(frozen=True)
+class _JobSpec:
+    """The picklable context shared by every map/reduce task of a job."""
+
+    partitioning: SpatialPartitioning
+    seed: int
+    index: str | None
+    cell_size: float | None
+    check_visibility: bool
+
+
+def _apply_update(agent: Agent, update_tick: int, seed: int) -> None:
+    """Run the update phase of ``update_tick`` on one agent (fixed population)."""
+    update_context = UpdateContext(tick=update_tick, seed=seed)
+    with phase(Phase.UPDATE):
+        agent._updating = True
+        try:
+            agent.update(update_context)
+        finally:
+            agent._updating = False
+    if update_context.spawn_requests or update_context.kill_requests:
+        raise MapReduceError(
+            "the Appendix A simulation jobs do not support births/deaths; "
+            "use the BRACE runtime for models with dynamic populations"
+        )
+
+
+def _run_query_phase(
+    spec: _JobSpec, partition_id: int, agents: Sequence[Agent], tick: int
+) -> list[Agent]:
+    """Run the query phase for the agents owned by ``partition_id``."""
+    context = QueryContext(
+        agents,
+        tick=tick,
+        seed=spec.seed,
+        index=spec.index,
+        cell_size=spec.cell_size,
+        check_visibility=spec.check_visibility,
+    )
+    owned = [
+        agent
+        for agent in agents
+        if spec.partitioning.partition_of(agent.position()) == partition_id
+    ]
+    with phase(Phase.QUERY):
+        for agent in owned:
+            agent.query(context)
+    return owned
+
+
+@dataclass(frozen=True)
+class _DistributeMap:
+    """``map^t``: the update phase of tick ``t - 1`` plus replica distribution."""
+
+    spec: _JobSpec
+    tick: int
+
+    def __call__(self, _key: Any, agent: Agent) -> Iterable[tuple[int, Agent]]:
+        if self.tick > 0:
+            _apply_update(agent, self.tick - 1, self.spec.seed)
+        agent.reset_effects()
+        return [
+            (partition_id, agent.clone())
+            for partition_id in _visibility_for_replication(agent, self.spec.partitioning)
+        ]
+
+
+@dataclass(frozen=True)
+class _LocalEffectReduce:
+    """``reduce^t_1`` of Figure 9: query phase, emitting only owned agents."""
+
+    spec: _JobSpec
+    tick: int
+
+    def __call__(self, partition_id: int, agents: list[Agent]):
+        owned = _run_query_phase(self.spec, partition_id, agents, self.tick)
+        return [(partition_id, agent) for agent in owned]
+
+
+@dataclass(frozen=True)
+class _NonLocalEffectReduce1:
+    """``reduce^t_1`` of Figure 10: query phase, routing partials to owners."""
+
+    spec: _JobSpec
+    tick: int
+
+    def __call__(self, partition_id: int, agents: list[Agent]):
+        _run_query_phase(self.spec, partition_id, agents, self.tick)
+        output = []
+        for agent in agents:
+            owner = self.spec.partitioning.partition_of(agent.position())
+            if owner == partition_id or agent.touched_effect_partials():
+                # Route the copy (state + partial effects) to its owner.
+                output.append((owner, agent))
+        return output
+
+
+@dataclass(frozen=True)
+class _NonLocalEffectReduce2:
+    """``reduce^t_2`` of Figure 10: merge all partials of an agent at its owner."""
+
+    def __call__(self, partition_id: int, agents: list[Agent]):
+        by_oid: dict[Any, list[Agent]] = {}
+        for agent in agents:
+            by_oid.setdefault(agent.agent_id, []).append(agent)
+        output = []
+        for agent_id in sorted(by_oid, key=repr):
+            copies = by_oid[agent_id]
+            base = copies[0].clone()
+            base.reset_effects()
+            for copy in copies:
+                base.merge_effect_partials(copy.touched_effect_partials())
+            output.append((partition_id, base))
+        return output
+
+
 class _SimulationJobBase:
     """Shared machinery of the local-effect and non-local-effect jobs."""
 
@@ -53,61 +177,25 @@ class _SimulationJobBase:
         index: str | None = "kdtree",
         cell_size: float | None = None,
         check_visibility: bool = True,
+        executor: Executor | str | None = None,
     ):
         self.partitioning = partitioning
         self.seed = int(seed)
         self.index = index
         self.cell_size = cell_size
         self.check_visibility = check_visibility
-        self.engine = IterativeMapReduce()
+        self.engine = IterativeMapReduce(executor=executor)
 
-    # -- map task -------------------------------------------------------
-    def _map_fn(self, tick: int):
-        """Build ``map^t``: update phase of tick ``t - 1`` plus distribution."""
-
-        def map_fn(_key: Any, agent: Agent) -> Iterable[tuple[int, Agent]]:
-            if tick > 0:
-                self._apply_update(agent, tick - 1)
-            agent.reset_effects()
-            for partition_id in _visibility_for_replication(agent, self.partitioning):
-                yield (partition_id, agent.clone())
-
-        return map_fn
-
-    def _apply_update(self, agent: Agent, update_tick: int) -> None:
-        update_context = UpdateContext(tick=update_tick, seed=self.seed)
-        with phase(Phase.UPDATE):
-            agent._updating = True
-            try:
-                agent.update(update_context)
-            finally:
-                agent._updating = False
-        if update_context.spawn_requests or update_context.kill_requests:
-            raise MapReduceError(
-                "the Appendix A simulation jobs do not support births/deaths; "
-                "use the BRACE runtime for models with dynamic populations"
-            )
-
-    # -- query phase ----------------------------------------------------
-    def _run_query_phase(self, partition_id: int, agents: Sequence[Agent], tick: int) -> list[Agent]:
-        """Run the query phase for the agents owned by ``partition_id``."""
-        context = QueryContext(
-            agents,
-            tick=tick,
+    @property
+    def spec(self) -> _JobSpec:
+        """The picklable task context for this job's configuration."""
+        return _JobSpec(
+            partitioning=self.partitioning,
             seed=self.seed,
             index=self.index,
             cell_size=self.cell_size,
             check_visibility=self.check_visibility,
         )
-        owned = [
-            agent
-            for agent in agents
-            if self.partitioning.partition_of(agent.position()) == partition_id
-        ]
-        with phase(Phase.QUERY):
-            for agent in owned:
-                agent.query(context)
-        return owned
 
     # -- shared driver ----------------------------------------------------
     def initial_pairs(self, agents: Iterable[Agent]) -> list[KeyValue]:
@@ -131,12 +219,16 @@ class _SimulationJobBase:
             agent = pair.value
             if agent.agent_id in finals:
                 continue
-            self._apply_update(agent, ticks - 1)
+            _apply_update(agent, ticks - 1, self.seed)
             finals[agent.agent_id] = agent
         return [finals[agent_id] for agent_id in sorted(finals, key=repr)]
 
     def job_for_iteration(self, iteration: int):
         raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release pooled executor workers, if any."""
+        self.engine.engine.shutdown()
 
 
 class LocalEffectSimulationJob(_SimulationJobBase):
@@ -144,13 +236,12 @@ class LocalEffectSimulationJob(_SimulationJobBase):
 
     def job_for_iteration(self, iteration: int) -> MapReduceJob:
         """Build the single-reduce job for tick ``iteration``."""
-
-        def reduce_fn(partition_id: int, agents: list[Agent]):
-            owned = self._run_query_phase(partition_id, agents, iteration)
-            for agent in owned:
-                yield (partition_id, agent)
-
-        return MapReduceJob(self._map_fn(iteration), reduce_fn, name=f"tick-{iteration}")
+        spec = self.spec
+        return MapReduceJob(
+            _DistributeMap(spec, iteration),
+            _LocalEffectReduce(spec, iteration),
+            name=f"tick-{iteration}",
+        )
 
 
 class NonLocalEffectSimulationJob(_SimulationJobBase):
@@ -163,27 +254,10 @@ class NonLocalEffectSimulationJob(_SimulationJobBase):
 
     def job_for_iteration(self, iteration: int) -> MapReduceReduceJob:
         """Build the map–reduce–reduce job for tick ``iteration``."""
-
-        def reduce1_fn(partition_id: int, agents: list[Agent]):
-            self._run_query_phase(partition_id, agents, iteration)
-            for agent in agents:
-                owner = self.partitioning.partition_of(agent.position())
-                if owner == partition_id or agent.touched_effect_partials():
-                    # Route the copy (state + partial effects) to its owner.
-                    yield (owner, agent)
-
-        def reduce2_fn(partition_id: int, agents: list[Agent]):
-            by_oid: dict[Any, list[Agent]] = {}
-            for agent in agents:
-                by_oid.setdefault(agent.agent_id, []).append(agent)
-            for agent_id in sorted(by_oid, key=repr):
-                copies = by_oid[agent_id]
-                base = copies[0].clone()
-                base.reset_effects()
-                for copy in copies:
-                    base.merge_effect_partials(copy.touched_effect_partials())
-                yield (partition_id, base)
-
+        spec = self.spec
         return MapReduceReduceJob(
-            self._map_fn(iteration), reduce1_fn, reduce2_fn, name=f"tick-{iteration}"
+            _DistributeMap(spec, iteration),
+            _NonLocalEffectReduce1(spec, iteration),
+            _NonLocalEffectReduce2(),
+            name=f"tick-{iteration}",
         )

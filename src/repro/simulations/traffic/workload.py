@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.core.world import World
 from repro.simulations.traffic.model import TrafficParameters
-from repro.simulations.traffic.vehicle import make_vehicle_class
+from repro.simulations.traffic.vehicle import Vehicle, make_vehicle_class
 from repro.spatial.bbox import BBox
 
 
@@ -24,7 +24,14 @@ def build_traffic_world(
     start from identical initial conditions.
     """
     parameters = parameters or TrafficParameters()
-    vehicle_class = vehicle_class or make_vehicle_class(parameters)
+    if vehicle_class is None:
+        # Reuse the canonical module-level Vehicle when the parameters allow
+        # it: unlike a freshly built dynamic class, it is importable by name
+        # and therefore picklable, which the process executor requires.
+        if parameters == TrafficParameters():
+            vehicle_class = Vehicle
+        else:
+            vehicle_class = make_vehicle_class(parameters)
     world = World(bounds=BBox(((0.0, parameters.segment_length),)), seed=seed)
     rng = np.random.default_rng(seed)
     count = num_vehicles if num_vehicles is not None else parameters.vehicles_total()
