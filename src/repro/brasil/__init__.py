@@ -37,17 +37,39 @@ The compilation pipeline mirrors the paper's:
    engine and by BRACE.
 """
 
-from repro.brasil.compiler import BrasilCompiler, CompiledScript, compile_script
-from repro.brasil.effect_inversion import invert_effects
+from repro.brasil.compiler import (
+    AgentClassSpec,
+    BrasilCompiler,
+    CompiledScript,
+    compile_script,
+    compiled_class_for_spec,
+)
+from repro.brasil.effect_inversion import EffectInversionError, invert_effects
+from repro.brasil.optimizer import IndexSelection, select_index
 from repro.brasil.parser import parse
+from repro.brasil.runner import (
+    ScriptRunResult,
+    build_script_world,
+    config_for_script,
+    run_script,
+)
 from repro.brasil.semantics import analyze, ScriptInfo
 
 __all__ = [
+    "AgentClassSpec",
     "BrasilCompiler",
     "CompiledScript",
-    "compile_script",
-    "parse",
-    "analyze",
+    "EffectInversionError",
+    "IndexSelection",
     "ScriptInfo",
+    "ScriptRunResult",
+    "analyze",
+    "build_script_world",
+    "compile_script",
+    "compiled_class_for_spec",
+    "config_for_script",
     "invert_effects",
+    "parse",
+    "run_script",
+    "select_index",
 ]

@@ -7,25 +7,88 @@ regular :class:`~repro.core.agent.Agent` subclass.  Instances of that class
 run unchanged on the sequential engine, on the Appendix A MapReduce jobs and
 on the BRACE runtime: this is the transparency BRASIL gives domain
 scientists.
+
+Although the agent classes are built dynamically (there is no module the
+process executor could re-import them from), their *instances* are picklable:
+each class carries its :class:`AgentClassSpec` — the source text plus the
+compiler options, pure data — and pickling an agent ships the spec instead of
+the class.  The receiving process recompiles the script once (cached per
+spec) and rebuilds the agent from its state dict, so compiled BRASIL scripts
+run on the serial, thread and process executors alike.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any
 
 from repro.brasil.ast_nodes import ClassDecl, Script
 from repro.brasil.effect_inversion import EffectInversionError, InversionResult, invert_effects
 from repro.brasil.interpreter import Environment, evaluate, execute_block
-from repro.brasil.optimizer import OptimizedPlan, optimize_plan
+from repro.brasil.optimizer import IndexSelection, OptimizedPlan, optimize_plan, select_index
 from repro.brasil.parser import parse
 from repro.brasil.semantics import ScriptInfo, analyze_class
-from repro.brasil.translate import TranslationNotSupported, translate_query
+from repro.brasil.translate import PlanQueryTask, TranslationNotSupported, translate_query
 from repro.core.agent import Agent, AgentMeta
 from repro.core.errors import BrasilError
 from repro.core.fields import EffectField, StateField
 
 _DEFAULTS_BY_TYPE = {"float": 0.0, "int": 0, "bool": False}
+
+
+@dataclass(frozen=True)
+class AgentClassSpec:
+    """Everything needed to rebuild a compiled agent class in another process.
+
+    The spec is pure data (no closures, no class objects), following the same
+    discipline as the task objects in :mod:`repro.mapreduce.simulation_job`.
+    Compilation is deterministic, so two processes compiling the same spec
+    build behaviourally identical classes.
+    """
+
+    source: str
+    class_name: str
+    effect_inversion: str = "auto"
+    use_index: bool = True
+
+
+#: Compiled agent classes by spec.  Populated by every compile and by
+#: :func:`compiled_class_for_spec`, so all agents built or unpickled from
+#: the same spec in one process share a single class object.  Values are
+#: weak: once nothing references a class (no CompiledScript, no agents), the
+#: entry is dropped instead of retaining every script ever compiled — the
+#: next unpickle simply recompiles.
+_CLASS_REGISTRY: "weakref.WeakValueDictionary[AgentClassSpec, type]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def compiled_class_for_spec(spec: AgentClassSpec) -> type:
+    """Return the agent class for ``spec``, compiling it on first use.
+
+    This is the unpickling side of the compiled-agent protocol: worker
+    processes call it (through :func:`_rebuild_compiled_agent`) to
+    reconstruct the dynamic class from the shipped source text.
+    """
+    agent_class = _CLASS_REGISTRY.get(spec)
+    if agent_class is None:
+        compiler = BrasilCompiler(
+            effect_inversion=spec.effect_inversion,
+            use_index=spec.use_index,
+            translate_algebra=False,  # workers only need the interpreted path
+        )
+        compiled = compiler.compile(spec.source, class_name=spec.class_name)
+        # compile() registered the class; read it back through the registry
+        # so concurrent rebuilds agree on one class object.
+        agent_class = _CLASS_REGISTRY.setdefault(spec, compiled.agent_class)
+    return agent_class
+
+
+def _rebuild_compiled_agent(spec: AgentClassSpec):
+    """Create an empty compiled-agent instance (pickle then applies the state)."""
+    agent_class = compiled_class_for_spec(spec)
+    return agent_class.__new__(agent_class)
 
 
 class BrasilAgentBase(Agent):
@@ -39,6 +102,19 @@ class BrasilAgentBase(Agent):
     _run_body = None
     _update_rules: dict[str, Any] = {}
     _restrict_to_visible = True
+    _compile_spec: AgentClassSpec | None = None
+
+    def __reduce__(self):
+        """Pickle by compile spec + state so instances cross process boundaries.
+
+        The dynamic class cannot be pickled by reference; shipping the spec
+        and the instance ``__dict__`` instead makes compiled agents first
+        class citizens of the process executor.
+        """
+        spec = type(self)._compile_spec
+        if spec is None:
+            return super().__reduce__()
+        return (_rebuild_compiled_agent, (spec,), dict(self.__dict__))
 
     def query(self, ctx) -> None:
         """Execute the compiled ``run()`` method (the query phase)."""
@@ -81,11 +157,24 @@ class CompiledScript:
     inversion: InversionResult | None = None
     algebra_plan: Any | None = None
     optimized_plan: OptimizedPlan | None = None
+    spec: AgentClassSpec | None = None
+    index_selection: IndexSelection | None = None
 
     @property
     def class_name(self) -> str:
         """Name of the compiled agent class."""
         return self.class_decl.name
+
+    @property
+    def query_task(self) -> PlanQueryTask | None:
+        """A picklable task evaluating the optimized query plan, if one exists.
+
+        The task carries only algebra dataclasses (pure data), so it runs on
+        every executor backend, process pool included.
+        """
+        if self.optimized_plan is None:
+            return None
+        return PlanQueryTask(self.optimized_plan.plan)
 
     @property
     def has_non_local_effects(self) -> bool:
@@ -103,8 +192,19 @@ class CompiledScript:
         return self.inversion is not None and self.inversion.inverted
 
     def brace_config_overrides(self) -> dict[str, Any]:
-        """Configuration the BRACE runtime should adopt for this script."""
-        return {"non_local_effects": self.has_non_local_effects}
+        """Configuration the BRACE runtime should adopt for this script.
+
+        Besides the reduce-pass structure (``non_local_effects``), this
+        threads the optimizer's access-path choice through to the query
+        phase: the spatial index — and with it the join algorithm answering
+        each ``foreach`` — is driven by the script's visible-region
+        declarations rather than a hand-picked default.
+        """
+        overrides: dict[str, Any] = {"non_local_effects": self.has_non_local_effects}
+        if self.index_selection is not None:
+            overrides["index"] = self.index_selection.index
+            overrides["cell_size"] = self.index_selection.cell_size
+        return overrides
 
     def make_agent(self, agent_id: int | None = None, **state_values: Any):
         """Instantiate one agent with the given initial state."""
@@ -162,7 +262,18 @@ class BrasilCompiler:
                 compiled_decl = declaration
 
         info = analyze_class(compiled_decl) if compiled_decl is not declaration else original_info
-        agent_class = self._build_agent_class(compiled_decl, info)
+        spec = AgentClassSpec(
+            source=source,
+            class_name=declaration.name,
+            effect_inversion=self.effect_inversion,
+            use_index=self.use_index,
+        )
+        # Recompiles of the same spec adopt the registered class, so
+        # ``type(unpickled_agent) is compiled.agent_class`` holds no matter
+        # how many times (or in which process) the script was compiled.
+        agent_class = _CLASS_REGISTRY.setdefault(
+            spec, self._build_agent_class(compiled_decl, info, spec)
+        )
 
         algebra_plan = None
         optimized_plan = None
@@ -185,6 +296,12 @@ class BrasilCompiler:
             inversion=inversion,
             algebra_plan=algebra_plan,
             optimized_plan=optimized_plan,
+            spec=spec,
+            index_selection=select_index(info) if self.use_index else IndexSelection(
+                index=None,
+                cell_size=None,
+                reason="indexing disabled by the compiler (use_index=False)",
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -203,7 +320,9 @@ class BrasilCompiler:
             raise BrasilError(f"no class named {class_name!r} in the script")
         return declaration
 
-    def _build_agent_class(self, declaration: ClassDecl, info: ScriptInfo) -> type:
+    def _build_agent_class(
+        self, declaration: ClassDecl, info: ScriptInfo, spec: AgentClassSpec | None = None
+    ) -> type:
         namespace: dict[str, Any] = {
             "__doc__": f"Agent class compiled from the BRASIL class {declaration.name!r}.",
             "__module__": __name__,
@@ -231,6 +350,7 @@ class BrasilCompiler:
         namespace["_restrict_to_visible"] = self.use_index
         namespace["_class_decl"] = declaration
         namespace["_script_info"] = info
+        namespace["_compile_spec"] = spec
         return AgentMeta(declaration.name, (BrasilAgentBase,), namespace)
 
 

@@ -292,6 +292,35 @@ def translate_query(declaration: ClassDecl, info: ScriptInfo | None = None) -> A
 
 
 # ----------------------------------------------------------------------
+# Executor-ready plan evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanQueryTask:
+    """A picklable query task: evaluate an algebra plan over environment tuples.
+
+    Follows the same no-closure discipline as the Appendix A jobs in
+    :mod:`repro.mapreduce.simulation_job`: the plan is a tree of module-level
+    dataclasses (pure data), so the task pickles cleanly and runs identically
+    on the serial, thread and process executor backends.  Calling the task
+    with a batch of environment tuples returns the flat list of effect tuples
+    the batch generates.
+
+    The BRACE runtime executes compiled scripts through the interpreter (the
+    path that covers the whole language); this task is the algebra-path
+    counterpart, used to cross-check the optimized plan against the
+    interpreter on every backend (``tests/brasil/test_run_script.py``).
+    """
+
+    plan: AlgebraOp
+
+    def __call__(self, environments: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        effects: list[dict[str, Any]] = []
+        for environment in environments:
+            effects.extend(self.plan.evaluate(environment))
+        return effects
+
+
+# ----------------------------------------------------------------------
 # Helpers used by tests to run plans against real agents
 # ----------------------------------------------------------------------
 def agent_tuple(agent: Any) -> dict[str, Any]:

@@ -21,14 +21,18 @@ figure6     Figure 6 — traffic scale-up (throughput vs worker count).
 figure7     Figure 7 — fish scale-up with and without load balancing.
 figure8     Figure 8 — fish per-epoch time with and without load balancing.
 ==========  =================================================================
+
+``run_figure6_brasil`` and ``run_figure7_brasil`` regenerate the two
+scale-up figures *from BRASIL source* via ``repro.brasil.run_script``
+(``figure6-brasil`` / ``figure7-brasil`` on the command line).
 """
 
 from repro.harness.table2 import run_table2, Table2Result
 from repro.harness.figure3 import run_figure3, Figure3Result
 from repro.harness.figure4 import run_figure4, Figure4Result
 from repro.harness.figure5 import run_figure5, Figure5Result
-from repro.harness.figure6 import run_figure6, Figure6Result
-from repro.harness.figure7 import run_figure7, Figure7Result
+from repro.harness.figure6 import run_figure6, run_figure6_brasil, Figure6Result
+from repro.harness.figure7 import run_figure7, run_figure7_brasil, Figure7Result
 from repro.harness.figure8 import run_figure8, Figure8Result
 
 __all__ = [
@@ -41,8 +45,10 @@ __all__ = [
     "run_figure5",
     "Figure5Result",
     "run_figure6",
+    "run_figure6_brasil",
     "Figure6Result",
     "run_figure7",
+    "run_figure7_brasil",
     "Figure7Result",
     "run_figure8",
     "Figure8Result",

@@ -15,7 +15,9 @@ from repro.harness import (
     run_figure4,
     run_figure5,
     run_figure6,
+    run_figure6_brasil,
     run_figure7,
+    run_figure7_brasil,
     run_figure8,
     run_table2,
 )
@@ -41,6 +43,12 @@ _EXPERIMENTS = {
     ),
     "figure8": lambda full: run_figure8(
         num_fish=3000 if full else 800, epochs=20 if full else 8
+    ),
+    "figure6-brasil": lambda full: run_figure6_brasil(
+        vehicles_per_worker=400 if full else 100, ticks=5 if full else 3
+    ),
+    "figure7-brasil": lambda full: run_figure7_brasil(
+        fish_per_worker=200 if full else 60, ticks=10 if full else 6
     ),
 }
 

@@ -7,6 +7,11 @@ the number of vehicles) is scaled linearly with the worker count, so the
 experiment measures *scale-up* rather than speed-up, exactly as in the paper.
 The dip the paper observes around 20 nodes — when the job stops fitting on a
 single switch — is reproduced by the network model's inter-switch penalty.
+
+:func:`run_figure6` uses the hand-written Python ``Vehicle`` model;
+:func:`run_figure6_brasil` reproduces the same curve *from BRASIL source*
+through :func:`repro.brasil.runner.run_script` — the paper's end-to-end
+claim that scripts, not hand-written agents, are what scales.
 """
 
 from __future__ import annotations
@@ -99,4 +104,50 @@ def run_figure6(
             result.worker_counts.append(workers)
             result.agents.append(total_vehicles)
             result.throughputs.append(runtime.throughput())
+    return result
+
+
+def run_figure6_brasil(
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32, 36),
+    vehicles_per_worker: int = 100,
+    ticks: int = 3,
+    seed: int = 31,
+    spacing: float = 20.0,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> Figure6Result:
+    """Figure 6 from BRASIL source: scale a ring road with the worker count.
+
+    The road length grows as ``vehicles_per_worker * workers * spacing`` so
+    density stays constant, mirroring :func:`run_figure6`'s scale-up design.
+    Each cluster size compiles a ring of the right length (BRASIL has no
+    parameters, so the length is baked into the generated source) and runs
+    it through ``run_script`` on the configured executor backend.
+    """
+    from repro.brasil.runner import run_script
+    from repro.simulations.traffic.brasil_scripts import traffic_script
+
+    result = Figure6Result(ticks=ticks, vehicles_per_worker=vehicles_per_worker)
+    for workers in worker_counts:
+        total_vehicles = vehicles_per_worker * workers
+        length = total_vehicles * spacing
+        config = BraceConfig(
+            num_workers=workers,
+            ticks_per_epoch=max(1, ticks),
+            check_visibility=False,
+            load_balance=False,
+            executor=executor,
+            max_workers=max_workers,
+        )
+        run = run_script(
+            traffic_script(length=length),
+            config,
+            ticks=ticks,
+            num_agents=total_vehicles,
+            bounds=((0.0, length),),
+            seed=seed,
+        )
+        result.worker_counts.append(workers)
+        result.agents.append(total_vehicles)
+        result.throughputs.append(run.throughput())
     return result

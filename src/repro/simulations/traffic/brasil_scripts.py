@@ -1,0 +1,55 @@
+"""BRASIL source for the traffic simulation.
+
+A ring-road car-following model in the declarative subset of BRASIL: every
+car looks for the nearest visible car ahead (a ``min``-combinator effect),
+then either closes the gap at half speed or accelerates toward the speed
+cap.  All effect assignments are local, so BRACE runs the script with a
+single reduce pass per tick, and the bounded ``#visibility`` lets the
+optimizer answer each ``foreach`` with a grid range query.
+
+BRASIL has no script parameters, so :func:`traffic_script` generates the
+source with the ring length (and therefore the problem size) baked in —
+this is how the Figure 6 harness scales the road with the worker count.
+"""
+
+from __future__ import annotations
+
+#: Default ring length used by :data:`TRAFFIC_SCRIPT`.
+TRAFFIC_RING_LENGTH = 1000.0
+
+
+def traffic_script(
+    length: float = TRAFFIC_RING_LENGTH,
+    visibility: float = 50.0,
+    max_speed: float = 15.0,
+) -> str:
+    """BRASIL source for a ring road of ``length`` units.
+
+    ``visibility`` bounds how far a car can see (and the gap it reacts to);
+    ``max_speed`` caps both acceleration and the declared per-tick
+    reachability.
+    """
+    return f"""
+class Car {{
+    // Position along the ring road, wrapped at the segment end.
+    public state float x : (x + v >= {length:g}) ? (x + v - {length:g}) : (x + v);
+        #visibility[{visibility:g}]; #reachability[{max_speed:g}];
+    // Car following: close a visible gap at half speed, else accelerate.
+    public state float v : (gap < {visibility:g}) ? min(gap / 2, {max_speed:g}) : min(v + 1, {max_speed:g});
+
+    // Distance to the nearest visible car ahead (identity: +infinity).
+    private effect float gap : min;
+
+    public void run() {{
+        foreach (Car c : Extent<Car>) {{
+            if (c.x > x) {{
+                gap <- c.x - x;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+#: The default-size traffic script (1000-unit ring).
+TRAFFIC_SCRIPT = traffic_script()

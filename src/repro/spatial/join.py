@@ -102,6 +102,44 @@ def index_self_join(
     return result
 
 
+def visible_region_self_join(
+    agents: Sequence[Any],
+    index: str | None = "kdtree",
+    cell_size: float | None = None,
+) -> dict[int, list[Any]]:
+    """Join every agent with the agents inside its *declared* visible region.
+
+    This is the σ_V join of the BRASIL semantics: the query box of each probe
+    agent is its ``visible_region()`` (derived from the script's
+    ``#range``/``#visibility`` annotations), so the join is driven by the
+    declarations rather than an ad-hoc radius.  ``index=None`` selects the
+    nested-loop strategy; agents with unbounded visibility match the whole
+    extent.  The probe agent itself is excluded from its matches.
+    """
+
+    # Box covering every agent position, for unbounded-visibility probes;
+    # computed at most once per join, not per probe.
+    global_box: list[BBox | None] = [None]
+
+    def query_box(agent: Any) -> BBox:
+        region = agent.visible_region()
+        if region is not None:
+            return region
+        if global_box[0] is None:
+            global_box[0] = BBox.of_points(other.position() for other in agents)
+        return global_box[0]
+
+    key = lambda agent: agent.position()
+    if index is None:
+        joined = nested_loop_self_join(agents, key, query_box)
+    else:
+        joined = index_self_join(agents, key, query_box, index=index, cell_size=cell_size)
+    return {
+        probe_index: [match for match in matches if match is not agents[probe_index]]
+        for probe_index, matches in joined.items()
+    }
+
+
 def neighbor_lists(
     items: Sequence[Any],
     key: Callable[[Any], Sequence[float]],

@@ -75,9 +75,14 @@ class TestCompilation:
 
     def test_brace_config_overrides(self):
         local = compile_script(PREDATOR_LOCAL_SCRIPT)
-        assert local.brace_config_overrides() == {"non_local_effects": False}
+        overrides = local.brace_config_overrides()
+        assert overrides["non_local_effects"] is False
+        # The optimizer's access-path selection rides along: the predator's
+        # uniform #range[-8, 8] visibility selects a grid join.
+        assert overrides["index"] == "grid"
+        assert overrides["cell_size"] == 16.0
         non_local = compile_script(PREDATOR_NON_LOCAL_SCRIPT, effect_inversion="off")
-        assert non_local.brace_config_overrides() == {"non_local_effects": True}
+        assert non_local.brace_config_overrides()["non_local_effects"] is True
 
     def test_algebra_plan_produced_for_pure_scripts(self):
         compiled = compile_script(SIMPLE)

@@ -129,3 +129,82 @@ class TestUnsupportedPatterns:
         result = invert_effects(parse(source).classes[0])
         assert result.inverted
         assert non_local_assignments(result.class_decl) == []
+
+
+NESTED_FOREACH = """
+class A {
+  public state float x : x; #range[-1, 1];
+  private effect float e : sum;
+  public void run() {
+    foreach (A p : Extent<A>) {
+      foreach (A q : Extent<A>) {
+        q.e <- p.x;
+      }
+    }
+  }
+}
+"""
+
+class TestErrorMessages:
+    """Non-invertible patterns must explain *why* they cannot be inverted."""
+
+    def test_nested_foreach_message_names_the_construct(self):
+        with pytest.raises(EffectInversionError, match="nested foreach"):
+            invert_effects(parse(NESTED_FOREACH).classes[0])
+
+    def test_rand_message_explains_the_stream_ownership(self):
+        source = NON_LOCAL.replace("(x - p.x) * 0.5", "rand()")
+        with pytest.raises(EffectInversionError, match="rand\\(\\).*stream"):
+            invert_effects(parse(source).classes[0])
+
+    def test_outer_local_message_names_the_variable(self):
+        source = """
+        class A {
+          public state float x : x; #range[-1, 1];
+          private effect float e : sum;
+          public void run() {
+            const float factor = 2;
+            foreach (A p : Extent<A>) {
+              p.e <- x * factor;
+            }
+          }
+        }
+        """
+        with pytest.raises(EffectInversionError, match="factor"):
+            invert_effects(parse(source).classes[0])
+
+
+class TestRunScriptSurfacesInversionErrors:
+    """run_script(effect_inversion="on") must raise descriptively, not crash."""
+
+    def test_non_invertible_script_error_keeps_type_and_reason(self):
+        from repro.brasil import run_script
+
+        with pytest.raises(EffectInversionError) as excinfo:
+            run_script(NESTED_FOREACH, ticks=1, num_agents=4, effect_inversion="on")
+        message = str(excinfo.value)
+        assert "cannot compile BRASIL script" in message
+        assert "nested foreach" in message
+
+    def test_auto_mode_falls_back_to_two_pass_plan(self):
+        from repro.brace.config import BraceConfig
+        from repro.brasil import run_script
+
+        run = run_script(
+            NESTED_FOREACH,
+            BraceConfig(num_workers=2),
+            ticks=1,
+            num_agents=4,
+            effect_inversion="auto",
+        )
+        assert not run.compiled.was_inverted
+        assert run.config.non_local_effects is True
+        assert run.metrics.ticks[-1].num_passes == 3
+
+    def test_script_path_appears_in_the_error(self, tmp_path):
+        from repro.brasil import run_script
+
+        path = tmp_path / "bad.brasil"
+        path.write_text(NESTED_FOREACH)
+        with pytest.raises(EffectInversionError, match="bad.brasil"):
+            run_script(str(path), ticks=1, effect_inversion="on")

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Docstring coverage checker for the CI docs job.
+
+Walks a package directory, counts the public definitions (modules, classes,
+functions and methods) that carry a docstring, and fails when coverage drops
+below the threshold.  Private names (leading underscore) and trivial dunder
+overrides are excluded — the goal is that everything a user can reach reads
+as documentation, not that every helper repeats its own name.
+
+Usage:
+    python tools/check_docstrings.py [--fail-under PCT] [--verbose] [PATHS...]
+
+Exit status is 0 when coverage >= --fail-under (default 90), 1 otherwise.
+Only the standard library is used, so the check runs anywhere the tests do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+#: Dunder methods whose behaviour is fully conventional; a docstring would
+#: only restate the protocol.
+_EXEMPT_DUNDERS = {
+    "__init__",
+    "__repr__",
+    "__str__",
+    "__eq__",
+    "__hash__",
+    "__len__",
+    "__iter__",
+    "__next__",
+    "__enter__",
+    "__exit__",
+    "__post_init__",
+    "__getitem__",
+    "__setitem__",
+    "__contains__",
+    "__call__",
+    "__reduce__",
+    "__add__",
+    "__sub__",
+    "__mul__",
+    "__truediv__",
+    "__neg__",
+    "__getstate__",
+    "__setstate__",
+    "__new__",
+    "__get__",
+    "__set__",
+    "__set_name__",
+}
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return name not in _EXEMPT_DUNDERS
+    return not name.startswith("_")
+
+
+def _walk_definitions(node, prefix):
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not _is_public(child.name):
+                continue  # nested definitions inside private scopes stay private
+            name = f"{prefix}{child.name}"
+            yield name, child
+            if isinstance(child, ast.ClassDef):
+                yield from _walk_definitions(child, f"{name}.")
+
+
+def _definitions(tree: ast.Module):
+    """Yield ``(qualified name, node)`` for every public definition."""
+    yield "<module>", tree
+    yield from _walk_definitions(tree, "")
+
+
+def check_file(path: Path, verbose: bool) -> tuple[int, int, list[str]]:
+    """Return ``(documented, total, missing)`` for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    documented = 0
+    total = 0
+    missing: list[str] = []
+    for name, node in _definitions(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(f"{path}:{getattr(node, 'lineno', 1)} {name}")
+    if verbose and missing:
+        for entry in missing:
+            print(f"  missing: {entry}")
+    return documented, total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the coverage check over the given paths (default: src/repro)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or package dirs")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        help="minimum docstring coverage percentage (default: 90)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="list undocumented definitions")
+    arguments = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for raw in arguments.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    if not files:
+        print("no Python files found", file=sys.stderr)
+        return 1
+
+    documented = 0
+    total = 0
+    all_missing: list[str] = []
+    for source in files:
+        file_documented, file_total, missing = check_file(source, arguments.verbose)
+        documented += file_documented
+        total += file_total
+        all_missing.extend(missing)
+
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} public definitions "
+        f"({coverage:.1f}%), threshold {arguments.fail_under:.1f}%"
+    )
+    if coverage < arguments.fail_under:
+        print("FAILED — undocumented definitions:", file=sys.stderr)
+        for entry in all_missing:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
