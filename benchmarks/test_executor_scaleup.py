@@ -21,6 +21,8 @@ this benchmark asserts that before it reports any timing.
 
 import time
 
+import pytest
+
 from repro.brace.config import BraceConfig
 from repro.brace.runtime import BraceRuntime
 from repro.harness.common import format_table
@@ -84,6 +86,29 @@ def run_scaleup():
     return serial_world, results
 
 
+def _run_tiny(executor: str, max_workers: int):
+    world = build_traffic_world(seed=SEED, num_vehicles=40)
+    config = BraceConfig(
+        num_workers=NUM_WORKERS,
+        ticks_per_epoch=2,
+        check_visibility=False,
+        load_balance=False,
+        executor=executor,
+        max_workers=max_workers,
+    )
+    with BraceRuntime(world, config) as runtime:
+        runtime.run(2)
+    return world
+
+
+def test_executor_smoke_tiny():
+    """Tiny-size smoke: one serial and one process run stay bit-identical."""
+    serial_world = _run_tiny("serial", 1)
+    process_world = _run_tiny("process", 2)
+    assert serial_world.same_state_as(process_world, tolerance=0.0)
+
+
+@pytest.mark.slow
 def test_executor_scaleup(once):
     serial_world, results = once(run_scaleup)
 

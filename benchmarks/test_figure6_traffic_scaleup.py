@@ -5,9 +5,26 @@ linearly because the uniform traffic keeps every strip equally loaded even
 without load balancing.
 """
 
+import pytest
+
 from repro.harness import run_figure6
 
 
+def test_figure6_smoke_tiny(once):
+    """Tiny-size smoke: the harness still runs end to end and scales up."""
+    result = once(
+        run_figure6,
+        worker_counts=(1, 4),
+        vehicles_per_worker=20,
+        ticks=2,
+        seed=31,
+    )
+    throughputs = result.throughputs
+    assert len(throughputs) == 2
+    assert throughputs[-1] > throughputs[0]
+
+
+@pytest.mark.slow
 def test_figure6_traffic_scaleup(once):
     result = once(
         run_figure6,

@@ -5,9 +5,27 @@ balancing only a few strips do any work and throughput stops growing; with
 the one-dimensional load balancer throughput keeps growing with the cluster.
 """
 
+import pytest
+
 from repro.harness import run_figure7
 
 
+def test_figure7_smoke_tiny(once):
+    """Tiny-size smoke: both load-balancing arms of the harness run."""
+    result = once(
+        run_figure7,
+        worker_counts=(1, 4),
+        fish_per_worker=15,
+        ticks=2,
+        ticks_per_epoch=1,
+        seed=41,
+    )
+    rows = result.rows()
+    assert len(rows) == 2
+    assert all(row["throughput_lb"] > 0 and row["throughput_no_lb"] > 0 for row in rows)
+
+
+@pytest.mark.slow
 def test_figure7_fish_scaleup(once):
     result = once(
         run_figure7,

@@ -5,9 +5,22 @@ consistently cheaper than the unbalanced one's, whose epochs reflect most of
 the school being simulated by a couple of workers.
 """
 
+import pytest
+
 from repro.harness import run_figure8
 
 
+def test_figure8_smoke_tiny(once):
+    """Tiny-size smoke: per-epoch accounting is produced for both arms."""
+    result = once(
+        run_figure8, workers=4, num_fish=80, epochs=2, ticks_per_epoch=2, seed=47
+    )
+    rows = result.rows()
+    assert len(rows) == 2
+    assert all(row["seconds_lb"] > 0 and row["seconds_no_lb"] > 0 for row in rows)
+
+
+@pytest.mark.slow
 def test_figure8_epoch_times(once):
     result = once(
         run_figure8, workers=16, num_fish=800, epochs=8, ticks_per_epoch=3, seed=47

@@ -1,0 +1,150 @@
+"""Benchmark: resident shards ship boundary deltas, not the world.
+
+The collocation argument of the paper, measured for real: with resident
+worker shards (the process backend's default), the driver exchanges only
+migrations, boundary replicas and effect partials with the pool processes
+each tick.  This benchmark grows the world while holding the partition
+*boundary* constant — a strip world whose length scales with the population
+at fixed density — and checks that the measured per-tick IPC bytes track the
+boundary, not the agent count.  The legacy ship-everything path's traffic is
+modeled from the same worlds for comparison (it pickles every owned agent
+every tick, so it scales linearly with the population).
+
+World geometry: agents are spread along the x axis of a ``length x 30`` box
+at a constant ~0.5 agents per unit of length, partitioned into 4 strips.
+Each strip edge sees a fixed-width visibility band (Boid visibility is 10),
+so replicas per tick stay roughly constant as the world grows.
+"""
+
+import pickle
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.brace.config import BraceConfig
+from repro.brace.runtime import BraceRuntime
+from repro.core.world import World
+from repro.harness.common import format_table
+from repro.spatial.bbox import BBox
+
+from tests.conftest import Boid
+
+NUM_WORKERS = 4
+TICKS = 3
+SEED = 19
+#: Agents per unit of world length: fixed, so boundary population is fixed.
+LINEAR_DENSITY = 0.5
+SIZES = (150, 600)
+
+
+def build_strip_world(num_agents: int, seed: int = SEED) -> World:
+    """A long thin Boid world whose length grows with the population."""
+    length = num_agents / LINEAR_DENSITY
+    world = World(bounds=BBox(((0.0, length), (0.0, 30.0))), seed=seed)
+    rng = np.random.default_rng(seed)
+    slot = length / num_agents
+    for index in range(num_agents):
+        world.add_agent(
+            Boid(
+                x=min((index + float(rng.uniform(0.0, 1.0))) * slot, length - 1e-6),
+                y=float(rng.uniform(0.0, 30.0)),
+                vx=float(rng.uniform(-1.0, 1.0)),
+                vy=float(rng.uniform(-1.0, 1.0)),
+            )
+        )
+    return world
+
+
+def run_resident(num_agents: int):
+    """Run the resident process backend; returns measured per-tick numbers."""
+    world = build_strip_world(num_agents)
+    config = BraceConfig(
+        num_workers=NUM_WORKERS,
+        ticks_per_epoch=1000,  # no epoch events inside the measurement
+        load_balance=False,
+        executor="process",
+        max_workers=NUM_WORKERS,
+    )
+    with BraceRuntime(world, config) as runtime:
+        runtime.run_tick()  # warm the pools and seed the shards
+        runtime.run(TICKS)
+        ticks = runtime.metrics.ticks[1:]
+        assert all(tick.resident for tick in ticks)
+        per_tick_ipc = statistics.mean(tick.ipc_bytes_total for tick in ticks)
+        boundary = statistics.mean(
+            tick.replicas_created + tick.agents_migrated for tick in ticks
+        )
+    return world, per_tick_ipc, boundary
+
+
+def modeled_legacy_bytes(world: World) -> int:
+    """Per-tick bytes the legacy path ships: every owned agent, pickled.
+
+    The pre-resident process backend pickled each worker's full owned and
+    replica lists to the pool every tick; the owned agents alone are a lower
+    bound, which is all the comparison needs.
+    """
+    return len(pickle.dumps(world.agents(), pickle.HIGHEST_PROTOCOL))
+
+
+def test_ipc_scales_with_boundary_not_world(once):
+    def measure():
+        rows = []
+        for num_agents in SIZES:
+            world, per_tick_ipc, boundary = run_resident(num_agents)
+            rows.append(
+                {
+                    "agents": num_agents,
+                    "ipc_per_tick": per_tick_ipc,
+                    "boundary": boundary,
+                    "legacy_model": modeled_legacy_bytes(world),
+                }
+            )
+        return rows
+
+    rows = once(measure)
+    print()
+    print(
+        format_table(
+            ["Agents", "Boundary (replicas+migrations)", "Resident IPC/tick", "Legacy model/tick"],
+            [
+                [
+                    row["agents"],
+                    f"{row['boundary']:.0f}",
+                    f"{row['ipc_per_tick']:.0f} B",
+                    f"{row['legacy_model']} B",
+                ]
+                for row in rows
+            ],
+            title="Per-tick driver<->shard traffic vs world size (4 strips, fixed density)",
+        )
+    )
+
+    small, large = rows
+    world_growth = large["agents"] / small["agents"]
+    ipc_growth = large["ipc_per_tick"] / small["ipc_per_tick"]
+    legacy_growth = large["legacy_model"] / small["legacy_model"]
+
+    # The partition boundary barely moves as the world quadruples...
+    assert large["boundary"] < 2.0 * small["boundary"]
+    # ...and the measured IPC follows the boundary, not the world.
+    assert ipc_growth < 0.5 * world_growth, (
+        f"resident IPC grew {ipc_growth:.2f}x for {world_growth:.0f}x more agents"
+    )
+    # The legacy ship-everything model is world-bound (sanity of the model)...
+    assert legacy_growth > 0.8 * world_growth
+    # ...and at scale the deltas are much cheaper than shipping the world.
+    assert large["ipc_per_tick"] < 0.5 * large["legacy_model"]
+
+
+def test_resident_benchmark_world_is_bit_identical_to_serial():
+    """The measured configuration still produces exact serial results."""
+    process_world, _, _ = run_resident(SIZES[0])
+    serial_world = build_strip_world(SIZES[0])
+    config = BraceConfig(
+        num_workers=NUM_WORKERS, ticks_per_epoch=1000, load_balance=False
+    )
+    with BraceRuntime(serial_world, config) as runtime:
+        runtime.run(TICKS + 1)
+    assert serial_world.same_state_as(process_world, tolerance=0.0)

@@ -35,6 +35,16 @@ class BraceConfig:
     #: Parallel task slots for the thread/process executors.  ``None`` uses
     #: ``min(num_workers, cpu count)``.
     max_workers: int | None = None
+    #: Resident worker shards: host each worker's agents durably inside the
+    #: executor (pinned to one pool process on the process backend) and ship
+    #: only per-tick deltas — migrations, boundary replicas and effect
+    #: partials — instead of pickling the whole owned set every tick.
+    #: ``None`` (the default) enables residency exactly for backends that do
+    #: not share the driver's memory (i.e. the process backend); ``True``
+    #: forces the delta protocol on any backend (useful for testing it
+    #: without pool overhead); ``False`` keeps the legacy ship-everything
+    #: path.  Results are bit-identical either way.
+    resident_shards: bool | None = None
 
     # Iteration structure ------------------------------------------------
     ticks_per_epoch: int = 10
@@ -96,6 +106,11 @@ class BraceConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise BraceError("max_workers must be at least 1 (or None for automatic)")
+        if self.resident_shards not in (None, True, False):
+            raise BraceError(
+                "resident_shards must be True, False or None (automatic: on for "
+                "backends that do not share the driver's memory)"
+            )
         if self.index not in (None, "kdtree", "grid", "quadtree"):
             raise BraceError(f"unknown spatial index {self.index!r}")
         if self.load_balance_threshold < 1.0:

@@ -30,6 +30,15 @@ class BraceTickStatistics:
     killed: int = 0
     #: Executor backend that ran the worker phases ("serial", "thread", "process").
     executor: str = "serial"
+    #: True when the tick ran the resident-shard delta protocol.
+    resident: bool = False
+    #: Measured bytes the driver actually shipped to shards this tick
+    #: (pickled payload sizes; 0 on memory-sharing backends).  Unlike the
+    #: modeled ``bytes_*`` fields these are real bytes on the wire, so they
+    #: are *not* part of the cross-backend determinism contract.
+    ipc_bytes_sent: int = 0
+    #: Measured bytes shards shipped back to the driver this tick.
+    ipc_bytes_received: int = 0
     #: Wall-clock seconds each worker's query phase took, indexed by worker id.
     query_seconds_per_worker: list[float] = field(default_factory=list)
     #: Wall-clock seconds each worker's update phase took, indexed by worker id.
@@ -62,6 +71,11 @@ class BraceTickStatistics:
         """Max-over-mean wall-clock ratio across the workers' update phases."""
         return wall_clock_imbalance(self.update_seconds_per_worker)
 
+    @property
+    def ipc_bytes_total(self) -> int:
+        """Measured driver<->shard bytes for this tick (both directions)."""
+        return self.ipc_bytes_sent + self.ipc_bytes_received
+
 
 @dataclass
 class EpochStatistics:
@@ -77,6 +91,9 @@ class EpochStatistics:
     checkpointed: bool
     checkpoint_bytes: int
     agents_migrated_by_balancer: int
+    #: Measured driver<->shard bytes spent on epoch-boundary coordination
+    #: (boundary flush, coordinate pull, repartition moves, checkpoint sync).
+    ipc_bytes: int = 0
 
     @property
     def seconds_per_epoch(self) -> float:
@@ -90,10 +107,17 @@ class BraceRunMetrics:
 
     ticks: list[BraceTickStatistics] = field(default_factory=list)
     epochs: list[EpochStatistics] = field(default_factory=list)
+    #: Measured driver<->shard bytes spent pulling full world state outside
+    #: epoch boundaries (end-of-run sync, on-demand ``sync_world`` calls).
+    sync_ipc_bytes: int = 0
 
     def add_tick(self, stats: BraceTickStatistics) -> None:
         """Record one tick."""
         self.ticks.append(stats)
+
+    def add_sync_ipc(self, num_bytes: int) -> None:
+        """Record measured bytes of an out-of-band world sync."""
+        self.sync_ipc_bytes += num_bytes
 
     def add_epoch(self, stats: EpochStatistics) -> None:
         """Record one epoch."""
@@ -142,6 +166,24 @@ class BraceRunMetrics:
     def total_bytes_over_network(self) -> int:
         """Replication + effect + migration bytes that crossed node boundaries."""
         return sum(t.bytes_replicated + t.bytes_effects + t.bytes_migrated for t in self.ticks)
+
+    def total_ipc_bytes(self) -> int:
+        """Measured driver<->shard bytes across every tick and epoch boundary.
+
+        Real pickled payload/result sizes (not the cost model's estimates);
+        0 unless the run used a backend that crosses a process boundary.
+        Includes per-tick rounds, epoch-boundary coordination and
+        out-of-band world syncs.
+        """
+        tick_bytes = sum(t.ipc_bytes_total for t in self.ticks)
+        return tick_bytes + sum(e.ipc_bytes for e in self.epochs) + self.sync_ipc_bytes
+
+    def mean_ipc_bytes_per_tick(self, skip_ticks: int = 0) -> float:
+        """Average measured driver<->shard bytes per tick (epoch traffic excluded)."""
+        ticks = self.ticks[skip_ticks:]
+        if not ticks:
+            return 0.0
+        return sum(t.ipc_bytes_total for t in ticks) / len(ticks)
 
     def mean_query_wall_imbalance(self, skip_ticks: int = 0) -> float:
         """Average per-tick query-phase wall-clock imbalance (load-skew indicator)."""

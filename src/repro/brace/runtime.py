@@ -22,9 +22,23 @@ time by the cluster cost model; throughput is reported in agent-ticks per
 *states* produced are identical to a sequential run — this is checked by the
 equivalence tests.
 
+Worker phases execute through the configured executor backend in one of two
+modes:
+
+* **in place** (serial/thread backends, or ``resident_shards=False``): the
+  driver holds every :class:`~repro.brace.worker.Worker`; the legacy process
+  path pickles each worker's full owned+replica sets out per tick;
+* **resident shards** (the default whenever the executor does not share the
+  driver's memory): each worker lives durably inside an executor host
+  process, and ticks exchange only *deltas* — migrations, boundary replicas
+  and effect partials — so measured per-tick IPC scales with the partition
+  boundary, not the world (see :mod:`repro.brace.shards`).
+
 At epoch boundaries the master may rebalance the partitioning (Figures 7/8)
-and trigger coordinated checkpoints, from which :meth:`BraceRuntime.recover`
-restores after an injected failure.
+— physically moving agents between shards in resident mode — and trigger
+coordinated checkpoints (which pull state from the shards), from which
+:meth:`BraceRuntime.recover` restores after an injected failure by re-seeding
+the shards from the restored world.
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from __future__ import annotations
 import functools
 import os
 import time
+from collections import Counter
 from typing import Any
 
 from repro.brace.checkpoint import FailureInjector
@@ -39,13 +54,31 @@ from repro.brace.config import BraceConfig
 from repro.brace.master import Master, WorkerReport
 from repro.brace.metrics import BraceRunMetrics, BraceTickStatistics, EpochStatistics
 from repro.brace.replication import replication_targets
+from repro.brace.shards import (
+    BoundaryDelta,
+    MapCommand,
+    QueryCommand,
+    RepartitionCommand,
+    ShardSeed,
+    UpdateCommand,
+    make_resident_worker,
+    shard_adopt_partitioning,
+    shard_apply_boundary,
+    shard_collect_coordinates,
+    shard_collect_states,
+    shard_install_owned,
+    shard_map_phase,
+    shard_query_phase,
+    shard_update_phase,
+)
 from repro.brace.worker import Worker, run_query_phase_remote, run_update_phase_remote
 from repro.cluster.costmodel import ClusterCostModel, WorkerTickCost
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import SimulatedNode
 from repro.core.context import UpdateContext
 from repro.core.engine import apply_births_and_deaths
-from repro.core.errors import BraceError
+from repro.core.errors import BraceError, ExecutorError
+from repro.core.ordering import agent_sort_key
 from repro.core.world import World
 from repro.mapreduce.executor import make_executor
 from repro.spatial.partitioning import StripPartitioning
@@ -88,6 +121,19 @@ class BraceRuntime:
         #: Execution backend running the per-worker query and update phases.
         self.executor = make_executor(self.config.executor, max_workers)
 
+        #: Whether ticks run the resident-shard delta protocol.  ``None`` in
+        #: the config resolves to "on exactly when the executor does not
+        #: share the driver's memory" — i.e. the process backend.
+        if self.config.resident_shards is None:
+            self._resident = not self.executor.shares_memory
+        else:
+            self._resident = bool(self.config.resident_shards)
+        self._shards_ready = False
+        #: Births/deaths applied driver-side but not yet shipped to shards.
+        self._pending_boundary: dict[int, BoundaryDelta] = {}
+        #: True when shard-resident states are newer than the driver's world.
+        self._world_dirty = False
+
         self._owner_of: dict[Any, int] = {}
         self._assign_initial_ownership()
 
@@ -121,7 +167,19 @@ class BraceRuntime:
     # Tick execution
     # ------------------------------------------------------------------
     def run_tick(self) -> BraceTickStatistics:
-        """Execute one distributed tick and return its statistics."""
+        """Execute one distributed tick and return its statistics.
+
+        Dispatches to the resident-shard delta protocol
+        (:meth:`_run_tick_resident`) or the legacy in-place/ship-everything
+        path (:meth:`_run_tick_inplace`); both produce bit-identical agent
+        states and deterministic statistics.
+        """
+        if self._resident:
+            return self._run_tick_resident()
+        return self._run_tick_inplace()
+
+    def _run_tick_inplace(self) -> BraceTickStatistics:
+        """One tick with driver-held workers (serial/thread/legacy process)."""
         config = self.config
         world = self.world
         tick = world.tick
@@ -143,8 +201,8 @@ class BraceRuntime:
         # Transfers are batched per (source, destination) pair per tick: a
         # worker sends one message containing every migrated agent, replica
         # or effect partial addressed to a given peer, as a real runtime would.
-        migration_bytes: dict[tuple[int, int], int] = {}
-        replication_bytes: dict[tuple[int, int], int] = {}
+        migration_bytes: Counter = Counter()
+        replication_bytes: Counter = Counter()
 
         agents_migrated = 0
         for worker in self.workers:
@@ -154,9 +212,7 @@ class BraceRuntime:
                     worker.remove_owned(agent.agent_id)
                     self.workers[owner].add_owned(agent)
                     self._owner_of[agent.agent_id] = owner
-                    size = agent.approximate_size_bytes()
-                    pair = (worker.worker_id, owner)
-                    migration_bytes[pair] = migration_bytes.get(pair, 0) + size
+                    migration_bytes[(worker.worker_id, owner)] += agent.approximate_size_bytes()
                     agents_migrated += 1
 
         replicas_created = 0
@@ -164,13 +220,12 @@ class BraceRuntime:
             cost = worker_costs[worker.worker_id]
             cost.work_units += config.map_work_units_per_agent * worker.owned_count()
             for agent in worker.owned_agents():
+                size = agent.approximate_size_bytes()
                 for target in replication_targets(agent, self.master.partitioning):
                     if target == worker.worker_id:
                         continue
                     self.workers[target].receive_replica(agent)
-                    size = agent.approximate_size_bytes()
-                    pair = (worker.worker_id, target)
-                    replication_bytes[pair] = replication_bytes.get(pair, 0) + size
+                    replication_bytes[(worker.worker_id, target)] += size
                     replicas_created += 1
 
         bytes_migrated = self._charge_transfers(migration_bytes, worker_costs, network)
@@ -189,16 +244,16 @@ class BraceRuntime:
         # ------------------------------------------------------------------
         bytes_effects = 0
         if config.non_local_effects:
-            effect_bytes: dict[tuple[int, int], int] = {}
+            effect_bytes: Counter = Counter()
             for worker in self.workers:
                 for agent_id, partials in sorted(
-                    worker.touched_replica_partials().items(), key=lambda item: repr(item[0])
+                    worker.touched_replica_partials().items(),
+                    key=lambda item: agent_sort_key(item[0]),
                 ):
                     owner = self.worker_of(agent_id)
                     size = 16 + 8 * len(partials)
                     if owner != worker.worker_id:
-                        pair = (worker.worker_id, owner)
-                        effect_bytes[pair] = effect_bytes.get(pair, 0) + size
+                        effect_bytes[(worker.worker_id, owner)] += size
                     self.workers[owner].merge_remote_partials(agent_id, partials)
                     worker_costs[owner].work_units += len(partials)
             bytes_effects = self._charge_transfers(effect_bytes, worker_costs, network)
@@ -231,14 +286,250 @@ class BraceRuntime:
             self.workers[owner].add_owned(agent)
             self._owner_of[agent.agent_id] = owner
 
+        return self._finalize_tick(
+            tick=tick,
+            num_agents=num_agents,
+            worker_costs=worker_costs,
+            wall_start=wall_start,
+            bytes_replicated=bytes_replicated,
+            bytes_effects=bytes_effects,
+            bytes_migrated=bytes_migrated,
+            replicas_created=replicas_created,
+            agents_migrated=agents_migrated,
+            spawned=len(spawned_agents),
+            killed=len(killed_ids),
+            query_seconds=query_seconds,
+            update_seconds=update_seconds,
+        )
+
+    def _run_tick_resident(self) -> BraceTickStatistics:
+        """One tick of the resident-shard delta protocol.
+
+        Three shard rounds — map/distribute, query, update — exchange only
+        boundary deltas with the executor-hosted workers; the driver keeps
+        shadow workers (membership and stale agent objects, no per-tick
+        state) so ownership, load statistics and the cost model work exactly
+        as in the in-place path.
+        """
+        config = self.config
+        world = self.world
+        tick = world.tick
+        network = self.cost_model.network
+        wall_start = time.perf_counter()
+
+        self._ensure_shards()
+        worker_costs = [WorkerTickCost(worker.worker_id) for worker in self.workers]
+        num_agents = world.agent_count()
+        ipc_sent = 0
+        ipc_received = 0
+
         # ------------------------------------------------------------------
-        # Virtual time and statistics.
+        # Round 1 — map/distribute: each shard applies the previous tick's
+        # births/deaths and computes its outgoing migrations and replicas.
         # ------------------------------------------------------------------
+        pending, self._pending_boundary = self._pending_boundary, {}
+        map_results = self._shard_round(
+            [
+                (worker.worker_id, shard_map_phase, MapCommand(pending.get(worker.worker_id)))
+                for worker in self.workers
+            ]
+        )
+        ipc_sent += sum(result.payload_bytes for result in map_results)
+        ipc_received += sum(result.result_bytes for result in map_results)
+
+        migration_bytes: Counter = Counter()
+        replication_bytes: Counter = Counter()
+        agents_migrated = 0
+        replicas_created = 0
+        migrated_in: dict[int, list] = {worker.worker_id: [] for worker in self.workers}
+        replicas_in: dict[int, list] = {worker.worker_id: [] for worker in self.workers}
+        for result in map_results:
+            source = result.shard_id
+            plan = result.value
+            for destination, agents in sorted(plan.migrations_out.items()):
+                for agent in agents:
+                    # Move the driver's (possibly stale) twin between shadow
+                    # workers; forward the shard's fresh copy to its new home.
+                    stale = self.workers[source].remove_owned(agent.agent_id)
+                    self.workers[destination].add_owned(stale)
+                    self._owner_of[agent.agent_id] = destination
+                    migrated_in[destination].append(agent)
+            for destination, replicas in sorted(plan.replicas_out.items()):
+                replicas_in[destination].extend(replicas)
+            migration_bytes.update(plan.migration_pair_bytes)
+            replication_bytes.update(plan.replication_pair_bytes)
+            agents_migrated += plan.agents_migrated
+            replicas_created += plan.replicas_created
+
+        for worker in self.workers:
+            cost = worker_costs[worker.worker_id]
+            cost.work_units += config.map_work_units_per_agent * worker.owned_count()
+
+        bytes_migrated = self._charge_transfers(migration_bytes, worker_costs, network)
+        bytes_replicated = self._charge_transfers(replication_bytes, worker_costs, network)
+
+        # ------------------------------------------------------------------
+        # Round 2 — query phase: ship only the incoming deltas; get back only
+        # the non-local partials (owned effects stay resident in the shard).
+        # ------------------------------------------------------------------
+        query_results = self._shard_round(
+            [
+                (
+                    worker.worker_id,
+                    shard_query_phase,
+                    QueryCommand(
+                        migrated_in=migrated_in[worker.worker_id],
+                        replicas_in=replicas_in[worker.worker_id],
+                        tick=tick,
+                        seed=self.seed,
+                        index=config.index,
+                        cell_size=config.cell_size,
+                        check_visibility=config.check_visibility,
+                    ),
+                )
+                for worker in self.workers
+            ]
+        )
+        ipc_sent += sum(result.payload_bytes for result in query_results)
+        ipc_received += sum(result.result_bytes for result in query_results)
+        query_seconds = [result.wall_seconds for result in query_results]
+        for worker, result in zip(self.workers, query_results):
+            worker.last_query_work_units = result.value.work_units
+            worker.last_index_probes = result.value.index_probes
+            worker_costs[worker.worker_id].work_units += result.value.work_units
+
+        # ------------------------------------------------------------------
+        # Reduce 2 — route partials driver-side in the same global order the
+        # in-place path uses (source worker id, then agent sort key).
+        # ------------------------------------------------------------------
+        bytes_effects = 0
+        routed: dict[int, list] = {worker.worker_id: [] for worker in self.workers}
+        if config.non_local_effects:
+            effect_bytes: Counter = Counter()
+            for result in query_results:
+                source = result.shard_id
+                for agent_id, partials in sorted(
+                    result.value.replica_partials.items(),
+                    key=lambda item: agent_sort_key(item[0]),
+                ):
+                    owner = self.worker_of(agent_id)
+                    size = 16 + 8 * len(partials)
+                    if owner != source:
+                        effect_bytes[(source, owner)] += size
+                    routed[owner].append((agent_id, partials))
+                    worker_costs[owner].work_units += len(partials)
+            bytes_effects = self._charge_transfers(effect_bytes, worker_costs, network)
+        else:
+            for result in query_results:
+                if result.value.replica_partials:
+                    raise BraceError(
+                        "the model assigned non-local effects but "
+                        "BraceConfig.non_local_effects is False; enable the second "
+                        "reduce pass or use an effect-inverted script"
+                    )
+
+        # ------------------------------------------------------------------
+        # Round 3 — update phase: ship routed partials; get back only the
+        # birth/death requests.  New agent states stay resident.
+        # ------------------------------------------------------------------
+        update_results = self._shard_round(
+            [
+                (
+                    worker.worker_id,
+                    shard_update_phase,
+                    UpdateCommand(
+                        partials=routed[worker.worker_id],
+                        tick=tick,
+                        seed=self.seed,
+                        world_bounds=world.bounds,
+                    ),
+                )
+                for worker in self.workers
+            ]
+        )
+        ipc_sent += sum(result.payload_bytes for result in update_results)
+        ipc_received += sum(result.result_bytes for result in update_results)
+        update_seconds = [result.wall_seconds for result in update_results]
+
+        merged_updates = UpdateContext(tick=tick, seed=self.seed, world_bounds=world.bounds)
+        for result in update_results:
+            context = UpdateContext(tick=tick, seed=self.seed, world_bounds=world.bounds)
+            context._spawn_requests = list(result.value.spawn_requests)
+            context._kill_requests = set(result.value.kill_requests)
+            merged_updates.merge(context)
+
+        for worker in self.workers:
+            cost = worker_costs[worker.worker_id]
+            cost.work_units += config.update_work_units_per_agent * worker.owned_count()
+            cost.agents_owned = worker.owned_count()
+
+        # Births and deaths are decided globally by the driver (deterministic
+        # id allocation) and shipped to the shards with the next tick's map
+        # command — or flushed eagerly if an epoch boundary needs them.
+        spawned_agents, killed_ids = apply_births_and_deaths(world, merged_updates)
+        for agent_id in killed_ids:
+            owner = self._owner_of.pop(agent_id, None)
+            if owner is not None:
+                if agent_id in self.workers[owner].owned:
+                    self.workers[owner].remove_owned(agent_id)
+                self._boundary_for(owner).kill_ids.append(agent_id)
+        for agent in spawned_agents:
+            owner = self.master.partitioning.partition_of(agent.position())
+            self.workers[owner].add_owned(agent)
+            self._owner_of[agent.agent_id] = owner
+            self._boundary_for(owner).spawn_agents.append(agent)
+
+        self._world_dirty = True
+        return self._finalize_tick(
+            tick=tick,
+            num_agents=num_agents,
+            worker_costs=worker_costs,
+            wall_start=wall_start,
+            bytes_replicated=bytes_replicated,
+            bytes_effects=bytes_effects,
+            bytes_migrated=bytes_migrated,
+            replicas_created=replicas_created,
+            agents_migrated=agents_migrated,
+            spawned=len(spawned_agents),
+            killed=len(killed_ids),
+            query_seconds=query_seconds,
+            update_seconds=update_seconds,
+            resident=True,
+            ipc_bytes_sent=ipc_sent,
+            ipc_bytes_received=ipc_received,
+        )
+
+    def _finalize_tick(
+        self,
+        *,
+        tick: int,
+        num_agents: int,
+        worker_costs: list[WorkerTickCost],
+        wall_start: float,
+        bytes_replicated: int,
+        bytes_effects: int,
+        bytes_migrated: int,
+        replicas_created: int,
+        agents_migrated: int,
+        spawned: int,
+        killed: int,
+        query_seconds: list[float],
+        update_seconds: list[float],
+        resident: bool = False,
+        ipc_bytes_sent: int = 0,
+        ipc_bytes_received: int = 0,
+    ) -> BraceTickStatistics:
+        """Convert a tick's measurements into virtual time and statistics.
+
+        Shared epilogue of both tick paths: charges the cost model, records
+        the tick, advances the world clock and handles the epoch boundary.
+        """
+        config = self.config
         num_passes = 3 if config.non_local_effects else 2
         breakdown = self.cost_model.tick_cost(tick, worker_costs, num_passes=num_passes)
         owned_counts = self.owned_counts()
         wall_seconds = time.perf_counter() - wall_start
-        world.tick += 1
+        self.world.tick += 1
 
         stats = BraceTickStatistics(
             tick=tick,
@@ -256,9 +547,12 @@ class BraceRuntime:
             max_worker_agents=max(owned_counts) if owned_counts else 0,
             min_worker_agents=min(owned_counts) if owned_counts else 0,
             num_passes=num_passes,
-            spawned=len(spawned_agents),
-            killed=len(killed_ids),
+            spawned=spawned,
+            killed=killed,
             executor=self.executor.name,
+            resident=resident,
+            ipc_bytes_sent=ipc_bytes_sent,
+            ipc_bytes_received=ipc_bytes_received,
             query_seconds_per_worker=query_seconds,
             update_seconds_per_worker=update_seconds,
         )
@@ -273,9 +567,16 @@ class BraceRuntime:
         return stats
 
     def run(self, ticks: int) -> BraceRunMetrics:
-        """Execute ``ticks`` distributed ticks."""
+        """Execute ``ticks`` distributed ticks.
+
+        With resident shards the driver's world holds stale agent state
+        while ticks run; the final states are pulled back once at the end
+        (:meth:`sync_world`), so callers observe exactly what an in-place
+        run would have produced.
+        """
         for _ in range(ticks):
             self.run_tick()
+        self.metrics.add_sync_ipc(self.sync_world())
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -363,9 +664,132 @@ class BraceRuntime:
                 merged_updates.merge(context)
         return [result.wall_seconds for result in results]
 
+    # ------------------------------------------------------------------
+    # Resident-shard management
+    # ------------------------------------------------------------------
+    def _ensure_shards(self) -> None:
+        """Seed the executor-hosted shards from the driver's workers (lazy).
+
+        Ships each worker's partition, the current partitioning and its
+        owned agents **once**; afterwards ticks exchange only deltas.  Called
+        again after :meth:`recover` (shards are re-seeded from the restored
+        world) or after an executor failure invalidated the shard state.
+        """
+        if self._shards_ready:
+            return
+        if self.executor.has_shards():
+            self.executor.teardown_shards()
+        payloads = {
+            worker.worker_id: ShardSeed(
+                partition=worker.partition,
+                partitioning=self.master.partitioning,
+                agents=worker.owned_agents(),
+            )
+            for worker in self.workers
+        }
+        self.executor.init_shards(make_resident_worker, payloads)
+        self._shards_ready = True
+        self._pending_boundary = {}
+        self._world_dirty = False
+
+    def _shard_round(self, tasks):
+        """One synchronized round of shard tasks, invalidating state on failure."""
+        try:
+            return self.executor.run_sharded_tasks(tasks)
+        except ExecutorError:
+            # Whatever happened (a dead host, an unpicklable payload), the
+            # resident state can no longer be trusted; force a re-seed before
+            # the next tick runs.
+            self._invalidate_shards()
+            raise
+
+    def _invalidate_shards(self) -> None:
+        """Drop the executor-hosted shard state; the next tick re-seeds it."""
+        try:
+            self.executor.teardown_shards()
+        finally:
+            self._shards_ready = False
+            self._pending_boundary = {}
+
+    def _boundary_for(self, worker_id: int) -> BoundaryDelta:
+        """The pending boundary delta for one shard, created on demand."""
+        delta = self._pending_boundary.get(worker_id)
+        if delta is None:
+            delta = self._pending_boundary[worker_id] = BoundaryDelta()
+        return delta
+
+    def _flush_pending_boundary(self) -> int:
+        """Ship pending births/deaths to their shards; returns IPC bytes.
+
+        Normally the boundary rides along with the next tick's map command;
+        epoch-boundary operations (coordinate pulls, repartitioning,
+        checkpoints, final sync) need the shards' membership current *now*.
+        """
+        if not self._pending_boundary or not self._shards_ready:
+            self._pending_boundary = {}
+            return 0
+        pending, self._pending_boundary = self._pending_boundary, {}
+        results = self._shard_round(
+            [
+                (worker_id, shard_apply_boundary, delta)
+                for worker_id, delta in sorted(pending.items())
+            ]
+        )
+        return sum(result.payload_bytes + result.result_bytes for result in results)
+
+    def sync_world(self) -> int:
+        """Pull resident agent states back into the driver's world.
+
+        Returns the measured IPC bytes the sync cost (0 when nothing had to
+        be pulled — non-resident runs, or an already-clean world).  This is
+        the one deliberately world-sized transfer of the resident protocol;
+        it happens at the end of :meth:`run`, before checkpoints, and on
+        demand — never per tick.
+        """
+        if not (self._resident and self._shards_ready and self._world_dirty):
+            return 0
+        ipc_bytes = self._flush_pending_boundary()
+        results = self._shard_round(
+            [(worker.worker_id, shard_collect_states, None) for worker in self.workers]
+        )
+        for result in results:
+            for agent_id, state in result.value.items():
+                if self.world.has_agent(agent_id):
+                    self.world.get_agent(agent_id).set_state_dict(state)
+        self._world_dirty = False
+        return ipc_bytes + sum(
+            result.payload_bytes + result.result_bytes for result in results
+        )
+
+    def _collect_axis_coordinates(self, axis: int) -> tuple[list[float], int]:
+        """Balancing-axis coordinates of every agent, plus the IPC bytes paid.
+
+        In-place runs read the driver's world; resident runs pull one float
+        per agent from the shards — the per-epoch "statistics message" the
+        paper's master receives from its slaves.
+        """
+        if not (self._resident and self._shards_ready):
+            return [agent.position()[axis] for agent in self.world.agents()], 0
+        results = self._shard_round(
+            [(worker.worker_id, shard_collect_coordinates, axis) for worker in self.workers]
+        )
+        coordinates: list[float] = []
+        for result in results:
+            coordinates.extend(result.value)
+        return coordinates, sum(
+            result.payload_bytes + result.result_bytes for result in results
+        )
+
     def close(self) -> None:
-        """Release pooled executor workers (no-op for the serial backend)."""
-        self.executor.shutdown()
+        """Sync any resident state back and release the executor's workers."""
+        try:
+            self.metrics.add_sync_ipc(self.sync_world())
+        except ExecutorError:
+            # Closing must succeed even when the pool already died; the
+            # world then keeps its last synced states.
+            pass
+        finally:
+            self.executor.shutdown()
 
     def __enter__(self) -> "BraceRuntime":
         return self
@@ -399,6 +823,11 @@ class BraceRuntime:
     # ------------------------------------------------------------------
     def _end_of_epoch(self) -> None:
         config = self.config
+        epoch_ipc_bytes = 0
+        if self._resident:
+            # Shards must reflect this tick's births/deaths before the master
+            # gathers statistics or moves agents around.
+            epoch_ipc_bytes += self._flush_pending_boundary()
         reports = [
             WorkerReport(
                 worker_id=worker.worker_id,
@@ -408,8 +837,8 @@ class BraceRuntime:
             )
             for worker in self.workers
         ]
-        axis = config.load_balance_axis
-        coordinates = [agent.position()[axis] for agent in self.world.agents()]
+        coordinates, coordinate_ipc = self._collect_axis_coordinates(config.load_balance_axis)
+        epoch_ipc_bytes += coordinate_ipc
         decision = self.master.end_of_epoch(reports, coordinates)
 
         rebalanced = False
@@ -417,13 +846,22 @@ class BraceRuntime:
         lb_seconds = 0.0
         if decision.load_balance is not None and decision.load_balance.rebalance:
             rebalanced = True
-            migrated_by_balancer, lb_seconds = self._apply_new_partitioning()
+            if self._resident and self._shards_ready:
+                migrated_by_balancer, lb_seconds, repartition_ipc = (
+                    self._apply_new_partitioning_resident()
+                )
+                epoch_ipc_bytes += repartition_ipc
+            else:
+                migrated_by_balancer, lb_seconds = self._apply_new_partitioning()
 
         checkpointed = False
         checkpoint_bytes = 0
         checkpoint_seconds = 0.0
         if decision.checkpoint:
             checkpointed = True
+            # Checkpoints pull state from the shards: the driver's world is
+            # synced once, then snapshot exactly as an in-place run would.
+            epoch_ipc_bytes += self.sync_world()
             checkpoint_bytes = sum(worker.checkpoint_size_bytes() for worker in self.workers)
             self.master.checkpoint_manager.take(self.world, self.master.epoch, checkpoint_bytes)
             checkpoint_seconds = max(
@@ -447,6 +885,7 @@ class BraceRuntime:
             checkpointed=checkpointed,
             checkpoint_bytes=checkpoint_bytes,
             agents_migrated_by_balancer=migrated_by_balancer,
+            ipc_bytes=epoch_ipc_bytes,
         )
         self.metrics.add_epoch(epoch_stats)
 
@@ -484,6 +923,65 @@ class BraceRuntime:
                     migrated += 1
         return migrated, max(per_worker_seconds, default=0.0)
 
+    def _apply_new_partitioning_resident(self) -> tuple[int, float, int]:
+        """Physically move agents between shards after a rebalance.
+
+        Two shard rounds: every shard adopts the new partitioning and hands
+        back the agents that no longer belong to it; the driver routes them
+        to their new shards (updating its shadow ownership and charging the
+        cost model exactly like the in-place path) and installs them.
+        Returns ``(agents migrated, virtual seconds, measured IPC bytes)``.
+        """
+        network = self.cost_model.network
+        partitioning = self.master.partitioning
+        per_worker_seconds = [0.0] * len(self.workers)
+        migrated = 0
+        ipc_bytes = 0
+
+        adopt_results = self._shard_round(
+            [
+                (
+                    worker.worker_id,
+                    shard_adopt_partitioning,
+                    RepartitionCommand(
+                        partitioning=partitioning,
+                        partition=partitioning.partition(worker.worker_id),
+                    ),
+                )
+                for worker in self.workers
+            ]
+        )
+        ipc_bytes += sum(result.payload_bytes + result.result_bytes for result in adopt_results)
+        for worker in self.workers:
+            worker.partition = partitioning.partition(worker.worker_id)
+
+        incoming: dict[int, list] = {worker.worker_id: [] for worker in self.workers}
+        for result in adopt_results:
+            source = result.shard_id
+            for destination, agents in sorted(result.value.items()):
+                for agent in agents:
+                    stale = self.workers[source].remove_owned(agent.agent_id)
+                    self.workers[destination].add_owned(stale)
+                    self._owner_of[agent.agent_id] = destination
+                    size = agent.approximate_size_bytes()
+                    seconds = network.transfer_seconds(source, destination, size)
+                    per_worker_seconds[source] += seconds
+                    per_worker_seconds[destination] += seconds
+                    migrated += 1
+                    incoming[destination].append(agent)
+
+        install_tasks = [
+            (worker_id, shard_install_owned, agents)
+            for worker_id, agents in sorted(incoming.items())
+            if agents
+        ]
+        if install_tasks:
+            install_results = self._shard_round(install_tasks)
+            ipc_bytes += sum(
+                result.payload_bytes + result.result_bytes for result in install_results
+            )
+        return migrated, max(per_worker_seconds, default=0.0), ipc_bytes
+
     # ------------------------------------------------------------------
     # Fault tolerance
     # ------------------------------------------------------------------
@@ -497,6 +995,11 @@ class BraceRuntime:
         checkpoint = self.master.checkpoint_manager.restore_latest(self.world)
         ticks_lost = max(0, tick_before_failure - checkpoint.tick)
         self._rebuild_ownership()
+        if self._resident:
+            # Resident state died with the "failed" workers: drop the shards
+            # and lazily re-seed them from the restored world next tick.
+            self._invalidate_shards()
+            self._world_dirty = False
         # Any partially accumulated epoch is discarded along with the lost ticks.
         self._epoch_ticks = 0
         self._epoch_virtual_seconds = 0.0
@@ -529,6 +1032,7 @@ class BraceRuntime:
                 self.recover()
                 continue
             self.run_tick()
+        self.metrics.add_sync_ipc(self.sync_world())
         return self.metrics
 
     # ------------------------------------------------------------------

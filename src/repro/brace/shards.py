@@ -1,0 +1,210 @@
+"""The resident-shard protocol: what crosses the driver/shard boundary.
+
+With ``BraceConfig.resident_shards`` enabled (the default on the process
+backend), each executor host process durably hosts one or more
+:class:`~repro.brace.worker.Worker` objects across ticks — the paper's
+collocation argument made literal.  The driver never ships a worker's owned
+agents per tick; instead each tick exchanges three **deltas**, one shard
+round per phase:
+
+1. :func:`shard_map_phase` — the shard applies the previous boundary's
+   births/deaths, resets effects, and computes its outgoing migrations and
+   boundary replicas locally (:meth:`Worker.distribute`).  Only agents that
+   actually crossed a partition boundary come back.
+2. :func:`shard_query_phase` — the driver routes the migrated agents and
+   replica clones in; the shard joins owned + replicas and runs the query
+   phase.  Only the *non-local* effect partials accumulated on replicas come
+   back; owned effects stay resident.
+3. :func:`shard_update_phase` — the driver routes each shard the remote
+   partials addressed to it (in the global deterministic order); the shard
+   merges them and runs the update phase.  Only birth/death requests come
+   back; the new states stay resident.
+
+Epoch-boundary operations (:func:`shard_collect_coordinates` for the load
+balancer, :func:`shard_collect_states` for checkpoints and driver sync,
+:func:`shard_adopt_partitioning` / :func:`shard_install_owned` for physical
+repartitioning) pull state on demand, exactly as the paper's master talks to
+its slaves once per epoch.
+
+Every function here is module-level and every command/result dataclass is
+picklable, as the process executor requires; all of them also run unchanged
+against in-process shards (``resident_shards=True`` on the serial or thread
+backend), which is how the protocol is tested without pool overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.brace.worker import DistributionResult, Worker
+from repro.core.agent import Agent
+from repro.spatial.bbox import BBox
+from repro.spatial.partitioning import Partition, SpatialPartitioning
+
+
+# ---------------------------------------------------------------------------
+# Commands (driver -> shard) and results (shard -> driver)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardSeed:
+    """Initial payload hosting one worker inside a shard (shipped once)."""
+
+    partition: Partition
+    partitioning: SpatialPartitioning
+    agents: list[Agent]
+
+
+@dataclass
+class BoundaryDelta:
+    """Births and deaths a shard must apply at a tick boundary."""
+
+    kill_ids: list[Any] = field(default_factory=list)
+    spawn_agents: list[Agent] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        """True when there is nothing to apply."""
+        return not self.kill_ids and not self.spawn_agents
+
+
+@dataclass
+class MapCommand:
+    """Round 1 input: the previous tick's boundary delta (if any)."""
+
+    boundary: BoundaryDelta | None = None
+
+
+@dataclass
+class QueryCommand:
+    """Round 2 input: incoming deltas plus the query-phase parameters."""
+
+    migrated_in: list[Agent]
+    replicas_in: list[Agent]
+    tick: int
+    seed: int
+    index: str | None
+    cell_size: float | None
+    check_visibility: bool
+
+
+@dataclass
+class QueryResult:
+    """Round 2 output: non-local partials and work accounting only."""
+
+    #: ``agent_id -> touched effect accumulators`` for hosted replicas.
+    replica_partials: dict[Any, dict[str, Any]]
+    work_units: float
+    index_probes: int
+
+
+@dataclass
+class UpdateCommand:
+    """Round 3 input: routed remote partials plus update-phase parameters.
+
+    ``partials`` preserves the driver's global routing order (worker id,
+    then :func:`~repro.core.ordering.agent_sort_key`), so combinator merges
+    happen in the same order on every backend.
+    """
+
+    partials: list[tuple[Any, dict[str, Any]]]
+    tick: int
+    seed: int
+    world_bounds: BBox | None
+
+
+@dataclass
+class UpdateResult:
+    """Round 3 output: birth/death requests only; states stay resident."""
+
+    spawn_requests: list[tuple[Any, int, Any]]
+    kill_requests: set[Any]
+
+
+@dataclass
+class RepartitionCommand:
+    """Epoch-boundary input adopting a rebalanced partitioning."""
+
+    partitioning: SpatialPartitioning
+    partition: Partition
+
+
+# ---------------------------------------------------------------------------
+# Shard-side entry points (module-level, picklable by reference)
+# ---------------------------------------------------------------------------
+
+
+def make_resident_worker(shard_id: int, seed: ShardSeed) -> Worker:
+    """Shard factory: build the resident :class:`Worker` from its seed."""
+    worker = Worker(shard_id, seed.partition, partitioning=seed.partitioning)
+    for agent in seed.agents:
+        worker.add_owned(agent)
+    return worker
+
+
+def shard_map_phase(worker: Worker, command: MapCommand) -> DistributionResult:
+    """Round 1: apply the boundary delta, then distribute locally."""
+    if command.boundary is not None:
+        worker.apply_boundary(command.boundary.kill_ids, command.boundary.spawn_agents)
+    return worker.distribute()
+
+
+def shard_query_phase(worker: Worker, command: QueryCommand) -> QueryResult:
+    """Round 2: install incoming deltas and run the query phase."""
+    for agent in command.migrated_in:
+        worker.add_owned(agent)
+    for replica in command.replicas_in:
+        worker.install_replica(replica)
+    worker.run_query_phase(
+        tick=command.tick,
+        seed=command.seed,
+        index=command.index,
+        cell_size=command.cell_size,
+        check_visibility=command.check_visibility,
+    )
+    return QueryResult(
+        replica_partials=worker.touched_replica_partials(),
+        work_units=worker.last_query_work_units,
+        index_probes=worker.last_index_probes,
+    )
+
+
+def shard_update_phase(worker: Worker, command: UpdateCommand) -> UpdateResult:
+    """Round 3: merge routed partials (in order) and run the update phase."""
+    for agent_id, partials in command.partials:
+        worker.merge_remote_partials(agent_id, partials)
+    context = worker.run_update_phase(
+        tick=command.tick, seed=command.seed, world_bounds=command.world_bounds
+    )
+    return UpdateResult(
+        spawn_requests=context.spawn_requests,
+        kill_requests=context.kill_requests,
+    )
+
+
+def shard_apply_boundary(worker: Worker, delta: BoundaryDelta) -> int:
+    """Flush a pending boundary delta outside the tick loop (epoch events)."""
+    return worker.apply_boundary(delta.kill_ids, delta.spawn_agents)
+
+
+def shard_collect_states(worker: Worker, _payload: Any = None) -> dict[Any, dict[str, Any]]:
+    """Pull every owned agent's state (driver sync, checkpoints)."""
+    return worker.collect_states()
+
+
+def shard_collect_coordinates(worker: Worker, axis: int) -> list[float]:
+    """Pull owned positions along the balancing axis (epoch statistics)."""
+    return worker.collect_coordinates(axis)
+
+
+def shard_adopt_partitioning(
+    worker: Worker, command: RepartitionCommand
+) -> dict[int, list[Agent]]:
+    """Adopt a rebalanced partitioning; return agents leaving this shard."""
+    return worker.adopt_partitioning(command.partitioning, command.partition)
+
+
+def shard_install_owned(worker: Worker, agents: list[Agent]) -> int:
+    """Install agents migrated in by a repartitioning; returns the owned count."""
+    return worker.install_owned(agents)

@@ -13,15 +13,18 @@ partials do.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.brace.replication import replication_targets
 from repro.core.agent import Agent
 from repro.core.context import QueryContext, UpdateContext
 from repro.core.errors import BraceError
+from repro.core.ordering import agent_sort_key
 from repro.core.phase import Phase, phase
 from repro.spatial.bbox import BBox
-from repro.spatial.partitioning import Partition
+from repro.spatial.partitioning import Partition, SpatialPartitioning
 
 
 @dataclass
@@ -125,12 +128,51 @@ def run_update_phase_remote(
     )
 
 
-class Worker:
-    """Per-node execution state."""
+@dataclass
+class DistributionResult:
+    """What one worker's map phase produced for the rest of the cluster.
 
-    def __init__(self, worker_id: int, partition: Partition):
+    The per-tick *delta* a resident shard ships to the driver: agents that
+    left the partition, replica snapshots headed for neighbouring
+    partitions, and the per-(source, destination) byte accounting the cost
+    model charges.  Everything scales with boundary activity, never with the
+    worker's owned-set size.
+    """
+
+    #: ``destination worker -> agents that migrated there``.
+    migrations_out: dict[int, list[Agent]] = field(default_factory=dict)
+    #: ``destination worker -> replica clones to install there``.
+    replicas_out: dict[int, list[Agent]] = field(default_factory=dict)
+    #: Modeled bytes per ``(source, destination)`` pair for migrations.
+    migration_pair_bytes: Counter = field(default_factory=Counter)
+    #: Modeled bytes per ``(source, destination)`` pair for replication.
+    replication_pair_bytes: Counter = field(default_factory=Counter)
+    agents_migrated: int = 0
+    replicas_created: int = 0
+
+
+class Worker:
+    """Per-node execution state.
+
+    A worker can run *in place* (the driver holds it and its agents — the
+    serial/thread backends) or as a **resident shard** living inside a pool
+    process across ticks.  In resident mode it additionally remembers the
+    whole :class:`~repro.spatial.partitioning.SpatialPartitioning` (set via
+    :meth:`adopt_partitioning` or the shard seed) so it can compute
+    migrations and replication targets locally, and its ``replicas`` dict
+    acts as the per-tick replica cache the query phase joins against.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        partition: Partition,
+        partitioning: SpatialPartitioning | None = None,
+    ):
         self.worker_id = worker_id
         self.partition = partition
+        #: Full partitioning, needed by resident shards to route locally.
+        self.partitioning = partitioning
         self.owned: dict[Any, Agent] = {}
         self.replicas: dict[Any, Agent] = {}
         self.last_query_work_units = 0.0
@@ -153,8 +195,14 @@ class Worker:
             ) from None
 
     def owned_agents(self) -> list[Agent]:
-        """Owned agents sorted by id (deterministic iteration order)."""
-        return [self.owned[agent_id] for agent_id in sorted(self.owned, key=repr)]
+        """Owned agents sorted by id (deterministic iteration order).
+
+        Uses :func:`~repro.core.ordering.agent_sort_key`, the same total
+        order the driver uses to route effect partials, so an in-place
+        worker, a resident shard and the driver always enumerate agents
+        identically.
+        """
+        return [self.owned[agent_id] for agent_id in sorted(self.owned, key=agent_sort_key)]
 
     def owned_count(self) -> int:
         """Number of owned agents."""
@@ -173,9 +221,103 @@ class Worker:
         replica.reset_effects()
         self.replicas[replica.agent_id] = replica
 
+    def install_replica(self, replica: Agent) -> None:
+        """Host an already-cloned replica (shipped from another shard)."""
+        self.replicas[replica.agent_id] = replica
+
     def replica_agents(self) -> list[Agent]:
         """Hosted replicas sorted by id."""
-        return [self.replicas[agent_id] for agent_id in sorted(self.replicas, key=repr)]
+        return [
+            self.replicas[agent_id] for agent_id in sorted(self.replicas, key=agent_sort_key)
+        ]
+
+    # ------------------------------------------------------------------
+    # Resident-shard operations (the map phase, computed shard-locally)
+    # ------------------------------------------------------------------
+    def distribute(self, partitioning: SpatialPartitioning | None = None) -> DistributionResult:
+        """Run the tick's map phase locally: reset, migrate out, replicate.
+
+        Examines every owned agent once: agents whose position left this
+        partition are removed and queued for their new owner; replica clones
+        are produced for every partition whose visible region contains the
+        agent (on behalf of the agent's *new* owner when it migrated, so the
+        byte accounting matches a centralized map phase exactly).  Replicas
+        destined for this very partition — an agent that migrated away but
+        is still visible here — are installed directly.
+        """
+        partitioning = partitioning if partitioning is not None else self.partitioning
+        if partitioning is None:
+            raise BraceError(f"worker {self.worker_id} has no partitioning to distribute with")
+        result = DistributionResult()
+        self.clear_replicas()
+        for agent in self.owned_agents():
+            agent.reset_effects()
+        for agent in self.owned_agents():
+            owner = partitioning.partition_of(agent.position())
+            size = agent.approximate_size_bytes()
+            if owner != self.worker_id:
+                self.remove_owned(agent.agent_id)
+                result.migrations_out.setdefault(owner, []).append(agent)
+                result.migration_pair_bytes[(self.worker_id, owner)] += size
+                result.agents_migrated += 1
+            for target in replication_targets(agent, partitioning):
+                if target == owner:
+                    continue
+                replica = agent.clone()
+                replica.reset_effects()
+                if target == self.worker_id:
+                    self.install_replica(replica)
+                else:
+                    result.replicas_out.setdefault(target, []).append(replica)
+                result.replication_pair_bytes[(owner, target)] += size
+                result.replicas_created += 1
+        return result
+
+    def apply_boundary(self, kill_ids: list[Any], spawn_agents: list[Agent]) -> int:
+        """Apply a tick boundary's births and deaths; returns the owned count.
+
+        Mirrors what :func:`~repro.core.engine.apply_births_and_deaths` did
+        on the driver: killed agents leave the owned set, spawned agents
+        (already carrying their driver-assigned ids) join it.
+        """
+        for agent_id in kill_ids:
+            self.owned.pop(agent_id, None)
+        for agent in spawn_agents:
+            self.add_owned(agent)
+        return self.owned_count()
+
+    def install_owned(self, agents: list[Agent]) -> int:
+        """Take ownership of agents shipped from another shard; returns the count."""
+        for agent in agents:
+            self.add_owned(agent)
+        return self.owned_count()
+
+    def adopt_partitioning(
+        self, partitioning: SpatialPartitioning, partition: Partition
+    ) -> dict[int, list[Agent]]:
+        """Adopt a rebalanced partitioning; return agents that must move out.
+
+        The physical half of load balancing: agents whose position now falls
+        in another partition are removed here and handed back, keyed by
+        their new owner, for the driver to route.
+        """
+        self.partitioning = partitioning
+        self.partition = partition
+        outgoing: dict[int, list[Agent]] = {}
+        for agent in self.owned_agents():
+            owner = partitioning.partition_of(agent.position())
+            if owner != self.worker_id:
+                self.remove_owned(agent.agent_id)
+                outgoing.setdefault(owner, []).append(agent)
+        return outgoing
+
+    def collect_states(self) -> dict[Any, dict[str, Any]]:
+        """State of every owned agent, keyed by id (driver sync / checkpoint pull)."""
+        return {agent.agent_id: agent.state_dict() for agent in self.owned_agents()}
+
+    def collect_coordinates(self, axis: int) -> list[float]:
+        """Owned agents' positions along ``axis`` (load-balancer statistics)."""
+        return [agent.position()[axis] for agent in self.owned_agents()]
 
     # ------------------------------------------------------------------
     # Phase execution

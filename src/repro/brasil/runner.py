@@ -13,7 +13,12 @@ simulation in BRASIL once, and the system owns parallelization.
    optimizer's :class:`~repro.brasil.optimizer.IndexSelection`);
 4. execute on :class:`~repro.brace.runtime.BraceRuntime` with whichever
    executor backend the caller configured (serial, thread or process —
-   compiled agents are picklable, see :mod:`repro.brasil.compiler`).
+   compiled agents are picklable, see :mod:`repro.brasil.compiler`).  On the
+   process backend the runtime defaults to **resident worker shards**
+   (``BraceConfig.resident_shards``): compiled agents live inside the pool
+   processes across ticks and only boundary deltas are shipped, so a
+   script's per-tick IPC scales with its visibility boundary rather than
+   its population (``ScriptRunResult.ipc_bytes()`` reports the measurement).
 
 Because every step is deterministic, the same script with the same seed
 produces bit-identical agent states on every executor backend; the
@@ -213,6 +218,15 @@ class ScriptRunResult:
         """Agent-ticks per virtual second (the paper's scale-up unit)."""
         return self.metrics.throughput(skip_ticks)
 
+    def ipc_bytes(self) -> int:
+        """Measured driver<->shard bytes for the whole run.
+
+        Real pickled payload sizes from the resident-shard protocol; 0 for
+        runs on memory-sharing backends (nothing crossed a process
+        boundary).
+        """
+        return self.metrics.total_ipc_bytes()
+
 
 def run_script(
     script: str | Path,
@@ -238,7 +252,9 @@ def run_script(
         Base :class:`BraceConfig`; pick the executor backend here
         (``BraceConfig(executor="process", num_workers=8)``).  The
         script-derived knobs (``non_local_effects``, ``index``,
-        ``cell_size``) are overridden from the compilation result.
+        ``cell_size``) are overridden from the compilation result;
+        everything else — including ``resident_shards``, on by default for
+        the process backend — passes through untouched.
     class_name, effect_inversion, use_index:
         Forwarded to :func:`~repro.brasil.compiler.compile_script`.
     index:

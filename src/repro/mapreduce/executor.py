@@ -21,6 +21,26 @@ list of zero-argument callables and return one :class:`TaskResult` per task,
 task ran.  Keeping results in submission order is what lets the engine
 produce bit-identical output regardless of the backend.
 
+Beyond the stateless contract, every backend also supports **resident
+shards** — durable, executor-hosted state with shard-affine dispatch:
+
+* :meth:`Executor.init_shards` builds one state object per shard from a
+  picklable factory;
+* :meth:`Executor.run_sharded_tasks` runs ``fn(state, payload)`` calls *where
+  each shard lives* (inline for the serial backend, on the shared pool for
+  the thread backend, and pinned to a dedicated pool process for the process
+  backend), returning one :class:`ShardTaskResult` per task in submission
+  order;
+* :meth:`Executor.teardown_shards` releases the states (and, for the process
+  backend, the host processes).
+
+The process backend pre-pickles every payload and result exactly once, so
+:class:`ShardTaskResult` carries the *measured* bytes that crossed the
+process boundary — the number the BRACE runtime reports as real IPC traffic
+per tick.  This is the substrate for the paper's collocation argument: a
+shard's agents stay resident in its host process across ticks, and only
+deltas (migrations, boundary replicas, effect partials) are shipped.
+
 The module also provides :func:`stable_hash_partition`, a deterministic
 (process-independent) hash partitioner used for the parallel shuffle.
 Python's builtin ``hash`` is salted per interpreter for strings, so it would
@@ -86,6 +106,22 @@ class TaskResult:
     wall_seconds: float  #: Wall-clock time spent running the task body.
 
 
+@dataclass(frozen=True)
+class ShardTaskResult:
+    """Outcome of one shard-affine task (:meth:`Executor.run_sharded_tasks`).
+
+    ``payload_bytes``/``result_bytes`` are the *measured* pickled sizes of
+    what crossed a process boundary; both are 0 on backends that share the
+    caller's memory (nothing was serialized).
+    """
+
+    shard_id: int        #: Shard the task ran against.
+    value: Any           #: The task function's return value.
+    wall_seconds: float  #: Wall-clock time of the task body, where it ran.
+    payload_bytes: int = 0  #: Pickled payload size shipped to the shard.
+    result_bytes: int = 0   #: Pickled result size shipped back.
+
+
 def _timed_call(task: Callable[[], Any]) -> tuple[Any, float]:
     """Run ``task`` and measure its wall-clock time where it executes.
 
@@ -97,11 +133,38 @@ def _timed_call(task: Callable[[], Any]) -> tuple[Any, float]:
     return value, time.perf_counter() - start
 
 
+def _timed_shard_call(fn: Callable[[Any, Any], Any], state: Any, payload: Any) -> tuple[Any, float]:
+    """Run one shard task and measure the wall-clock time of its body."""
+    start = time.perf_counter()
+    value = fn(state, payload)
+    return value, time.perf_counter() - start
+
+
+def _is_pickling_error(error: BaseException) -> bool:
+    """Whether an exception actually stems from (un)pickling.
+
+    Serialization failures surface as :class:`pickle.PickleError` for
+    module-level objects, ``AttributeError`` for locally defined
+    functions/classes and ``TypeError`` for unpicklable values (locks,
+    generators...).  Only errors that *talk about* pickling are classified,
+    so a genuine ``AttributeError``/``TypeError`` raised inside a task is
+    never swallowed.
+    """
+    if isinstance(error, pickle.PickleError):
+        return True
+    if isinstance(error, (AttributeError, TypeError)):
+        return "pickle" in str(error).lower()
+    return False
+
+
 class Executor:
     """Base class of the execution backends.
 
     Subclasses implement :meth:`run_tasks`; everything else (context-manager
-    protocol, idempotent shutdown) is shared.
+    protocol, resident-shard hosting, idempotent shutdown) is shared.  The
+    default shard implementation keeps states in the caller's process, which
+    is correct for every memory-sharing backend; :class:`ProcessExecutor`
+    overrides it with real per-process residency.
     """
 
     #: Short name used in statistics and configuration ("serial", ...).
@@ -116,13 +179,73 @@ class Executor:
         if max_workers is not None and int(max_workers) < 1:
             raise ExecutorError("max_workers must be at least 1 (or None for the CPU count)")
         self.max_workers = int(max_workers) if max_workers is not None else default_worker_count()
+        self._shards: dict[int, Any] | None = None
 
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
         """Execute every task and return per-task results in submission order."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Resident shards
+    # ------------------------------------------------------------------
+    def init_shards(
+        self,
+        factory: Callable[[int, Any], Any],
+        payloads: dict[int, Any],
+    ) -> None:
+        """Create one durable shard state per entry of ``payloads``.
+
+        ``factory(shard_id, payload)`` builds the state *where the shard will
+        live*; on the process backend both the factory and the payload must
+        be picklable.  Shards stay alive across :meth:`run_sharded_tasks`
+        calls until :meth:`teardown_shards`.
+        """
+        if self._shards is not None:
+            raise ExecutorError(
+                "resident shards are already initialized; call teardown_shards() first"
+            )
+        self._shards = {
+            shard_id: factory(shard_id, payloads[shard_id]) for shard_id in sorted(payloads)
+        }
+
+    def has_shards(self) -> bool:
+        """True when resident shards are currently initialized."""
+        return self._shards is not None
+
+    def run_sharded_tasks(
+        self, tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]]
+    ) -> list[ShardTaskResult]:
+        """Run ``(shard_id, fn, payload)`` tasks against their resident states.
+
+        Each ``fn(state, payload)`` executes where its shard lives; results
+        come back in submission order.  Tasks addressing the *same* shard
+        within one batch run sequentially in submission order (shard state is
+        never mutated concurrently); tasks addressing different shards may
+        run in parallel.
+        """
+        states = self._require_shards(tasks)
+        results: list[ShardTaskResult | None] = [None] * len(tasks)
+        for index, (shard_id, fn, payload) in enumerate(tasks):
+            value, seconds = _timed_shard_call(fn, states[shard_id], payload)
+            results[index] = ShardTaskResult(shard_id, value, seconds)
+        return results  # type: ignore[return-value]
+
+    def teardown_shards(self) -> None:
+        """Drop every resident shard state (idempotent)."""
+        self._shards = None
+
+    def _require_shards(self, tasks) -> dict[int, Any]:
+        """The shard-state map, validating that every addressed shard exists."""
+        if self._shards is None:
+            raise ExecutorError("no resident shards are initialized; call init_shards() first")
+        for shard_id, _fn, _payload in tasks:
+            if shard_id not in self._shards:
+                raise ExecutorError(f"unknown resident shard {shard_id!r}")
+        return self._shards
+
     def shutdown(self) -> None:
-        """Release any pooled workers (idempotent; pools are re-created lazily)."""
+        """Release pooled workers and resident shards (idempotent)."""
+        self.teardown_shards()
 
     def __enter__(self) -> "Executor":
         return self
@@ -172,6 +295,7 @@ class _PooledExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        super().shutdown()
 
     def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskResult]:
         if not tasks:
@@ -203,18 +327,12 @@ class _PooledExecutor(Executor):
                     "importable module, not in __main__ or a REPL). "
                     f"Original error: {error}"
                 ) from error
-            # Serialization failures surface as PicklingError for module-level
-            # objects, AttributeError for locally defined functions/classes and
-            # TypeError for unpicklable values (locks, generators...).  Only
-            # the process backend pickles tasks, and only errors that actually
-            # talk about pickling are classified, so a genuine
-            # AttributeError/TypeError raised *inside* a task passes through.
+            # Only the process backend pickles tasks, and only errors that
+            # actually stem from pickling are classified (see
+            # _is_pickling_error), so a genuine AttributeError/TypeError
+            # raised *inside* a task passes through.
             except (pickle.PickleError, AttributeError, TypeError) as error:
-                if self.shares_memory:
-                    raise
-                if not isinstance(error, pickle.PickleError) and (
-                    "pickle" not in str(error).lower()
-                ):
+                if self.shares_memory or not _is_pickling_error(error):
                     raise
                 for pending in futures:
                     pending.cancel()
@@ -245,6 +363,84 @@ class ThreadExecutor(_PooledExecutor):
             max_workers=self.max_workers, thread_name_prefix="mapreduce"
         )
 
+    def run_sharded_tasks(
+        self, tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]]
+    ) -> list[ShardTaskResult]:
+        """Run shard tasks on the thread pool, one serialized chain per shard.
+
+        Grouping by shard keeps a shard's state single-threaded while
+        distinct shards overlap, matching the process backend's concurrency
+        contract without pickling anything.
+        """
+        states = self._require_shards(tasks)
+        if not tasks:
+            return []
+        groups: dict[int, list[tuple[int, Callable, Any]]] = {}
+        for index, (shard_id, fn, payload) in enumerate(tasks):
+            groups.setdefault(shard_id, []).append((index, fn, payload))
+
+        def run_group(shard_id: int, items):
+            state = states[shard_id]
+            out = []
+            for index, fn, payload in items:
+                value, seconds = _timed_shard_call(fn, state, payload)
+                out.append((index, ShardTaskResult(shard_id, value, seconds)))
+            return out
+
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(run_group, shard_id, items) for shard_id, items in sorted(groups.items())
+        ]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        results: list[ShardTaskResult | None] = [None] * len(tasks)
+        for future in futures:
+            for index, result in future.result():
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Resident-shard host machinery (runs inside the process backend's workers).
+# ---------------------------------------------------------------------------
+
+#: Per-process registry of resident shard states, keyed by shard id.  Each
+#: host process of a :class:`ProcessExecutor` owns a disjoint subset of the
+#: shards; the registry lives for the lifetime of the host process, which is
+#: exactly what makes the shards "resident".
+_RESIDENT_SHARD_STATES: dict[int, Any] = {}
+
+
+def _host_init_shards(items: list) -> int:
+    """Build shard states inside a host process; returns the host's pid.
+
+    ``items`` is a list of ``(shard_id, factory, payload_blob)`` with the
+    payload pre-pickled by the driver (so serialization happens exactly once
+    and its size can be measured there).
+    """
+    for shard_id, factory, blob in items:
+        _RESIDENT_SHARD_STATES[shard_id] = factory(shard_id, pickle.loads(blob))
+    return os.getpid()
+
+
+def _host_run_shard_tasks(items: list) -> list:
+    """Run ``(shard_id, fn, payload_blob)`` tasks against resident states.
+
+    Returns one ``(result_blob, wall_seconds)`` per item, in order; results
+    are pickled here so the driver can measure the bytes coming back.
+    """
+    out = []
+    for shard_id, fn, blob in items:
+        try:
+            state = _RESIDENT_SHARD_STATES[shard_id]
+        except KeyError:
+            raise ExecutorError(
+                f"resident shard {shard_id!r} is not initialized in this host process"
+            ) from None
+        payload = pickle.loads(blob)
+        value, seconds = _timed_shard_call(fn, state, payload)
+        out.append((pickle.dumps(value, pickle.HIGHEST_PROTOCOL), seconds))
+    return out
+
 
 class ProcessExecutor(_PooledExecutor):
     """Runs tasks on a shared :class:`ProcessPoolExecutor`.
@@ -254,13 +450,155 @@ class ProcessExecutor(_PooledExecutor):
     with a pointer at the offending pattern.  The pool is created lazily and
     reused across calls so repeated jobs (one per simulation tick) amortize
     the worker start-up cost.
+
+    Resident shards get *real* process affinity: :meth:`init_shards` creates
+    dedicated single-worker host pools and assigns each shard to one host for
+    its whole lifetime, so shard state built there never moves.  Every
+    payload and result is pickled exactly once, and the measured sizes are
+    reported on each :class:`ShardTaskResult` — the actual bytes on the wire.
     """
 
     name = "process"
     shares_memory = False
 
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._shard_hosts: list[ProcessPoolExecutor] | None = None
+        self._shard_to_host: dict[int, int] = {}
+        self._host_pids: dict[int, int] = {}
+
     def _make_pool(self):
         return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    # ------------------------------------------------------------------
+    # Resident shards with process affinity
+    # ------------------------------------------------------------------
+    def init_shards(
+        self,
+        factory: Callable[[int, Any], Any],
+        payloads: dict[int, Any],
+    ) -> None:
+        if self._shard_hosts is not None:
+            raise ExecutorError(
+                "resident shards are already initialized; call teardown_shards() first"
+            )
+        if not payloads:
+            raise ExecutorError("init_shards needs at least one shard payload")
+        shard_ids = sorted(payloads)
+        num_hosts = max(1, min(self.max_workers, len(shard_ids)))
+        self._shard_hosts = [ProcessPoolExecutor(max_workers=1) for _ in range(num_hosts)]
+        self._shard_to_host = {
+            shard_id: position % num_hosts for position, shard_id in enumerate(shard_ids)
+        }
+        per_host: dict[int, list] = {}
+        try:
+            for shard_id in shard_ids:
+                blob = self._dumps(payloads[shard_id], "resident shard seed")
+                per_host.setdefault(self._shard_to_host[shard_id], []).append(
+                    (shard_id, factory, blob)
+                )
+            futures = {
+                host: self._shard_hosts[host].submit(_host_init_shards, items)
+                for host, items in sorted(per_host.items())
+            }
+            wait(list(futures.values()), return_when=FIRST_EXCEPTION)
+            for host, future in sorted(futures.items()):
+                self._host_pids[host] = self._shard_result(future)
+        except BaseException:
+            self.teardown_shards()
+            raise
+
+    def has_shards(self) -> bool:
+        return self._shard_hosts is not None
+
+    def run_sharded_tasks(
+        self, tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]]
+    ) -> list[ShardTaskResult]:
+        if self._shard_hosts is None:
+            raise ExecutorError("no resident shards are initialized; call init_shards() first")
+        if not tasks:
+            return []
+        groups: dict[int, list] = {}
+        for index, (shard_id, fn, payload) in enumerate(tasks):
+            host = self._shard_to_host.get(shard_id)
+            if host is None:
+                raise ExecutorError(f"unknown resident shard {shard_id!r}")
+            blob = self._dumps(payload, "resident shard payload")
+            groups.setdefault(host, []).append((index, shard_id, fn, blob))
+        futures = {
+            host: self._shard_hosts[host].submit(
+                _host_run_shard_tasks, [(shard_id, fn, blob) for _, shard_id, fn, blob in items]
+            )
+            for host, items in sorted(groups.items())
+        }
+        wait(list(futures.values()), return_when=FIRST_EXCEPTION)
+        results: list[ShardTaskResult | None] = [None] * len(tasks)
+        for host, items in sorted(groups.items()):
+            host_results = self._shard_result(futures[host])
+            for (index, shard_id, _fn, blob), (value_blob, seconds) in zip(items, host_results):
+                results[index] = ShardTaskResult(
+                    shard_id,
+                    pickle.loads(value_blob),
+                    seconds,
+                    payload_bytes=len(blob),
+                    result_bytes=len(value_blob),
+                )
+        return results  # type: ignore[return-value]
+
+    def shard_host_pid(self, shard_id: int) -> int:
+        """Pid of the host process a shard is pinned to (affinity probe)."""
+        if self._shard_hosts is None:
+            raise ExecutorError("no resident shards are initialized")
+        return self._host_pids[self._shard_to_host[shard_id]]
+
+    def teardown_shards(self) -> None:
+        hosts, self._shard_hosts = self._shard_hosts, None
+        self._shard_to_host = {}
+        self._host_pids = {}
+        if hosts:
+            for host in hosts:
+                host.shutdown(wait=True)
+
+    def _shard_result(self, future: Future):
+        """Unwrap a host future, converting infrastructure failures.
+
+        A dead host process takes its resident shard states with it, so the
+        hosts are torn down and the caller must re-seed (for BRACE: restore a
+        checkpoint and re-initialize the shards).
+        """
+        try:
+            return future.result()
+        except BrokenProcessPool as error:
+            self.teardown_shards()
+            raise ExecutorError(
+                "a resident shard host process died; its shard state is lost and "
+                "must be re-seeded (for BRACE runs: recover from the last "
+                f"checkpoint). Original error: {error}"
+            ) from error
+        except (pickle.PickleError, AttributeError, TypeError) as error:
+            if not _is_pickling_error(error):
+                raise
+            self.teardown_shards()
+            raise ExecutorError(
+                f"the {self.name} executor could not serialize a shard task: {error}. "
+                "Shard factories, task functions and payloads must be picklable "
+                "(module-level functions and importable classes)."
+            ) from error
+
+    @staticmethod
+    def _dumps(value: Any, what: str) -> bytes:
+        """Pickle ``value`` once, classifying serialization failures."""
+        try:
+            return pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, AttributeError, TypeError) as error:
+            if not _is_pickling_error(error):
+                raise
+            raise ExecutorError(
+                f"the process executor could not serialize a {what}: {error}. "
+                "Everything crossing the shard boundary must be picklable "
+                "(module-level functions and importable classes; dynamic classes "
+                "need a __reduce__ hook)."
+            ) from error
 
 
 def make_executor(

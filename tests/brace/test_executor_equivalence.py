@@ -16,7 +16,7 @@ from repro.simulations.traffic.workload import build_traffic_world
 TICKS = 3
 
 
-def run_traffic(executor, max_workers=2, num_workers=4):
+def run_traffic(executor, max_workers=2, num_workers=4, resident_shards=None):
     world = build_traffic_world(seed=11, num_vehicles=80)
     config = BraceConfig(
         num_workers=num_workers,
@@ -24,6 +24,7 @@ def run_traffic(executor, max_workers=2, num_workers=4):
         check_visibility=False,
         executor=executor,
         max_workers=max_workers,
+        resident_shards=resident_shards,
     )
     with BraceRuntime(world, config) as runtime:
         runtime.run(TICKS)
@@ -76,6 +77,45 @@ class TestTrafficEquivalence:
         assert metrics.mean_query_wall_imbalance() >= 1.0
 
 
+class TestResidentShardEquivalence:
+    """The resident-shard delta protocol must be invisible to results.
+
+    The process backend defaults to resident shards; forcing the protocol
+    onto the serial backend exercises every round without pool overhead, and
+    disabling it on the process backend keeps the legacy ship-everything
+    path alive as a second oracle.
+    """
+
+    def test_process_backend_defaults_to_resident(self):
+        _, metrics = run_traffic("process")
+        assert all(tick.resident for tick in metrics.ticks)
+
+    def test_legacy_process_path_still_available_and_identical(self):
+        serial_world, _ = run_traffic("serial")
+        legacy_world, legacy_metrics = run_traffic("process", resident_shards=False)
+        assert not any(tick.resident for tick in legacy_metrics.ticks)
+        assert serial_world.same_state_as(legacy_world, tolerance=0.0)
+
+    def test_forced_resident_serial_matches_in_place_serial(self):
+        in_place_world, in_place_metrics = run_traffic("serial")
+        resident_world, resident_metrics = run_traffic("serial", resident_shards=True)
+        assert all(tick.resident for tick in resident_metrics.ticks)
+        assert in_place_world.same_state_as(resident_world, tolerance=0.0)
+        for in_place_tick, resident_tick in zip(in_place_metrics.ticks, resident_metrics.ticks):
+            for field in DETERMINISTIC_TICK_FIELDS:
+                assert getattr(in_place_tick, field) == getattr(resident_tick, field), field
+
+    def test_ipc_bytes_measured_only_across_process_boundaries(self):
+        _, serial_metrics = run_traffic("serial", resident_shards=True)
+        _, process_metrics = run_traffic("process")
+        # Memory-sharing residency ships nothing; the process backend reports
+        # real pickled bytes in both directions every tick.
+        assert serial_metrics.total_ipc_bytes() == 0
+        assert all(tick.ipc_bytes_sent > 0 for tick in process_metrics.ticks)
+        assert all(tick.ipc_bytes_received > 0 for tick in process_metrics.ticks)
+        assert process_metrics.total_ipc_bytes() > 0
+
+
 class TestDynamicPopulationEquivalence:
     def test_thread_backend_handles_births_and_deaths(self):
         def run(executor):
@@ -95,6 +135,27 @@ class TestDynamicPopulationEquivalence:
         thread_world = run("thread")
         assert serial_world.agent_count() == thread_world.agent_count()
         assert serial_world.same_state_as(thread_world, tolerance=0.0)
+
+    def test_resident_protocol_handles_births_deaths_and_second_reduce(self):
+        # Forced residency on the serial backend runs the full delta protocol
+        # (boundary deltas, partial routing, spawn/kill round-trips) without
+        # requiring picklable agent classes.
+        def run(resident):
+            world = build_predator_world(50, seed=5)
+            config = BraceConfig(
+                num_workers=2,
+                ticks_per_epoch=4,
+                non_local_effects=True,
+                resident_shards=resident,
+            )
+            with BraceRuntime(world, config) as runtime:
+                runtime.run(4)
+            return world
+
+        in_place_world = run(False)
+        resident_world = run(True)
+        assert in_place_world.agent_count() == resident_world.agent_count()
+        assert in_place_world.same_state_as(resident_world, tolerance=0.0)
 
 
 class TestProcessBackendErrorPath:
