@@ -6,9 +6,9 @@ work.  This ablation measures both sides of the trade-off the paper cites
 (tuning the checkpoint interval to minimise expected runtime).
 """
 
+from repro.api import Simulation
 from repro.brace.checkpoint import FailureInjector
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 
 from repro.simulations.fish import CouzinParameters, build_fish_world, make_fish_class
 
@@ -26,11 +26,14 @@ def _run(checkpoint_interval, ticks=12, workers=8, num_fish=320, seed=13,
         load_balance=False,
         check_visibility=False,
     )
-    runtime = BraceRuntime(world, config)
-    if failure_probability > 0:
-        runtime.run_with_failures(ticks, FailureInjector(failure_probability, seed=seed))
-    else:
-        runtime.run(ticks)
+    with Simulation.from_agents(world, config=config) as session:
+        # Failure injection drives the runtime directly (the session's
+        # escape hatch); plain runs use the unified API.
+        runtime = session.runtime
+        if failure_probability > 0:
+            runtime.run_with_failures(ticks, FailureInjector(failure_probability, seed=seed))
+        else:
+            session.run(ticks)
     return {
         "virtual_seconds": runtime.metrics.total_virtual_seconds,
         "checkpoints": runtime.master.checkpoint_manager.total_checkpoints,

@@ -7,8 +7,8 @@ non-collocated runtime would pay: every owned agent would additionally be
 shipped to its reducer every tick.
 """
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.simulations.fish import CouzinParameters, build_fish_world, make_fish_class
 
 
@@ -20,23 +20,22 @@ def test_ablation_collocation(once):
 
     def run():
         world = build_fish_world(800, parameters, seed=21, fish_class=fish_class)
-        runtime = BraceRuntime(world, config)
-        runtime.run(5)
-        return runtime
+        with Simulation.from_agents(world, config=config) as session:
+            return session.run(5), world
 
-    runtime = once(run)
+    result, world = once(run)
 
-    actual_bytes = runtime.metrics.total_bytes_over_network()
+    actual_bytes = result.bytes_over_network()
     # Without collocation every owned agent would cross the network once per tick.
-    agent_size = runtime.world.agents()[0].approximate_size_bytes()
-    hypothetical_extra = sum(stats.num_agents for stats in runtime.metrics.ticks) * agent_size
+    agent_size = world.agents()[0].approximate_size_bytes()
+    hypothetical_extra = sum(stats.num_agents for stats in result.metrics.ticks) * agent_size
     bandwidth = config.bandwidth_bytes_per_second
     extra_seconds = hypothetical_extra / bandwidth / config.num_workers
-    actual_seconds = runtime.metrics.total_virtual_seconds
-    degraded_throughput = runtime.metrics.total_agent_ticks / (actual_seconds + extra_seconds)
+    actual_seconds = result.metrics.total_virtual_seconds
+    degraded_throughput = result.metrics.total_agent_ticks / (actual_seconds + extra_seconds)
 
     print()
-    print(f"  collocated:      {runtime.throughput():12,.0f} agent ticks/s, "
+    print(f"  collocated:      {result.throughput():12,.0f} agent ticks/s, "
           f"{actual_bytes:,} bytes over the network")
     print(f"  non-collocated*: {degraded_throughput:12,.0f} agent ticks/s "
           f"(+{hypothetical_extra:,} bytes)   *estimated")
@@ -44,4 +43,4 @@ def test_ablation_collocation(once):
     # Collocation saves real traffic: the hypothetical extra volume dwarfs the
     # replication traffic the collocated runtime actually pays.
     assert hypothetical_extra > actual_bytes
-    assert runtime.throughput() > degraded_throughput
+    assert result.throughput() > degraded_throughput

@@ -5,8 +5,8 @@ workload on 16 workers.  Narrow strips replicate more agents (their visible
 regions cross more boundaries), so the grid layouts should move fewer bytes.
 """
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.simulations.fish import CouzinParameters, build_fish_world, make_fish_class
 
 
@@ -22,11 +22,11 @@ def _run(partitioning, grid_cells, num_fish=640, workers=16, ticks=4, seed=9):
         check_visibility=False,
         ticks_per_epoch=ticks,
     )
-    runtime = BraceRuntime(world, config)
-    runtime.run(ticks)
+    with Simulation.from_agents(world, config=config) as session:
+        run = session.run(ticks)
     return {
-        "throughput": runtime.throughput(),
-        "bytes": runtime.metrics.total_bytes_over_network(),
+        "throughput": run.throughput(),
+        "bytes": run.bytes_over_network(),
     }
 
 

@@ -23,8 +23,8 @@ import time
 
 import pytest
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.harness.common import format_table
 from repro.simulations.traffic.workload import build_traffic_world
 
@@ -53,13 +53,13 @@ def run_backend(executor: str, max_workers: int):
         executor=executor,
         max_workers=max_workers,
     )
-    with BraceRuntime(world, config) as runtime:
+    with Simulation.from_agents(world, config=config) as session:
         # Warm the pool (and the first tick's caches) outside the timing.
-        runtime.run_tick()
+        session.runtime.run_tick()
         start = time.perf_counter()
-        runtime.run(TICKS)
+        session.run(TICKS)
         wall_seconds = time.perf_counter() - start
-        imbalance = runtime.metrics.mean_query_wall_imbalance(skip_ticks=1)
+        imbalance = session.metrics.mean_query_wall_imbalance(skip_ticks=1)
     return world, wall_seconds, imbalance
 
 
@@ -96,8 +96,8 @@ def _run_tiny(executor: str, max_workers: int):
         executor=executor,
         max_workers=max_workers,
     )
-    with BraceRuntime(world, config) as runtime:
-        runtime.run(2)
+    with Simulation.from_agents(world, config=config) as session:
+        session.run(2)
     return world
 
 

@@ -22,8 +22,8 @@ import statistics
 import numpy as np
 import pytest
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.core.world import World
 from repro.harness.common import format_table
 from repro.spatial.bbox import BBox
@@ -66,10 +66,10 @@ def run_resident(num_agents: int):
         executor="process",
         max_workers=NUM_WORKERS,
     )
-    with BraceRuntime(world, config) as runtime:
-        runtime.run_tick()  # warm the pools and seed the shards
-        runtime.run(TICKS)
-        ticks = runtime.metrics.ticks[1:]
+    with Simulation.from_agents(world, config=config) as session:
+        session.runtime.run_tick()  # warm the pools and seed the shards
+        session.run(TICKS)
+        ticks = session.metrics.ticks[1:]
         assert all(tick.resident for tick in ticks)
         per_tick_ipc = statistics.mean(tick.ipc_bytes_total for tick in ticks)
         boundary = statistics.mean(
@@ -145,6 +145,6 @@ def test_resident_benchmark_world_is_bit_identical_to_serial():
     config = BraceConfig(
         num_workers=NUM_WORKERS, ticks_per_epoch=1000, load_balance=False
     )
-    with BraceRuntime(serial_world, config) as runtime:
-        runtime.run(TICKS + 1)
+    with Simulation.from_agents(serial_world, config=config) as session:
+        session.run(TICKS + 1)
     assert serial_world.same_state_as(process_world, tolerance=0.0)

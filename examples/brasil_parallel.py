@@ -9,8 +9,8 @@ executor backends and checks the final agent states are bit-identical.
 Run with:  python examples/brasil_parallel.py
 """
 
-from repro.brace.config import BraceConfig
-from repro.brasil import compile_script, run_script
+from repro import Simulation
+from repro.brasil import compile_script
 from repro.simulations.predator.brasil_scripts import FISH_SCHOOL_SCRIPT
 
 TICKS = 5
@@ -30,18 +30,22 @@ def main() -> None:
 
     results = {}
     for executor in ("serial", "thread", "process"):
-        config = BraceConfig(num_workers=4, executor=executor, max_workers=4)
-        run = run_script(
-            FISH_SCHOOL_SCRIPT, config, ticks=TICKS, num_agents=NUM_FISH, seed=SEED
+        session = (
+            Simulation.from_script(FISH_SCHOOL_SCRIPT, num_agents=NUM_FISH, seed=SEED)
+            .with_workers(4)
+            .with_executor(executor, max_workers=4)
         )
+        with session as sim:
+            run = sim.run(TICKS)
         results[executor] = run
         wall = sum(tick.wall_seconds for tick in run.metrics.ticks)
         print(f"{executor:>8}: {NUM_FISH} fish x {TICKS} ticks in {wall:.3f}s wall "
-              f"({run.throughput():,.0f} agent ticks per virtual second)")
+              f"({run.throughput():,.0f} agent ticks per virtual second, "
+              f"{run.ipc_bytes:,} measured IPC bytes)")
 
-    serial_states = results["serial"].final_states()
+    serial_states = results["serial"].final_states
     for executor in ("thread", "process"):
-        identical = results[executor].final_states() == serial_states
+        identical = results[executor].final_states == serial_states
         print(f"{executor} states bit-identical to serial: {identical}")
         assert identical, f"{executor} diverged from serial"
 

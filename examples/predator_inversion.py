@@ -9,7 +9,7 @@ runtime — a miniature of the paper's Figure 5 experiment.
 Run with:  python examples/predator_inversion.py
 """
 
-from repro.brace import BraceConfig, BraceRuntime
+from repro import Simulation
 from repro.brasil import compile_script
 from repro.simulations.predator import (
     PREDATOR_NON_LOCAL_SCRIPT,
@@ -21,19 +21,19 @@ from repro.simulations.predator import (
 def run_configuration(label: str, non_local: bool, ticks: int = 10) -> float:
     """Run the hand-written predator model in one of the two formulations."""
     world = build_predator_world(800, PredatorParameters(), seed=11, non_local=non_local)
-    config = BraceConfig(
-        num_workers=16,
-        ticks_per_epoch=ticks,
-        non_local_effects=non_local,
-        index="kdtree",
-        check_visibility=False,
-        load_balance=False,
+    session = (
+        Simulation.from_agents(world)
+        .with_workers(16)
+        .with_epochs(ticks)
+        .with_non_local_effects(non_local)
+        .with_index("kdtree", check_visibility=False)
+        .with_load_balancing(False)
     )
-    runtime = BraceRuntime(world, config)
-    runtime.run(ticks)
-    throughput = runtime.throughput()
+    with session as sim:
+        result = sim.run(ticks)
+    throughput = result.throughput()
     print(f"{label:35s} {throughput:12,.0f} agent ticks/s"
-          f"   ({runtime.metrics.total_bytes_over_network():,} bytes over network)")
+          f"   ({result.bytes_over_network():,} bytes over network)")
     return throughput
 
 

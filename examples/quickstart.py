@@ -1,9 +1,11 @@
-"""Quickstart: write an agent, run it sequentially and on BRACE.
+"""Quickstart: write an agent once, run it through the `Simulation` session.
 
 The example defines a tiny flocking agent directly in Python using the
-state-effect pattern, runs it on the single-node reference engine and on the
-BRACE runtime with four workers, and checks that both executions produce the
-same agent states — the core guarantee of the framework.
+state-effect pattern, runs it sequentially on the single-node reference
+engine and then through `repro.Simulation` — the unified front door to the
+parallel BRACE runtime — streaming per-tick events, and checks that both
+executions produce the same agent states: the core guarantee of the
+framework.
 
 Run with:  python examples/quickstart.py
 """
@@ -12,10 +14,9 @@ import numpy as np
 
 from repro import (
     Agent,
-    BraceConfig,
-    BraceRuntime,
     EffectField,
     SequentialEngine,
+    Simulation,
     StateField,
     SUM,
     COUNT,
@@ -77,13 +78,26 @@ def main() -> None:
     print(f"sequential: {ticks} ticks, "
           f"{sequential.statistics.throughput():,.0f} agent ticks/s (wall clock)")
 
-    brace_world = build_world()
-    runtime = BraceRuntime(brace_world, BraceConfig(num_workers=4, ticks_per_epoch=5))
-    runtime.run(ticks)
-    print(f"BRACE (4 workers): {runtime.throughput():,.0f} agent ticks/s (virtual time), "
-          f"{runtime.metrics.total_bytes_over_network():,} bytes over the network")
+    # The same model through the unified session API: four BRACE workers,
+    # streamed tick by tick so we can watch epoch boundaries go by.
+    session = (
+        Simulation.from_agents(build_world())
+        .with_workers(4)
+        .with_epochs(5)
+        .with_index("kdtree")
+    )
+    with session as sim:
+        for event in sim.stream(ticks):
+            if event.is_epoch_boundary:
+                print(f"  epoch closed at tick {event.tick}"
+                      f" (rebalanced: {event.rebalanced})")
+        result = sim.result()
 
-    identical = sequential_world.same_state_as(brace_world, tolerance=1e-9)
+    print(f"BRACE (4 workers): {result.throughput():,.0f} agent ticks/s (virtual time), "
+          f"{result.bytes_over_network():,} bytes over the network")
+    print(result.provenance.describe())
+
+    identical = sequential_world.same_state_as(sim.world, tolerance=1e-9)
     print(f"sequential and BRACE agent states identical: {identical}")
 
 

@@ -9,6 +9,10 @@ shared-nothing cluster (:mod:`repro.cluster`), the BRACE runtime
 simulation workloads (:mod:`repro.simulations`), single-node baselines
 (:mod:`repro.baselines`), statistics (:mod:`repro.stats`) and the experiment
 harness regenerating every table and figure (:mod:`repro.harness`).
+
+The recommended entry point is the unified session layer (:mod:`repro.api`):
+:class:`Simulation` runs both Python agent models and BRASIL scripts on any
+executor backend and returns a structured :class:`RunResult`.
 """
 
 from repro.core.agent import Agent
@@ -28,8 +32,9 @@ from repro.core.world import World
 from repro.core.engine import SequentialEngine
 from repro.brace.runtime import BraceRuntime
 from repro.brace.config import BraceConfig
+from repro.api import Provenance, RunResult, Simulation, TickEvent
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Agent",
@@ -48,5 +53,9 @@ __all__ = [
     "SequentialEngine",
     "BraceRuntime",
     "BraceConfig",
+    "Simulation",
+    "RunResult",
+    "Provenance",
+    "TickEvent",
     "__version__",
 ]

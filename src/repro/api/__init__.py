@@ -1,0 +1,34 @@
+"""repro.api — the unified session layer over the whole engine.
+
+One front door for every workload: a :class:`Simulation` session is
+constructed from Python agents (:meth:`Simulation.from_agents`) or BRASIL
+source (:meth:`Simulation.from_script`), configured through a fluent,
+eagerly validated builder, executed blocking (:meth:`Simulation.run`) or as
+a stream of per-tick :class:`TickEvent`\\ s (:meth:`Simulation.stream`)
+with observers and pause/resume, and always produces the same structured
+:class:`RunResult` with full provenance.
+
+>>> from repro.api import Simulation
+>>> sim = (Simulation.from_script("class A { public state float x : (x + 1); #range[-2, 2]; }",
+...                               num_agents=4, seed=1)
+...        .with_executor("serial").with_workers(2))
+>>> with sim:
+...     result = sim.run(3)
+>>> result.ticks
+3
+"""
+
+from repro.api.builder import ConfigBuilder, FluentConfig
+from repro.api.events import TickEvent
+from repro.api.result import Provenance, RunResult, script_sha256
+from repro.api.session import Simulation
+
+__all__ = [
+    "Simulation",
+    "RunResult",
+    "Provenance",
+    "TickEvent",
+    "ConfigBuilder",
+    "FluentConfig",
+    "script_sha256",
+]

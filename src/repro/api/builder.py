@@ -1,0 +1,218 @@
+"""The fluent, eagerly validated configuration builder behind ``with_*``.
+
+:class:`ConfigBuilder` accumulates overrides on top of a base
+:class:`~repro.brace.config.BraceConfig` and *compiles* them into a
+validated config with :meth:`build`.  Every setter re-validates the whole
+configuration immediately, so a bad knob fails at the call that introduced
+it::
+
+    Simulation.from_agents(world).with_executor("proces")
+    # BraceError: unknown executor 'proces'; expected 'serial', 'thread' or 'process'
+
+rather than as a deep ``KeyError`` ticks into a run.  The builder is shared
+by both session sources: agent sessions build the config directly; script
+sessions hand the built config to
+:func:`repro.brasil.runner.config_for_script`, which layers the compiler's
+own overrides (reduce-pass structure, access-path selection) on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+from repro.brace.config import BraceConfig
+from repro.core.errors import BraceError
+
+#: Field names a builder may override — exactly BraceConfig's surface.
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(BraceConfig))
+
+
+class ConfigBuilder:
+    """Accumulates validated overrides that compile down to a BraceConfig."""
+
+    def __init__(self, base: BraceConfig | None = None):
+        self._base = base if base is not None else BraceConfig()
+        self._overrides: dict[str, Any] = {}
+        #: Spatial index explicitly chosen by the caller, or ``"auto"`` to let
+        #: script sessions adopt the optimizer's access-path selection.
+        self.index_choice: str | None = "auto"
+
+    def set(self, **overrides: Any) -> "ConfigBuilder":
+        """Record ``overrides`` and fail fast if they produce a bad config."""
+        for name in overrides:
+            if name not in _CONFIG_FIELDS:
+                known = ", ".join(sorted(_CONFIG_FIELDS))
+                raise BraceError(
+                    f"unknown configuration option {name!r}; BraceConfig fields are: {known}"
+                )
+        candidate = dict(self._overrides)
+        candidate.update(overrides)
+        dataclasses.replace(self._base, **candidate).validate()
+        self._overrides = candidate
+        return self
+
+    def build(self) -> BraceConfig:
+        """Compile the accumulated overrides into a validated BraceConfig."""
+        config = dataclasses.replace(self._base, **self._overrides)
+        config.validate()
+        return config
+
+    def explicitly_set(self, name: str) -> bool:
+        """True when the caller overrode ``name`` (vs inheriting the base)."""
+        return name in self._overrides
+
+
+class FluentConfig:
+    """Mixin providing the ``with_*`` surface on :class:`~repro.api.Simulation`.
+
+    Every method validates eagerly, mutates the session's builder and
+    returns ``self``, so configuration chains fluently::
+
+        sim = (Simulation.from_agents(world)
+               .with_executor("process", max_workers=8)
+               .with_partitioning("strip", num_workers=8)
+               .with_index("kdtree")
+               .with_checkpointing(every_epochs=2)
+               .with_seed(7))
+
+    Concrete classes must provide ``self._builder`` (a :class:`ConfigBuilder`)
+    and ``self._check_not_started()`` (configuration is frozen once the
+    runtime exists).
+    """
+
+    _builder: ConfigBuilder
+
+    def _check_not_started(self) -> None:
+        raise NotImplementedError
+
+    def with_executor(
+        self,
+        executor: str,
+        max_workers: int | None = None,
+        resident_shards: bool | None = None,
+    ) -> Any:
+        """Choose the execution backend: "serial", "thread" or "process".
+
+        ``max_workers`` bounds the pool; ``resident_shards`` overrides the
+        automatic choice of the per-tick delta protocol (on exactly for
+        backends that do not share the driver's memory).
+        """
+        self._check_not_started()
+        overrides: dict[str, Any] = {"executor": executor}
+        if max_workers is not None:
+            overrides["max_workers"] = max_workers
+        if resident_shards is not None:
+            overrides["resident_shards"] = resident_shards
+        self._builder.set(**overrides)
+        return self
+
+    def with_partitioning(
+        self,
+        scheme: str = "strip",
+        num_workers: int | None = None,
+        grid_cells: Sequence[int] | None = None,
+    ) -> Any:
+        """Choose how space is split across workers ("strip" or "grid")."""
+        self._check_not_started()
+        overrides: dict[str, Any] = {"partitioning": scheme, "grid_cells": grid_cells}
+        if num_workers is not None:
+            overrides["num_workers"] = num_workers
+        self._builder.set(**overrides)
+        return self
+
+    def with_workers(self, num_workers: int) -> Any:
+        """Set the number of simulated workers (partitions)."""
+        self._check_not_started()
+        self._builder.set(num_workers=num_workers)
+        return self
+
+    def with_index(
+        self,
+        index: str | None,
+        cell_size: float | None = None,
+        check_visibility: bool | None = None,
+    ) -> Any:
+        """Force the query phase's spatial access path.
+
+        ``index`` is "kdtree", "grid", "quadtree" or None (nested-loop scan).
+        Script sessions default to the optimizer's selection; calling this
+        overrides it.  ``cell_size`` applies to the grid index only.
+        """
+        self._check_not_started()
+        if index not in (None, "kdtree", "grid", "quadtree"):
+            raise BraceError(
+                f"unknown spatial index {index!r}; expected 'kdtree', "
+                "'grid', 'quadtree' or None for a nested-loop scan"
+            )
+        overrides: dict[str, Any] = {"index": index}
+        if cell_size is not None:
+            # Recorded as an explicit choice: script sessions keep it over
+            # the optimizer's cell-size selection.
+            overrides["cell_size"] = cell_size
+        if check_visibility is not None:
+            overrides["check_visibility"] = check_visibility
+        self._builder.set(**overrides)
+        self._builder.index_choice = index
+        return self
+
+    def with_load_balancing(
+        self,
+        enabled: bool = True,
+        threshold: float | None = None,
+        axis: int | None = None,
+    ) -> Any:
+        """Enable/disable epoch-boundary load balancing and tune its trigger."""
+        self._check_not_started()
+        overrides: dict[str, Any] = {"load_balance": bool(enabled)}
+        if threshold is not None:
+            overrides["load_balance_threshold"] = threshold
+        if axis is not None:
+            overrides["load_balance_axis"] = axis
+        self._builder.set(**overrides)
+        return self
+
+    def with_epochs(self, ticks_per_epoch: int) -> Any:
+        """Set how many ticks pass between master interactions (an epoch)."""
+        self._check_not_started()
+        self._builder.set(ticks_per_epoch=ticks_per_epoch)
+        return self
+
+    def with_checkpointing(self, every_epochs: int = 1, enabled: bool = True) -> Any:
+        """Take a coordinated checkpoint every ``every_epochs`` epochs.
+
+        ``enabled=False`` turns checkpointing off (``pause()`` keeps working —
+        it snapshots on demand rather than on the epoch schedule).
+        """
+        self._check_not_started()
+        self._builder.set(
+            checkpointing=bool(enabled), checkpoint_interval_epochs=every_epochs
+        )
+        return self
+
+    def with_seed(self, seed: int) -> Any:
+        """Seed the run's randomness (defaults to the world's seed)."""
+        self._check_not_started()
+        self._builder.set(seed=int(seed))
+        return self
+
+    def with_non_local_effects(self, enabled: bool = True) -> Any:
+        """Run the second reduce pass for models assigning non-local effects.
+
+        Script sessions configure this automatically from the effect-inversion
+        outcome; agent sessions whose ``query`` writes effects on *other*
+        agents must enable it explicitly.
+        """
+        self._check_not_started()
+        self._builder.set(non_local_effects=bool(enabled))
+        return self
+
+    def with_options(self, **overrides: Any) -> Any:
+        """Escape hatch: override any :class:`BraceConfig` field by name.
+
+        Unknown names and invalid values fail immediately with the list of
+        valid fields / the violated constraint.
+        """
+        self._check_not_started()
+        self._builder.set(**overrides)
+        return self

@@ -1,0 +1,66 @@
+"""Events yielded by a streaming :class:`~repro.api.Simulation` run.
+
+One :class:`TickEvent` is produced per executed tick.  When the tick closed
+an epoch, the event additionally carries the epoch's
+:class:`~repro.brace.metrics.EpochStatistics` — including whether the master
+rebalanced the partitioning or took a coordinated checkpoint at that
+boundary — so a consumer pulling ``sim.stream(...)`` sees every scheduling
+decision the runtime made, in order, without polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.brace.metrics import BraceTickStatistics, EpochStatistics
+
+
+@dataclass(frozen=True)
+class TickEvent:
+    """Everything observable about one executed tick.
+
+    Instances are immutable: observers receive the same event object the
+    stream yields, and nothing an observer does can corrupt the run.
+    """
+
+    #: Tick number that was executed (the world is now at ``tick + 1``).
+    tick: int
+    #: Per-tick measurements (virtual/wall time, bytes, migrations, IPC).
+    stats: BraceTickStatistics
+    #: Epoch statistics when this tick closed an epoch boundary, else None.
+    epoch: EpochStatistics | None = None
+    #: Agent states after the tick, keyed by agent id — only populated when
+    #: the stream was started with ``snapshot_states=True``.  On the process
+    #: backend this forces a per-tick world sync (a deliberately world-sized
+    #: transfer), so it is off by default.
+    states: dict[Any, dict[str, Any]] | None = None
+
+    @property
+    def is_epoch_boundary(self) -> bool:
+        """True when this tick closed an epoch."""
+        return self.epoch is not None
+
+    @property
+    def rebalanced(self) -> bool:
+        """True when the master repartitioned at this tick's epoch boundary."""
+        return self.epoch is not None and self.epoch.rebalanced
+
+    @property
+    def checkpointed(self) -> bool:
+        """True when a coordinated checkpoint was taken at this boundary."""
+        return self.epoch is not None and self.epoch.checkpointed
+
+    @property
+    def num_agents(self) -> int:
+        """Number of agents that were simulated during this tick."""
+        return self.stats.num_agents
+
+    def __repr__(self) -> str:  # keep streams readable in logs/doctests
+        flags = []
+        if self.rebalanced:
+            flags.append("rebalanced")
+        if self.checkpointed:
+            flags.append("checkpointed")
+        suffix = (" " + ",".join(flags)) if flags else ""
+        return f"<TickEvent tick={self.tick} agents={self.stats.num_agents}{suffix}>"

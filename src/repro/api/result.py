@@ -1,0 +1,125 @@
+"""The unified result type every :class:`~repro.api.Simulation` run returns.
+
+Before the session layer existed, each entry point had its own result —
+``BraceRuntime.run`` returned :class:`~repro.brace.metrics.BraceRunMetrics`,
+``run_script`` a ``ScriptRunResult`` and every harness figure a bespoke
+``*Result`` dataclass.  :class:`RunResult` unifies them: final agent states,
+the full run metrics, measured IPC bytes and a :class:`Provenance` record
+that says exactly which model, configuration, seed and backend produced the
+numbers — enough to reproduce the run bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.brace.config import BraceConfig
+from repro.brace.metrics import BraceRunMetrics
+
+
+def script_sha256(source: str) -> str:
+    """Content hash identifying a BRASIL script's exact source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a :class:`RunResult` came from — enough to reproduce it.
+
+    Two runs with equal provenance (and the same package version) produce
+    bit-identical final states regardless of the executor backend; the
+    backend is still recorded because wall-clock and IPC measurements are
+    backend-dependent even when the states are not.
+    """
+
+    #: ``"agents"`` (a world of Python agent objects) or ``"script"``
+    #: (compiled from BRASIL source).
+    source: str
+    #: Agent class name(s) simulated, alphabetically sorted.
+    model: tuple[str, ...]
+    #: Executor backend the worker phases ran on ("serial"/"thread"/"process").
+    backend: str
+    #: Seed all run randomness derived from.
+    seed: int
+    #: The exact runtime configuration the session compiled down to.
+    config: BraceConfig
+    #: SHA-256 of the BRASIL source for script runs, None for agent runs.
+    script_hash: str | None = None
+    #: Where the script came from (path, or ``"<script>"`` for inline source).
+    script_label: str | None = None
+
+    def describe(self) -> str:
+        """One human-readable line identifying the run."""
+        model = "+".join(self.model) if self.model else "<empty world>"
+        origin = f"script {self.script_hash[:12]}" if self.script_hash else "python agents"
+        return (
+            f"{model} from {origin} on {self.backend} "
+            f"({self.config.num_workers} workers, seed {self.seed})"
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything a finished (or paused) :class:`Simulation` run produced."""
+
+    #: State of every agent at the end of the run, keyed by agent id.
+    final_states: dict[Any, dict[str, Any]]
+    #: Accumulated per-tick/per-epoch statistics for the whole session.
+    metrics: BraceRunMetrics
+    #: Number of ticks this session executed in total.
+    ticks: int
+    #: Model, configuration, seed and backend that produced this result.
+    provenance: Provenance
+    #: Epoch numbers at which coordinated checkpoints were taken.
+    checkpoints_taken: list[int] = field(default_factory=list)
+
+    @property
+    def num_agents(self) -> int:
+        """Number of agents alive at the end of the run."""
+        return len(self.final_states)
+
+    @property
+    def ipc_bytes(self) -> int:
+        """Measured driver<->shard bytes for the whole run.
+
+        Real pickled payload sizes from the resident-shard protocol; 0 for
+        runs on memory-sharing backends (nothing crossed a process boundary).
+        """
+        return self.metrics.total_ipc_bytes()
+
+    def throughput(self, skip_ticks: int = 0) -> float:
+        """Agent-ticks per virtual second (the paper's scale-up unit)."""
+        return self.metrics.throughput(skip_ticks)
+
+    def wall_throughput(self, skip_ticks: int = 0) -> float:
+        """Agent-ticks per wall-clock second."""
+        return self.metrics.wall_throughput(skip_ticks)
+
+    def bytes_over_network(self) -> int:
+        """Modeled replication+effect+migration bytes that crossed nodes."""
+        return self.metrics.total_bytes_over_network()
+
+    def same_states_as(self, other: "RunResult") -> bool:
+        """True when both runs ended with bit-identical agent states."""
+        return self.final_states == other.final_states
+
+    def summary(self) -> str:
+        """A short multi-line report of the run."""
+        lines = [
+            self.provenance.describe(),
+            f"  {self.ticks} ticks, {self.num_agents} agents, "
+            f"{self.throughput():,.0f} agent ticks/s (virtual)",
+            f"  {self.bytes_over_network():,} modeled bytes over the network, "
+            f"{self.ipc_bytes:,} measured IPC bytes",
+        ]
+        if self.checkpoints_taken:
+            lines.append(f"  checkpoints at epochs {self.checkpoints_taken}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RunResult ticks={self.ticks} agents={self.num_agents} "
+            f"backend={self.provenance.backend!r}>"
+        )

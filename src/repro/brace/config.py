@@ -81,16 +81,38 @@ class BraceConfig:
     map_work_units_per_agent: float = 1.0
 
     def validate(self) -> None:
-        """Raise :class:`BraceError` when the configuration is inconsistent."""
+        """Raise :class:`BraceError` when the configuration is inconsistent.
+
+        Called from :class:`~repro.brace.runtime.BraceRuntime` and from every
+        ``with_*`` step of the :class:`repro.api.Simulation` builder, so a
+        bad knob fails at configuration time with an actionable message
+        instead of surfacing as a deep ``KeyError`` mid-run.
+        """
         if self.num_workers < 1:
             raise BraceError("num_workers must be at least 1")
         if self.ticks_per_epoch < 1:
             raise BraceError("ticks_per_epoch must be at least 1")
         if self.partitioning not in ("strip", "grid"):
-            raise BraceError(f"unknown partitioning scheme {self.partitioning!r}")
+            raise BraceError(
+                f"unknown partitioning scheme {self.partitioning!r}; "
+                "expected 'strip' (1-D, load-balanceable) or 'grid'"
+            )
         if self.partitioning == "grid" and self.grid_cells is None:
-            raise BraceError("grid partitioning requires grid_cells")
-        if self.partitioning == "grid" and self.grid_cells is not None:
+            raise BraceError(
+                "grid partitioning requires grid_cells (cells per dimension, "
+                "e.g. grid_cells=(2, 2) for num_workers=4)"
+            )
+        if self.partitioning == "strip" and self.grid_cells is not None:
+            raise BraceError(
+                "grid_cells only applies to partitioning='grid' "
+                "(strip partitionings split a single axis into num_workers strips)"
+            )
+        if self.partitioning == "grid":
+            if not self.grid_cells or any(int(cells) < 1 for cells in self.grid_cells):
+                raise BraceError(
+                    "grid_cells must be a non-empty sequence of positive cell "
+                    f"counts, got {tuple(self.grid_cells)!r}"
+                )
             total = 1
             for cells in self.grid_cells:
                 total *= int(cells)
@@ -112,8 +134,37 @@ class BraceConfig:
                 "backends that do not share the driver's memory)"
             )
         if self.index not in (None, "kdtree", "grid", "quadtree"):
-            raise BraceError(f"unknown spatial index {self.index!r}")
+            raise BraceError(
+                f"unknown spatial index {self.index!r}; expected 'kdtree', "
+                "'grid', 'quadtree' or None for a nested-loop scan"
+            )
+        if self.cell_size is not None and not self.cell_size > 0:
+            # cell_size is only *used* by the grid index but may legitimately
+            # be set alongside any index choice (it is ignored otherwise).
+            raise BraceError(
+                f"cell_size must be positive, got {self.cell_size!r} "
+                "(or None for the index's default)"
+            )
+        if self.load_balance_axis < 0:
+            raise BraceError("load_balance_axis must be a non-negative dimension index")
         if self.load_balance_threshold < 1.0:
-            raise BraceError("load_balance_threshold must be >= 1.0")
+            raise BraceError(
+                "load_balance_threshold is the max/min owned-agents ratio that "
+                f"triggers a repartition and must be >= 1.0, got {self.load_balance_threshold}"
+            )
+        if self.migration_cost_per_agent < 0:
+            raise BraceError("migration_cost_per_agent must be >= 0")
         if self.checkpoint_interval_epochs < 1:
             raise BraceError("checkpoint_interval_epochs must be at least 1")
+        for name in (
+            "work_units_per_second",
+            "bandwidth_bytes_per_second",
+            "inter_switch_penalty",
+        ):
+            if not getattr(self, name) > 0:
+                raise BraceError(f"{name} must be positive, got {getattr(self, name)!r}")
+        for name in ("latency_seconds", "barrier_seconds"):
+            if getattr(self, name) < 0:
+                raise BraceError(f"{name} must be >= 0, got {getattr(self, name)!r}")
+        if self.nodes_per_switch < 1:
+            raise BraceError("nodes_per_switch must be at least 1")

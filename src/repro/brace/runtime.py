@@ -121,6 +121,13 @@ class BraceRuntime:
         #: Execution backend running the per-worker query and update phases.
         self.executor = make_executor(self.config.executor, max_workers)
 
+        #: Callbacks invoked with each epoch's :class:`EpochStatistics` right
+        #: after the epoch boundary completes (load balancing, checkpointing
+        #: and IPC accounting included).  The streaming session layer
+        #: (:mod:`repro.api`) registers here to surface epoch and checkpoint
+        #: events; anything driving :meth:`run_tick` directly may too.
+        self.epoch_listeners: list = []
+
         #: Whether ticks run the resident-shard delta protocol.  ``None`` in
         #: the config resolves to "on exactly when the executor does not
         #: share the driver's memory" — i.e. the process backend.
@@ -780,6 +787,36 @@ class BraceRuntime:
             result.payload_bytes + result.result_bytes for result in results
         )
 
+    def suspend(self) -> None:
+        """Pull resident state back and release the executor-hosted shards.
+
+        After suspending, the driver's world holds the authoritative agent
+        states and no simulation state lives inside the executor; the runtime
+        stays fully usable — the next tick lazily re-seeds the shards.  This
+        is the teardown half of the session layer's ``pause()``: a paused
+        simulation occupies no pool-process memory.
+        """
+        self.metrics.add_sync_ipc(self.sync_world())
+        if self._resident and self._shards_ready:
+            self._invalidate_shards()
+
+    def restore_world(self, snapshot: dict[str, Any]) -> None:
+        """Reset the runtime onto a world snapshot taken at a tick boundary.
+
+        The counterpart of :meth:`suspend` used by the session layer's
+        ``resume()``: the world is restored exactly as checkpoint recovery
+        does (same machinery), ownership is rebuilt from agent positions
+        under the current partitioning, and any resident shard state is
+        dropped so the next tick re-seeds from the restored agents.  Unlike
+        :meth:`recover`, accumulated metrics and the current epoch's
+        progress are kept — suspending is not a failure.
+        """
+        self.world.restore(snapshot)
+        self._rebuild_ownership()
+        if self._resident:
+            self._invalidate_shards()
+        self._world_dirty = False
+
     def close(self) -> None:
         """Sync any resident state back and release the executor's workers."""
         try:
@@ -888,6 +925,8 @@ class BraceRuntime:
             ipc_bytes=epoch_ipc_bytes,
         )
         self.metrics.add_epoch(epoch_stats)
+        for listener in self.epoch_listeners:
+            listener(epoch_stats)
 
         self._epoch_ticks = 0
         self._epoch_virtual_seconds = 0.0

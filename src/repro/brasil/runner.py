@@ -37,7 +37,6 @@ import numpy as np
 
 from repro.brace.config import BraceConfig
 from repro.brace.metrics import BraceRunMetrics
-from repro.brace.runtime import BraceRuntime
 from repro.brasil.compiler import CompiledScript, compile_script
 from repro.core.errors import BrasilError
 from repro.core.world import World
@@ -267,19 +266,34 @@ def run_script(
 
     Returns a :class:`ScriptRunResult`; agent states are bit-identical for
     any executor backend given the same remaining arguments.
+
+    This is a thin shim over the unified session layer: it is equivalent to
+    ``Simulation.from_script(script, ...).run(ticks)`` (see
+    :class:`repro.api.Simulation`), which additionally offers streaming
+    ticks, observers and pause/resume.
     """
-    source, label = load_script_source(script)
-    compiled = _compile_with_label(source, label, class_name, effect_inversion, use_index)
-    world = build_script_world(
-        compiled,
+    from repro.api import Simulation
+
+    session = Simulation.from_script(
+        script,
+        config=config,
+        class_name=class_name,
+        effect_inversion=effect_inversion,
+        use_index=use_index,
         num_agents=num_agents,
         initial_states=initial_states,
         bounds=bounds,
         seed=seed,
     )
-    derived = config_for_script(compiled, config, index=index)
-    with BraceRuntime(world, derived) as runtime:
-        metrics = runtime.run(int(ticks))
+    if index != "auto":
+        session.with_index(index)
+    with session:
+        result = session.run(int(ticks))
+    assert session.compiled is not None
     return ScriptRunResult(
-        compiled=compiled, world=world, config=derived, metrics=metrics, ticks=int(ticks)
+        compiled=session.compiled,
+        world=session.world,
+        config=session.config,
+        metrics=result.metrics,
+        ticks=int(ticks),
     )

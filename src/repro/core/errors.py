@@ -62,6 +62,15 @@ class LoadBalanceError(BraceError):
     """The load balancer produced an invalid repartitioning."""
 
 
+class SimulationSessionError(ReproError):
+    """A :class:`repro.api.Simulation` session was used out of order.
+
+    Raised for lifecycle violations — running a closed session, resuming a
+    session that was never paused, re-entering a stream that is already being
+    consumed — with a message saying which call was expected instead.
+    """
+
+
 class BrasilError(ReproError):
     """Base class for BRASIL compilation errors."""
 

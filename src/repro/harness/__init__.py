@@ -27,6 +27,7 @@ scale-up figures *from BRASIL source* via ``repro.brasil.run_script``
 (``figure6-brasil`` / ``figure7-brasil`` on the command line).
 """
 
+from repro.harness.common import format_table
 from repro.harness.table2 import run_table2, Table2Result
 from repro.harness.figure3 import run_figure3, Figure3Result
 from repro.harness.figure4 import run_figure4, Figure4Result
@@ -34,8 +35,21 @@ from repro.harness.figure5 import run_figure5, Figure5Result
 from repro.harness.figure6 import run_figure6, run_figure6_brasil, Figure6Result
 from repro.harness.figure7 import run_figure7, run_figure7_brasil, Figure7Result
 from repro.harness.figure8 import run_figure8, Figure8Result
+from repro.harness.registry import (
+    EXPERIMENTS,
+    Experiment,
+    experiment_names,
+    run_all,
+    run_experiment,
+)
 
 __all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_names",
+    "run_experiment",
+    "run_all",
+    "format_table",
     "run_table2",
     "Table2Result",
     "run_figure3",

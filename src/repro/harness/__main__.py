@@ -1,8 +1,10 @@
 """Command-line entry point: ``python -m repro.harness <experiment> [--full]``.
 
-``<experiment>`` is one of ``table2``, ``figure3`` … ``figure8`` or ``all``.
-The default parameters are laptop-sized; ``--full`` uses larger, closer to
-paper-scale settings (minutes of runtime).
+``<experiment>`` is one of the names in the experiment registry
+(``table2``, ``figure3`` … ``figure8``, the ``*-brasil`` variants) or
+``all``.  The default parameters are laptop-sized; ``--full`` uses the
+registry's larger, closer to paper-scale settings (minutes of runtime).
+Both scales live side by side in :mod:`repro.harness.registry`.
 """
 
 from __future__ import annotations
@@ -10,59 +12,26 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.harness import (
-    run_figure3,
-    run_figure4,
-    run_figure5,
-    run_figure6,
-    run_figure6_brasil,
-    run_figure7,
-    run_figure7_brasil,
-    run_figure8,
-    run_table2,
-)
-
-_EXPERIMENTS = {
-    "table2": lambda full: run_table2(segment_length=20000.0 if full else 2000.0,
-                                      ticks=200 if full else 60),
-    "figure3": lambda full: run_figure3(
-        segment_lengths=(2500.0, 5000.0, 10000.0, 20000.0) if full else (500.0, 1000.0, 2000.0, 4000.0),
-        ticks=20 if full else 10,
-    ),
-    "figure4": lambda full: run_figure4(
-        visibility_ranges=(25.0, 50.0, 100.0, 200.0, 300.0) if full else (3.0, 6.0, 12.0, 24.0, 48.0),
-        num_fish=2000 if full else 400,
-        ticks=10 if full else 5,
-    ),
-    "figure5": lambda full: run_figure5(num_fish=4000 if full else 600, ticks=10 if full else 5),
-    "figure6": lambda full: run_figure6(
-        vehicles_per_worker=400 if full else 100, ticks=5 if full else 3
-    ),
-    "figure7": lambda full: run_figure7(
-        fish_per_worker=200 if full else 60, ticks=10 if full else 6
-    ),
-    "figure8": lambda full: run_figure8(
-        num_fish=3000 if full else 800, epochs=20 if full else 8
-    ),
-    "figure6-brasil": lambda full: run_figure6_brasil(
-        vehicles_per_worker=400 if full else 100, ticks=5 if full else 3
-    ),
-    "figure7-brasil": lambda full: run_figure7_brasil(
-        fish_per_worker=200 if full else 60, ticks=10 if full else 6
-    ),
-}
+from repro.harness.registry import EXPERIMENTS, experiment_names, run_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run one (or all) of the paper's experiments and print its table."""
     parser = argparse.ArgumentParser(prog="python -m repro.harness", description=__doc__)
-    parser.add_argument("experiment", choices=[*_EXPERIMENTS, "all"])
+    parser.add_argument("experiment", choices=[*experiment_names(), "all"])
     parser.add_argument("--full", action="store_true", help="use paper-scale parameters")
+    parser.add_argument(
+        "--list", action="store_true", help="describe the chosen experiments and exit"
+    )
     arguments = parser.parse_args(argv)
 
-    names = list(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    names = experiment_names() if arguments.experiment == "all" else [arguments.experiment]
+    if arguments.list:
+        for name in names:
+            print(f"{name:15s} {EXPERIMENTS[name].description}")
+        return 0
     for name in names:
-        result = _EXPERIMENTS[name](arguments.full)
+        result = run_experiment(name, arguments.full)
         print(result.format_table())
         print()
     return 0

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.harness.common import format_table
 from repro.simulations.predator import PredatorParameters, build_predator_world
 
@@ -81,9 +81,8 @@ def _run_configuration(
         check_visibility=False,
         load_balance=False,
     )
-    runtime = BraceRuntime(world, config)
-    runtime.run(ticks)
-    return runtime.throughput()
+    with Simulation.from_agents(world, config=config) as session:
+        return session.run(ticks).throughput()
 
 
 def run_figure5(

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.harness.common import format_table
 from repro.simulations.traffic import TrafficParameters, build_traffic_world, make_vehicle_class
 from repro.stats.summary import scaling_efficiency
@@ -99,11 +99,11 @@ def run_figure6(
             executor=executor,
             max_workers=max_workers,
         )
-        with BraceRuntime(world, config) as runtime:
-            runtime.run(ticks)
+        with Simulation.from_agents(world, config=config) as session:
+            run = session.run(ticks)
             result.worker_counts.append(workers)
             result.agents.append(total_vehicles)
-            result.throughputs.append(runtime.throughput())
+            result.throughputs.append(run.throughput())
     return result
 
 

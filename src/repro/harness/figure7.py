@@ -19,8 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.harness.common import format_table
 from repro.simulations.fish import CouzinParameters, build_fish_world, make_fish_class
 
@@ -70,9 +70,8 @@ def _run(world, workers: int, ticks: int, load_balance: bool, ticks_per_epoch: i
         load_balance=load_balance,
         load_balance_threshold=1.1,
     )
-    runtime = BraceRuntime(world, config)
-    runtime.run(ticks)
-    return runtime.throughput()
+    with Simulation.from_agents(world, config=config) as session:
+        return session.run(ticks).throughput()
 
 
 def run_figure7(

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import Simulation
 from repro.brace.config import BraceConfig
-from repro.brace.runtime import BraceRuntime
 from repro.harness.common import format_table
 from repro.simulations.fish import CouzinParameters, build_fish_world, make_fish_class
 
@@ -58,9 +58,8 @@ def _epoch_times(world, workers: int, epochs: int, ticks_per_epoch: int, load_ba
         load_balance=load_balance,
         load_balance_threshold=1.1,
     )
-    runtime = BraceRuntime(world, config)
-    runtime.run(epochs * ticks_per_epoch)
-    return runtime.metrics.epoch_times()
+    with Simulation.from_agents(world, config=config) as session:
+        return session.run(epochs * ticks_per_epoch).metrics.epoch_times()
 
 
 def run_figure8(

@@ -1,6 +1,13 @@
 """MITSIM-style traffic simulation (lane changing + car following)."""
 
 from repro.simulations.traffic.model import TrafficParameters
+from repro.simulations.traffic.ring import (
+    RING_LENGTH,
+    RING_MAX_SPEED,
+    RING_VISIBILITY,
+    RingCar,
+    build_ring_world,
+)
 from repro.simulations.traffic.vehicle import Vehicle, make_vehicle_class
 from repro.simulations.traffic.workload import build_traffic_world
 from repro.simulations.traffic.statistics import (
@@ -11,6 +18,11 @@ from repro.simulations.traffic.statistics import (
 
 __all__ = [
     "TrafficParameters",
+    "RingCar",
+    "build_ring_world",
+    "RING_LENGTH",
+    "RING_VISIBILITY",
+    "RING_MAX_SPEED",
     "Vehicle",
     "make_vehicle_class",
     "build_traffic_world",

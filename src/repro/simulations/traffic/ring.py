@@ -1,0 +1,77 @@
+"""A hand-written Python twin of the BRASIL ring-road car model.
+
+:data:`~repro.simulations.traffic.brasil_scripts.TRAFFIC_SCRIPT` and
+:class:`RingCar` express the *same* model — nearest visible car ahead via a
+``min`` effect, close the gap at half speed or accelerate toward the cap,
+wrap at the segment end — once in BRASIL and once directly against the
+agent framework.  Because both query through the same visible-region
+semantics and both update from the pre-update state with identical
+arithmetic, a run from either formulation produces bit-identical agent
+states; ``examples/unified_api.py`` and the API test-suite assert exactly
+that through the unified :class:`repro.api.Simulation` entry point.
+
+The class is defined at module level (not via a factory) so it is picklable
+by name — a requirement of the process executor — which pins its constants
+to the defaults of :func:`~repro.simulations.traffic.brasil_scripts.traffic_script`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agent import Agent
+from repro.core.combinators import MIN
+from repro.core.fields import EffectField, StateField
+from repro.core.world import World
+from repro.spatial.bbox import BBox
+
+#: Ring length matching ``brasil_scripts.TRAFFIC_RING_LENGTH``.
+RING_LENGTH = 1000.0
+#: How far a car sees (and the gap it reacts to), as in the script.
+RING_VISIBILITY = 50.0
+#: Speed cap, also the declared per-tick reachability.
+RING_MAX_SPEED = 15.0
+
+
+class RingCar(Agent):
+    """Hand-written equivalent of the BRASIL ``Car`` (default-size ring)."""
+
+    x = StateField(
+        0.0, spatial=True, visibility=RING_VISIBILITY, reachability=RING_MAX_SPEED,
+        doc="Position along the ring road, wrapped at the segment end.",
+    )
+    v = StateField(0.0, doc="Current speed.")
+    gap = EffectField(MIN, doc="Distance to the nearest visible car ahead.")
+
+    def query(self, ctx):
+        """Accumulate the distance to every visible car ahead (min wins)."""
+        for other in ctx.visible(self):
+            if other.x > self.x:
+                self.gap = other.x - self.x
+
+    def update(self, ctx):
+        """Mirror the script's update rules, evaluated on pre-update state."""
+        x, v, gap = self.x, self.v, self.gap
+        position = x + v
+        self.x = position - RING_LENGTH if position >= RING_LENGTH else position
+        self.v = (
+            min(gap / 2, RING_MAX_SPEED)
+            if gap < RING_VISIBILITY
+            else min(v + 1, RING_MAX_SPEED)
+        )
+
+
+def build_ring_world(num_cars: int = 50, seed: int = 0) -> World:
+    """A world of :class:`RingCar` agents placed exactly like the script's.
+
+    Uses the same rng construction as
+    :func:`repro.brasil.runner.build_script_world`, so
+    ``Simulation.from_agents(build_ring_world(n, seed))`` and
+    ``Simulation.from_script(TRAFFIC_SCRIPT, num_agents=n, seed=seed,
+    bounds=((0.0, RING_LENGTH),))`` start from identical positions.
+    """
+    world = World(bounds=BBox(((0.0, RING_LENGTH),)), seed=seed)
+    rng = np.random.default_rng([int(seed) & 0x7FFFFFFF, int(num_cars)])
+    for _ in range(int(num_cars)):
+        world.add_agent(RingCar(x=float(rng.uniform(0.0, RING_LENGTH))))
+    return world

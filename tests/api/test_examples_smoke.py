@@ -1,0 +1,44 @@
+"""Every script in examples/ must actually run (the examples-smoke job).
+
+The examples double as executable documentation of the public API; this
+suite executes each one in a subprocess exactly as a reader would
+(``python examples/<name>.py``), so a drifting API or a broken example
+fails CI instead of silently rotting.  The CI workflow runs this file as
+its own ``examples-smoke`` job.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """The parametrized list below must include every example on disk."""
+    assert EXAMPLES, "examples/ directory is missing or empty"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_clean(example):
+    environment = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    environment["PYTHONPATH"] = src + os.pathsep + environment.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=REPO_ROOT,
+        env=environment,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} exited with {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{example.name} printed nothing"

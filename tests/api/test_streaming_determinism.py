@@ -1,0 +1,105 @@
+"""Streaming and pause/resume must not change a single bit of the outcome.
+
+The contract: a run consumed incrementally through ``stream()``, or
+interrupted by ``pause()``/``resume()`` at any tick boundary, produces
+final agent states bit-identical to a straight blocking ``run()`` — on
+every executor backend, and for both session sources (Python agents and
+BRASIL scripts).
+"""
+
+import pytest
+
+from repro.api import Simulation
+from repro.simulations.traffic import RING_LENGTH, build_ring_world
+from repro.simulations.traffic.brasil_scripts import TRAFFIC_SCRIPT
+
+TICKS = 12
+NUM_CARS = 36
+SEED = 5
+BACKENDS = ["serial", "thread", "process"]
+
+
+def make_session(source: str, executor: str) -> Simulation:
+    if source == "agents":
+        session = Simulation.from_agents(build_ring_world(NUM_CARS, SEED))
+    else:
+        session = Simulation.from_script(
+            TRAFFIC_SCRIPT, num_agents=NUM_CARS, seed=SEED, bounds=((0.0, RING_LENGTH),)
+        )
+    return (
+        session.with_workers(4)
+        .with_executor(executor, max_workers=4)
+        .with_epochs(5)  # an epoch boundary (and rebalance check) mid-run
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_states():
+    """Straight serial run of the agents world — the baseline bits."""
+    with make_session("agents", "serial") as sim:
+        return sim.run(TICKS).final_states
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+@pytest.mark.parametrize("source", ["agents", "script"])
+def test_straight_run_matches_reference(source, executor, reference_states):
+    with make_session(source, executor) as sim:
+        assert sim.run(TICKS).final_states == reference_states
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_stream_consumed_tick_by_tick_is_bit_identical(executor, reference_states):
+    with make_session("agents", executor) as sim:
+        events = [event for event in sim.stream(TICKS)]
+        assert len(events) == TICKS
+        assert sim.result().final_states == reference_states
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_pause_resume_mid_run_is_bit_identical(executor, reference_states):
+    with make_session("agents", executor) as sim:
+        sim.run(TICKS // 2)
+        sim.pause()
+        sim.resume()
+        result = sim.run(TICKS - TICKS // 2)
+        assert result.ticks == TICKS
+        assert result.final_states == reference_states
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_pause_inside_stream_is_bit_identical(executor, reference_states):
+    with make_session("agents", executor) as sim:
+        sim.on_tick(lambda event: sim.pause() if event.tick == 4 else None)
+        consumed = list(sim.stream(TICKS))
+        assert len(consumed) == 5  # ticks 0..4, then the pause cut the stream
+        assert sim.paused
+        sim.resume()
+        assert sim.run(TICKS - 5).final_states == reference_states
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_script_stream_with_pause_is_bit_identical(executor, reference_states):
+    with make_session("script", executor) as sim:
+        for event in sim.stream(TICKS // 2):
+            pass
+        sim.pause()
+        sim.resume()
+        list(sim.stream(TICKS - TICKS // 2))
+        assert sim.states() == reference_states
+
+
+def test_repeated_pause_resume_every_tick_serial(reference_states):
+    """The adversarial schedule: pause/resume around every single tick."""
+    with make_session("agents", "serial") as sim:
+        for _ in range(TICKS):
+            sim.run(1)
+            sim.pause()
+            sim.resume()
+        assert sim.states() == reference_states
+
+
+def test_snapshot_states_stream_does_not_perturb_process_run(reference_states):
+    with make_session("agents", "process") as sim:
+        events = list(sim.stream(TICKS, snapshot_states=True))
+        assert events[-1].states == reference_states
+        assert sim.result().final_states == reference_states
