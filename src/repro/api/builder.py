@@ -156,6 +156,21 @@ class FluentConfig:
         self._builder.index_choice = index
         return self
 
+    def with_spatial_backend(self, backend: str | None) -> Any:
+        """Choose how the query phase's spatial joins execute.
+
+        ``"vectorized"`` runs the columnar NumPy batch kernels (one position
+        snapshot per worker per tick, all probes answered in a handful of
+        array ops), ``"python"`` the interpreted per-probe index queries,
+        ``None`` restores automatic selection.  Agent states are
+        bit-identical whichever backend runs — this knob only trades speed.
+        """
+        self._check_not_started()
+        # Validation happens in ConfigBuilder.set() -> BraceConfig.validate(),
+        # the single source of truth for legal backend names.
+        self._builder.set(spatial_backend=backend)
+        return self
+
     def with_load_balancing(
         self,
         enabled: bool = True,

@@ -253,6 +253,14 @@ class Simulation(FluentConfig):
                 # access-path selection, as its docstring promises.
                 derived = dataclasses.replace(derived, cell_size=config.cell_size)
                 derived.validate()
+            if self._builder.explicitly_set("spatial_backend"):
+                # with_spatial_backend() likewise overrides the optimizer's
+                # backend pin — forcing the interpreted path must stay
+                # possible (it is how the columnar speedups are measured).
+                derived = dataclasses.replace(
+                    derived, spatial_backend=config.spatial_backend
+                )
+                derived.validate()
             config = derived
         return config
 

@@ -54,6 +54,17 @@ class BraceConfig:
     index: str | None = "kdtree"
     cell_size: float | None = None
     check_visibility: bool = True
+    #: How the query phase's spatial joins execute: ``"python"`` (interpreted
+    #: per-probe index queries), ``"vectorized"`` (columnar NumPy batch
+    #: kernels — one position snapshot per worker per tick, every probe
+    #: answered in a handful of array ops) or ``None`` for automatic
+    #: selection (vectorized whenever an index is requested and the worker's
+    #: extent is large enough to amortize the snapshot).  Agent states are
+    #: bit-identical across backends; only the speed differs.  (Sole caveat:
+    #: ``QueryContext.nearest`` breaks *exact* distance ties in canonical
+    #: order on the vectorized backend vs k-d tree traversal order on the
+    #: python backend — neighbour/visible queries are tie-free.)
+    spatial_backend: str | None = None
 
     # Load balancing -------------------------------------------------------
     load_balance: bool = True
@@ -137,6 +148,11 @@ class BraceConfig:
             raise BraceError(
                 f"unknown spatial index {self.index!r}; expected 'kdtree', "
                 "'grid', 'quadtree' or None for a nested-loop scan"
+            )
+        if self.spatial_backend not in (None, "python", "vectorized"):
+            raise BraceError(
+                f"unknown spatial backend {self.spatial_backend!r}; expected "
+                "'python', 'vectorized' or None for automatic selection"
             )
         if self.cell_size is not None and not self.cell_size > 0:
             # cell_size is only *used* by the grid index but may legitimately

@@ -213,8 +213,14 @@ class BraceRuntime:
 
         agents_migrated = 0
         for worker in self.workers:
-            for agent in worker.owned_agents():
-                owner = self.master.partitioning.partition_of(agent.position())
+            # Harvest positions into the worker's tick cache (reused by the
+            # query phase's columnar snapshot) and batch the ownership
+            # lookups when the vectorized backend is in play.
+            owned = worker.owned_agents()
+            owners = worker._harvest_positions(
+                owned, self.master.partitioning, config.spatial_backend, config.index
+            )
+            for agent, owner in zip(owned, owners):
                 if owner != worker.worker_id:
                     worker.remove_owned(agent.agent_id)
                     self.workers[owner].add_owned(agent)
@@ -337,7 +343,15 @@ class BraceRuntime:
         pending, self._pending_boundary = self._pending_boundary, {}
         map_results = self._shard_round(
             [
-                (worker.worker_id, shard_map_phase, MapCommand(pending.get(worker.worker_id)))
+                (
+                    worker.worker_id,
+                    shard_map_phase,
+                    MapCommand(
+                        boundary=pending.get(worker.worker_id),
+                        spatial_backend=config.spatial_backend,
+                        index=config.index,
+                    ),
+                )
                 for worker in self.workers
             ]
         )
@@ -392,6 +406,7 @@ class BraceRuntime:
                         index=config.index,
                         cell_size=config.cell_size,
                         check_visibility=config.check_visibility,
+                        spatial_backend=config.spatial_backend,
                     ),
                 )
                 for worker in self.workers
@@ -608,6 +623,7 @@ class BraceRuntime:
                     index=config.index,
                     cell_size=config.cell_size,
                     check_visibility=config.check_visibility,
+                    spatial_backend=config.spatial_backend,
                 )
                 for worker in self.workers
             ]
@@ -624,6 +640,7 @@ class BraceRuntime:
                     config.index,
                     config.cell_size,
                     config.check_visibility,
+                    config.spatial_backend,
                 )
                 for worker in self.workers
             ]

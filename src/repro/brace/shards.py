@@ -71,9 +71,18 @@ class BoundaryDelta:
 
 @dataclass
 class MapCommand:
-    """Round 1 input: the previous tick's boundary delta (if any)."""
+    """Round 1 input: the previous tick's boundary delta (if any).
+
+    ``spatial_backend``/``index`` select how the shard routes ownership
+    during its local distribution — when they resolve to the vectorized
+    backend, the shard packs the owned positions into the tick's columnar
+    cache and resolves owners in one batched lookup; the rows are then
+    reused by the query round's snapshot.
+    """
 
     boundary: BoundaryDelta | None = None
+    spatial_backend: str | None = None
+    index: str | None = "kdtree"
 
 
 @dataclass
@@ -87,6 +96,7 @@ class QueryCommand:
     index: str | None
     cell_size: float | None
     check_visibility: bool
+    spatial_backend: str | None = None
 
 
 @dataclass
@@ -147,7 +157,9 @@ def shard_map_phase(worker: Worker, command: MapCommand) -> DistributionResult:
     """Round 1: apply the boundary delta, then distribute locally."""
     if command.boundary is not None:
         worker.apply_boundary(command.boundary.kill_ids, command.boundary.spawn_agents)
-    return worker.distribute()
+    return worker.distribute(
+        spatial_backend=command.spatial_backend, index=command.index
+    )
 
 
 def shard_query_phase(worker: Worker, command: QueryCommand) -> QueryResult:
@@ -162,6 +174,7 @@ def shard_query_phase(worker: Worker, command: QueryCommand) -> QueryResult:
         index=command.index,
         cell_size=command.cell_size,
         check_visibility=command.check_visibility,
+        spatial_backend=command.spatial_backend,
     )
     return QueryResult(
         replica_partials=worker.touched_replica_partials(),

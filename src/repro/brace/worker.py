@@ -17,13 +17,16 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.brace.replication import replication_targets
 from repro.core.agent import Agent
-from repro.core.context import QueryContext, UpdateContext
+from repro.core.context import QueryContext, UpdateContext, resolve_spatial_backend
 from repro.core.errors import BraceError
 from repro.core.ordering import agent_sort_key
 from repro.core.phase import Phase, phase
 from repro.spatial.bbox import BBox
+from repro.spatial.columnar import PointSet
 from repro.spatial.partitioning import Partition, SpatialPartitioning
 
 
@@ -67,6 +70,7 @@ def run_query_phase_remote(
     index: str | None,
     cell_size: float | None,
     check_visibility: bool,
+    spatial_backend: str | None = None,
 ) -> QueryPhaseResult:
     """Execute one worker's query phase on pickled agent copies.
 
@@ -83,6 +87,7 @@ def run_query_phase_remote(
         index=index,
         cell_size=cell_size,
         check_visibility=check_visibility,
+        spatial_backend=spatial_backend,
     )
     with phase(Phase.QUERY):
         for agent in owned:
@@ -177,6 +182,13 @@ class Worker:
         self.replicas: dict[Any, Agent] = {}
         self.last_query_work_units = 0.0
         self.last_index_probes = 0
+        #: ``agent_id -> position`` harvested during this tick's map phase.
+        #: Positions only change in the update phase, so the query phase can
+        #: assemble its columnar snapshot from these rows instead of walking
+        #: every agent's state again — the tick's one-snapshot contract.
+        self._position_cache: dict[Any, tuple] | None = None
+        #: The columnar snapshot served to the last vectorized query phase.
+        self.last_snapshot: PointSet | None = None
 
     # ------------------------------------------------------------------
     # Ownership management
@@ -234,7 +246,12 @@ class Worker:
     # ------------------------------------------------------------------
     # Resident-shard operations (the map phase, computed shard-locally)
     # ------------------------------------------------------------------
-    def distribute(self, partitioning: SpatialPartitioning | None = None) -> DistributionResult:
+    def distribute(
+        self,
+        partitioning: SpatialPartitioning | None = None,
+        spatial_backend: str | None = None,
+        index: str | None = "kdtree",
+    ) -> DistributionResult:
         """Run the tick's map phase locally: reset, migrate out, replicate.
 
         Examines every owned agent once: agents whose position left this
@@ -244,6 +261,12 @@ class Worker:
         byte accounting matches a centralized map phase exactly).  Replicas
         destined for this very partition — an agent that migrated away but
         is still visible here — are installed directly.
+
+        Positions are harvested into the tick's columnar cache here and
+        reused by :meth:`run_query_phase`; with the vectorized backend the
+        ownership routing itself runs as one batched
+        :meth:`~repro.spatial.partitioning.SpatialPartitioning.partition_of_batch`
+        call (bit-identical to the scalar path).
         """
         partitioning = partitioning if partitioning is not None else self.partitioning
         if partitioning is None:
@@ -252,8 +275,9 @@ class Worker:
         self.clear_replicas()
         for agent in self.owned_agents():
             agent.reset_effects()
-        for agent in self.owned_agents():
-            owner = partitioning.partition_of(agent.position())
+        owned = self.owned_agents()
+        owners = self._harvest_positions(owned, partitioning, spatial_backend, index)
+        for agent, owner in zip(owned, owners):
             size = agent.approximate_size_bytes()
             if owner != self.worker_id:
                 self.remove_owned(agent.agent_id)
@@ -272,6 +296,37 @@ class Worker:
                 result.replication_pair_bytes[(owner, target)] += size
                 result.replicas_created += 1
         return result
+
+    def _harvest_positions(
+        self,
+        owned: list[Agent],
+        partitioning: SpatialPartitioning,
+        spatial_backend: str | None,
+        index: str | None,
+    ) -> list[int]:
+        """Resolve ownership; pack positions into the tick cache when useful.
+
+        One pass over the owned set.  When ``(spatial_backend, index)``
+        resolves to the vectorized backend for this worker's size, the
+        positions additionally land in ``_position_cache`` (the snapshot
+        rows the query phase reuses) and ownership is resolved as a single
+        batched lookup over the packed matrix; on the python backend this
+        is exactly the old per-agent loop, with no extra allocations.
+        """
+        self._position_cache = None
+        if not owned:
+            return []
+        vectorized = resolve_spatial_backend(
+            spatial_backend, index, len(owned)
+        ) == "vectorized"
+        if not vectorized:
+            return [partitioning.partition_of(agent.position()) for agent in owned]
+        positions = [agent.position() for agent in owned]
+        self._position_cache = {
+            agent.agent_id: position for agent, position in zip(owned, positions)
+        }
+        matrix = np.asarray(positions, dtype=np.float64)
+        return [int(owner) for owner in partitioning.partition_of_batch(matrix)]
 
     def apply_boundary(self, kill_ids: list[Any], spawn_agents: list[Agent]) -> int:
         """Apply a tick boundary's births and deaths; returns the owned count.
@@ -329,8 +384,15 @@ class Worker:
         index: str | None,
         cell_size: float | None,
         check_visibility: bool,
+        spatial_backend: str | None = None,
     ) -> QueryContext:
-        """Execute the query phase (reduce 1) for every owned agent."""
+        """Execute the query phase (reduce 1) for every owned agent.
+
+        With the vectorized backend the columnar snapshot is assembled here
+        — reusing the position rows harvested by :meth:`distribute` earlier
+        this tick — and handed to the context, so positions are packed once
+        per tick, not once per phase.
+        """
         agents = self.owned_agents() + self.replica_agents()
         context = QueryContext(
             agents,
@@ -339,6 +401,8 @@ class Worker:
             index=index,
             cell_size=cell_size,
             check_visibility=check_visibility,
+            spatial_backend=spatial_backend,
+            snapshot=self._build_snapshot(agents, index, spatial_backend),
         )
         with phase(Phase.QUERY):
             for agent in self.owned_agents():
@@ -346,6 +410,30 @@ class Worker:
         self.last_query_work_units = context.work_units
         self.last_index_probes = context.index_probes
         return context
+
+    def _build_snapshot(
+        self, agents: list[Agent], index: str | None, spatial_backend: str | None
+    ) -> PointSet | None:
+        """The query phase's columnar snapshot (None on the python backend).
+
+        Rows come from the map phase's position cache when available;
+        agents that arrived after the harvest (migrations in, replicas)
+        contribute their positions directly.
+        """
+        if resolve_spatial_backend(spatial_backend, index, len(agents)) != "vectorized":
+            self.last_snapshot = None
+            return None
+        ordered = sorted(agents, key=lambda agent: agent_sort_key(agent.agent_id))
+        cache = self._position_cache
+        if cache:
+            def key(agent):
+                position = cache.get(agent.agent_id)
+                return position if position is not None else agent.position()
+        else:
+            def key(agent):
+                return agent.position()
+        self.last_snapshot = PointSet(ordered, key=key)
+        return self.last_snapshot
 
     def touched_replica_partials(self) -> dict[Any, dict[str, Any]]:
         """Effect partials assigned to replicas during this tick's query phase.
@@ -384,6 +472,7 @@ class Worker:
             self.replicas[agent_id].set_effect_partials(partials)
         self.last_query_work_units = result.work_units
         self.last_index_probes = result.index_probes
+        self._position_cache = None
 
     def apply_update_result(self, result: UpdatePhaseResult) -> UpdateContext:
         """Install remotely computed states; return the births/deaths context."""
@@ -396,6 +485,9 @@ class Worker:
 
     def run_update_phase(self, tick: int, seed: int, world_bounds) -> UpdateContext:
         """Execute the update phase for every owned agent, collecting births/deaths."""
+        # Positions change now: the map-phase snapshot rows are stale.
+        self._position_cache = None
+        self.last_snapshot = None
         context = UpdateContext(tick=tick, seed=seed, world_bounds=world_bounds)
         with phase(Phase.UPDATE):
             for agent in self.owned_agents():

@@ -204,6 +204,10 @@ class CompiledScript:
         if self.index_selection is not None:
             overrides["index"] = self.index_selection.index
             overrides["cell_size"] = self.index_selection.cell_size
+            if self.index_selection.spatial_backend is not None:
+                # Only a positive pin is an override; "no opinion" must not
+                # stomp a backend the caller configured explicitly.
+                overrides["spatial_backend"] = self.index_selection.spatial_backend
         return overrides
 
     def make_agent(self, agent_id: int | None = None, **state_values: Any):

@@ -51,7 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 class IndexSelection:
     """The access path chosen for the query phase's spatial join.
 
-    ``index`` / ``cell_size`` plug directly into
+    ``index`` / ``cell_size`` / ``spatial_backend`` plug directly into
     :class:`~repro.core.context.QueryContext` and
     :class:`~repro.brace.config.BraceConfig`; ``reason`` records why the
     optimizer picked this path (surfaced by ``examples/brasil_parallel.py``).
@@ -60,6 +60,9 @@ class IndexSelection:
     index: str | None
     cell_size: float | None
     reason: str
+    #: ``"vectorized"`` when the columnar batch kernels should execute the
+    #: join, ``None`` to let the runtime choose per extent size.
+    spatial_backend: str | None = None
 
 
 def select_index(info: "ScriptInfo") -> IndexSelection:
@@ -72,9 +75,14 @@ def select_index(info: "ScriptInfo") -> IndexSelection:
       an index would be built but never prune anything;
     * uniform visibility radii — a uniform grid with cell size equal to the
       visibility diameter answers each visible-region query by probing a
-      constant number of cells;
+      constant number of cells; the *vectorized* columnar grid additionally
+      amortizes the per-probe interpreter overhead (its cost profile is
+      roughly :data:`repro.harness.registry.VECTORIZED_GRID_COSTS`: O(n)
+      snapshot + one batched kernel for all n probes, versus n interpreted
+      probes), so the backend is pinned to ``"vectorized"``;
     * anisotropic radii — a k-d tree handles per-dimension bounds without
-      committing to one cell size.
+      committing to one cell size; the backend is left to the runtime's
+      per-extent auto selection.
     """
     if not info.spatial_field_names:
         return IndexSelection(
@@ -99,8 +107,11 @@ def select_index(info: "ScriptInfo") -> IndexSelection:
             reason=(
                 f"uniform visibility radius {radii[0]:g}: a grid with cell size "
                 "equal to the visibility diameter answers each visible-region "
-                "query with a constant number of cell probes"
+                "query with a constant number of cell probes; the vectorized "
+                "columnar grid answers all probes of a tick in one batched "
+                "kernel (O(n) snapshot amortized over n probes)"
             ),
+            spatial_backend="vectorized",
         )
     return IndexSelection(
         index="kdtree",

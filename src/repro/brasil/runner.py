@@ -175,9 +175,18 @@ def config_for_script(
     """
     base = config if config is not None else BraceConfig()
     overrides = compiled.brace_config_overrides()
+    if base.spatial_backend is not None:
+        # An explicitly configured backend beats the optimizer's pin — a
+        # caller forcing the interpreted path (e.g. to measure the columnar
+        # speedup) must actually get it.
+        overrides.pop("spatial_backend", None)
     if index != "auto":
         overrides["index"] = index
         overrides["cell_size"] = _grid_cell_size(compiled) if index == "grid" else None
+        # A forced access path drops the optimizer's backend pin too: the
+        # runtime's per-extent auto selection respects index=None (the
+        # un-indexed baseline stays interpreted and quadratic).
+        overrides.pop("spatial_backend", None)
     derived = dataclasses.replace(base, **overrides)
     derived.validate()
     return derived

@@ -19,10 +19,38 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.errors import VisibilityError, WorldError
+from repro.core.ordering import agent_sort_key
 from repro.spatial.bbox import BBox
+from repro.spatial.columnar import PointSet, VectorizedGrid, batch_neighbor_lists
 from repro.spatial.grid import UniformGrid
 from repro.spatial.kdtree import KDTree
 from repro.spatial.quadtree import QuadTree
+
+#: Extent size from which ``spatial_backend=None`` (auto) prefers the
+#: columnar kernels: below this the per-tick snapshot costs more than the
+#: handful of interpreted probes it replaces.
+AUTO_VECTORIZE_MIN_AGENTS = 64
+
+
+def resolve_spatial_backend(backend: str | None, index: str | None, num_agents: int) -> str:
+    """Resolve a ``spatial_backend`` knob to ``"python"`` or ``"vectorized"``.
+
+    ``None`` (auto) picks the vectorized columnar kernels when an index was
+    requested (``index=None`` is an explicit ask for the un-indexed
+    nested-loop baseline, which stays interpreted so the Figure 3/4
+    no-indexing series keep their meaning) and the extent is large enough
+    to amortize the snapshot.
+    """
+    if backend in ("python", "vectorized"):
+        return backend
+    if backend is not None:
+        raise WorldError(
+            f"unknown spatial backend {backend!r}; expected 'python', "
+            "'vectorized' or None for automatic selection"
+        )
+    if index is not None and num_agents >= AUTO_VECTORIZE_MIN_AGENTS:
+        return "vectorized"
+    return "python"
 
 
 def agent_rng(seed: int, tick: int, agent_id: Any) -> np.random.Generator:
@@ -58,6 +86,21 @@ class QueryContext:
     check_visibility:
         When True, :meth:`neighbors` raises :class:`VisibilityError` if asked
         for a radius larger than the probing agent's declared visibility.
+    spatial_backend:
+        ``"python"`` (interpreted per-probe queries against the chosen
+        index), ``"vectorized"`` (columnar batch kernels answering every
+        probe of the tick in a handful of array operations) or ``None`` for
+        automatic selection (:func:`resolve_spatial_backend`).
+    snapshot:
+        Optional prebuilt :class:`~repro.spatial.columnar.PointSet` over
+        exactly these agents in canonical (:func:`agent_sort_key`) order —
+        how a worker reuses the positions it already packed during the
+        distribution phase.  Ignored by the python backend.
+
+    Both backends return neighbour/visible matches in the *canonical agent
+    order* (ascending :func:`agent_sort_key`), so every floating-point
+    accumulation an agent performs over its matches is bit-identical
+    regardless of backend, index choice, or how the extent was assembled.
     """
 
     def __init__(
@@ -68,6 +111,8 @@ class QueryContext:
         index: str | None = "kdtree",
         cell_size: float | None = None,
         check_visibility: bool = True,
+        spatial_backend: str | None = None,
+        snapshot: PointSet | None = None,
     ):
         self._agents = list(agents)
         self.tick = tick
@@ -76,7 +121,22 @@ class QueryContext:
         self.check_visibility = check_visibility
         self.work_units = 0
         self.index_probes = 0
-        self._index = self._build_index(index, cell_size)
+        self.spatial_backend = resolve_spatial_backend(
+            spatial_backend, index, len(self._agents)
+        )
+        self._snapshot = snapshot if self.spatial_backend == "vectorized" else None
+        self._canonical_list: list[Any] | None = (
+            list(snapshot.items) if self._snapshot is not None else None
+        )
+        self._canonical_rank: dict[int, int] | None = None
+        #: radius -> (per-row neighbour arrays, per-row examined counts).
+        self._neighbor_batches: dict[float, tuple] = {}
+        #: Lazily computed per-row visible-region matches (vectorized only).
+        self._visible_batch = None
+        if self.spatial_backend == "vectorized":
+            self._index = None
+        else:
+            self._index = self._build_index(index, cell_size)
 
     def _build_index(self, index: str | None, cell_size: float | None):
         if index is None or not self._agents:
@@ -121,13 +181,16 @@ class QueryContext:
         radius: float | None = None,
         include_self: bool = False,
     ) -> list[Any]:
-        """Agents within Euclidean ``radius`` of ``agent``.
+        """Agents within Euclidean ``radius`` of ``agent``, in canonical order.
 
         ``radius`` defaults to the agent's smallest declared visibility bound.
         """
         if radius is None:
             radius = self._default_radius(agent)
         self._check_radius(agent, radius)
+        radius = float(radius)
+        if self.spatial_backend == "vectorized":
+            return self._neighbors_vectorized(agent, radius, include_self)
         center = agent.position()
         candidates = self._candidates(BBox.around(center, radius))
         radius_sq = radius * radius
@@ -140,10 +203,16 @@ class QueryContext:
             if dist_sq <= radius_sq:
                 matches.append(candidate)
         self.work_units += len(candidates)
-        return matches
+        return self._in_canonical_order(matches)
 
     def neighbors_in_box(self, agent: Any, box: BBox, include_self: bool = False) -> list[Any]:
-        """Agents whose position lies inside ``box``."""
+        """Agents whose position lies inside ``box``, in canonical order."""
+        if self.spatial_backend == "vectorized":
+            snapshot = self._ensure_snapshot()
+            rows = snapshot.scan_box(box.lows, box.highs)
+            self.work_units += self._probe_work(len(rows))
+            self.index_probes += 1
+            return self._materialize(snapshot, rows, agent, include_self)
         candidates = self._candidates(box)
         matches = []
         for candidate in candidates:
@@ -152,21 +221,31 @@ class QueryContext:
             if box.contains_point(candidate.position()):
                 matches.append(candidate)
         self.work_units += len(candidates)
-        return matches
+        return self._in_canonical_order(matches)
 
     def visible(self, agent: Any, include_self: bool = False) -> list[Any]:
-        """Agents inside ``agent``'s declared visible region (box semantics)."""
+        """Agents inside ``agent``'s declared visible region, in canonical order."""
+        if self.spatial_backend == "vectorized":
+            return self._visible_vectorized(agent, include_self)
         region = agent.visible_region()
         if region is None:
-            result = [a for a in self._agents if include_self or a is not agent]
+            result = [
+                a for a in self._canonical_agents() if include_self or a is not agent
+            ]
             self.work_units += len(self._agents)
             return result
         return self.neighbors_in_box(agent, region, include_self=include_self)
 
     def nearest(self, agent: Any, k: int = 1, max_radius: float | None = None) -> list[Any]:
-        """Up to ``k`` nearest other agents, optionally within ``max_radius``."""
+        """Up to ``k`` nearest other agents, optionally within ``max_radius``.
+
+        The vectorized backend breaks exact distance ties by canonical order;
+        the k-d tree path breaks them by traversal order.
+        """
         center = agent.position()
-        if isinstance(self._index, KDTree):
+        if self.spatial_backend == "vectorized":
+            found = self._nearest_vectorized(agent, center, k)
+        elif isinstance(self._index, KDTree):
             self.index_probes += 1
             # Ask for one extra in case the agent itself is indexed here.
             found = [a for a in self._index.k_nearest(center, k + 1) if a is not agent][:k]
@@ -191,8 +270,162 @@ class QueryContext:
         return agent_rng(self.seed, self.tick, agent.agent_id)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals — canonical ordering
     # ------------------------------------------------------------------
+    def _canonical_agents(self) -> list[Any]:
+        """The extent in canonical order (also the snapshot's row order)."""
+        if self._canonical_list is None:
+            self._canonical_list = sorted(
+                self._agents, key=lambda agent: agent_sort_key(agent.agent_id)
+            )
+        return self._canonical_list
+
+    def _rank(self) -> dict[int, int]:
+        """Object id → canonical rank, built once per context."""
+        if self._canonical_rank is None:
+            self._canonical_rank = {
+                id(agent): rank for rank, agent in enumerate(self._canonical_agents())
+            }
+        return self._canonical_rank
+
+    def _in_canonical_order(self, matches: list[Any]) -> list[Any]:
+        """Sort ``matches`` into canonical order (in place, returned)."""
+        if len(matches) > 1:
+            rank = self._rank()
+            matches.sort(key=lambda agent: rank[id(agent)])
+        return matches
+
+    # ------------------------------------------------------------------
+    # Internals — vectorized backend
+    # ------------------------------------------------------------------
+    def _ensure_snapshot(self) -> PointSet:
+        """The columnar snapshot over the extent, built at most once."""
+        if self._snapshot is None:
+            self._snapshot = PointSet(
+                self._canonical_agents(), key=lambda agent: agent.position()
+            )
+        return self._snapshot
+
+    def _materialize(self, snapshot, rows, agent, include_self) -> list[Any]:
+        """Turn match rows into agent objects, honouring self-exclusion."""
+        row = snapshot.row_of(agent)
+        if not include_self and row is not None:
+            rows = rows[rows != row]
+            return snapshot.take(rows)
+        matches = snapshot.take(rows)
+        if not include_self and row is None:
+            matches = [match for match in matches if match is not agent]
+        return matches
+
+    def _probe_work(self, candidates: int) -> int:
+        """The python backend's work charge for one indexed probe.
+
+        One log-cost index descent plus the surfaced candidates — charged
+        identically on both backends so virtual-time measurements stay
+        comparable when the backend flips between runs or worker sizes.
+        """
+        return max(1, int(math.log2(len(self._agents) + 1))) + candidates
+
+    def _neighbors_vectorized(self, agent, radius, include_self) -> list[Any]:
+        snapshot = self._ensure_snapshot()
+        row = snapshot.row_of(agent)
+        self.index_probes += 1
+        if row is None:
+            # Probe from outside the extent: one columnar scan.
+            rows = snapshot.scan_radius(agent.position(), radius)
+            self.work_units += self._probe_work(len(rows))
+            return self._materialize(snapshot, rows, agent, include_self)
+        batch = self._neighbor_batches.get(radius)
+        if batch is None:
+            batch = batch_neighbor_lists(snapshot, radius, include_self=True)
+            self._neighbor_batches[radius] = batch
+        lists, examined = batch
+        self.work_units += self._probe_work(int(examined[row]))
+        rows = lists[row]
+        if not include_self:
+            rows = rows[rows != row]
+        return snapshot.take(rows)
+
+    def _visible_vectorized(self, agent, include_self) -> list[Any]:
+        snapshot = self._ensure_snapshot()
+        region = agent.visible_region()
+        if region is None:
+            # Mirror the interpreted path exactly, including its work charge:
+            # a full-extent scan, no index probe.
+            self.work_units += len(self._agents)
+            return [a for a in snapshot.items if include_self or a is not agent]
+        row = snapshot.row_of(agent)
+        self.index_probes += 1
+        if row is None:
+            rows = snapshot.scan_box(region.lows, region.highs)
+            self.work_units += self._probe_work(len(rows))
+            return self._materialize(snapshot, rows, agent, include_self)
+        if self._visible_batch is None:
+            self._visible_batch = self._build_visible_batch(snapshot)
+        lists, examined = self._visible_batch
+        self.work_units += self._probe_work(int(examined[row]))
+        rows = lists[row]
+        if not include_self:
+            rows = rows[rows != row]
+        return snapshot.take(rows)
+
+    def _build_visible_batch(self, snapshot: PointSet):
+        """Batch σ_V probe: every row's declared visible region at once.
+
+        Rows with unbounded visibility never consult the batch (they take
+        the full-extent path above), so their probe boxes are voided —
+        the kernel marks them invalid and does no work for them.
+        """
+        points = snapshot.points
+        lows = np.empty_like(points)
+        highs = np.empty_like(points)
+        sides: list[Any] = []
+        for row, candidate in enumerate(snapshot.items):
+            region = candidate.visible_region()
+            if region is None:
+                lows[row] = np.inf
+                highs[row] = -np.inf
+            else:
+                lows[row] = region.lows
+                highs[row] = region.highs
+                sides.append(highs[row] - lows[row])
+        if sides:
+            cell = np.maximum(np.max(sides, axis=0), 1e-12)
+        else:
+            cell = np.maximum(points.max(axis=0) - points.min(axis=0), 1.0)
+        grid = VectorizedGrid(snapshot, cell)
+        probe_ids, rows, examined = grid.batch_range_query(lows, highs)
+        cuts = np.searchsorted(probe_ids, np.arange(1, len(snapshot)))
+        return np.split(rows, cuts), examined
+
+    def _nearest_vectorized(self, agent, center, k: int) -> list[Any]:
+        snapshot = self._ensure_snapshot()
+        points = snapshot.points
+        # Charge what the python path would for the configured index, so
+        # virtual-time accounting stays backend-independent.
+        if self.index_kind == "kdtree":
+            self.index_probes += 1
+        else:
+            self.work_units += len(self._agents)
+        if len(points) == 0 or k <= 0:
+            return []
+        center_arr = np.asarray(tuple(map(float, center)), dtype=np.float64)
+        diff = points - center_arr
+        dist_sq = diff[:, 0] * diff[:, 0]
+        for dimension in range(1, points.shape[1]):
+            dist_sq = dist_sq + diff[:, dimension] * diff[:, dimension]
+        order = np.argsort(dist_sq, kind="stable")
+        row = snapshot.row_of(agent)
+        found = []
+        for candidate_row in order:
+            candidate = snapshot.items[int(candidate_row)]
+            if candidate is agent or (row is not None and int(candidate_row) == row):
+                continue
+            found.append(candidate)
+            if len(found) == k:
+                break
+        return found
+
     def _candidates(self, box: BBox) -> Iterable[Any]:
         if self._index is None:
             return self._agents

@@ -100,6 +100,10 @@ class SequentialEngine:
         Cell size when ``index == "grid"``.
     check_visibility:
         Forwarded to the query context; disable only for benchmarks.
+    spatial_backend:
+        ``"python"``, ``"vectorized"`` or ``None`` (automatic) — how the
+        query phase's spatial joins execute; states are bit-identical
+        either way.
     on_tick_end:
         Optional callback ``f(world, tick_statistics)`` invoked after every tick.
     """
@@ -110,12 +114,14 @@ class SequentialEngine:
         index: str | None = "kdtree",
         cell_size: float | None = None,
         check_visibility: bool = True,
+        spatial_backend: str | None = None,
         on_tick_end: Callable[[World, TickStatistics], None] | None = None,
     ):
         self.world = world
         self.index = index
         self.cell_size = cell_size
         self.check_visibility = check_visibility
+        self.spatial_backend = spatial_backend
         self.on_tick_end = on_tick_end
         self.statistics = RunStatistics()
 
@@ -138,6 +144,7 @@ class SequentialEngine:
             index=self.index,
             cell_size=self.cell_size,
             check_visibility=self.check_visibility,
+            spatial_backend=self.spatial_backend,
         )
         query_start = time.perf_counter()
         with phase(Phase.QUERY):

@@ -66,8 +66,15 @@ def run_figure3(
     ticks: int = 10,
     seed: int = 11,
     base_parameters: TrafficParameters | None = None,
+    spatial_backend: str | None = "python",
 ) -> Figure3Result:
-    """Sweep the segment length and time the three implementations."""
+    """Sweep the segment length and time the three implementations.
+
+    ``spatial_backend`` selects how the *indexed* series executes its joins;
+    the default is the paper-faithful interpreted path, and ``--backend
+    vectorized`` from the CLI re-runs the series on the columnar kernels.
+    The un-indexed series is always the interpreted quadratic baseline.
+    """
     base_parameters = base_parameters or TrafficParameters()
     result = Figure3Result(ticks=ticks)
     for segment_length in segment_lengths:
@@ -85,7 +92,9 @@ def run_figure3(
         result.no_index_seconds.append(time.perf_counter() - start)
 
         world = build_traffic_world(parameters, seed=seed)
-        engine = SequentialEngine(world, index="kdtree", check_visibility=False)
+        engine = SequentialEngine(
+            world, index="kdtree", check_visibility=False, spatial_backend=spatial_backend
+        )
         start = time.perf_counter()
         engine.run(ticks)
         result.index_seconds.append(time.perf_counter() - start)

@@ -58,8 +58,15 @@ def run_figure4(
     num_fish: int = 400,
     ticks: int = 5,
     seed: int = 5,
+    spatial_backend: str | None = "python",
 ) -> Figure4Result:
-    """Sweep the visibility radius and time the indexed and un-indexed engines."""
+    """Sweep the visibility radius and time the indexed and un-indexed engines.
+
+    ``spatial_backend`` selects how the *indexed* series executes its joins;
+    the default is the paper-faithful interpreted path, and ``--backend
+    vectorized`` from the CLI re-runs the series on the columnar kernels.
+    The un-indexed series is always the interpreted quadratic baseline.
+    """
     result = Figure4Result(ticks=ticks, num_fish=num_fish)
     for visibility in visibility_ranges:
         parameters = CouzinParameters(rho=visibility, seed_region=120.0)
@@ -73,7 +80,9 @@ def run_figure4(
         result.no_index_seconds.append(time.perf_counter() - start)
 
         world = build_fish_world(num_fish, parameters, seed=seed, fish_class=fish_class)
-        engine = SequentialEngine(world, index="kdtree", check_visibility=False)
+        engine = SequentialEngine(
+            world, index="kdtree", check_visibility=False, spatial_backend=spatial_backend
+        )
         start = time.perf_counter()
         engine.run(ticks)
         result.index_seconds.append(time.perf_counter() - start)

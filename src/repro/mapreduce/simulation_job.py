@@ -60,6 +60,7 @@ class _JobSpec:
     index: str | None
     cell_size: float | None
     check_visibility: bool
+    spatial_backend: str | None = None
 
 
 def _apply_update(agent: Agent, update_tick: int, seed: int) -> None:
@@ -89,6 +90,7 @@ def _run_query_phase(
         index=spec.index,
         cell_size=spec.cell_size,
         check_visibility=spec.check_visibility,
+        spatial_backend=spec.spatial_backend,
     )
     owned = [
         agent
@@ -178,12 +180,14 @@ class _SimulationJobBase:
         cell_size: float | None = None,
         check_visibility: bool = True,
         executor: Executor | str | None = None,
+        spatial_backend: str | None = None,
     ):
         self.partitioning = partitioning
         self.seed = int(seed)
         self.index = index
         self.cell_size = cell_size
         self.check_visibility = check_visibility
+        self.spatial_backend = spatial_backend
         self.engine = IterativeMapReduce(executor=executor)
 
     @property
@@ -195,6 +199,7 @@ class _SimulationJobBase:
             index=self.index,
             cell_size=self.cell_size,
             check_visibility=self.check_visibility,
+            spatial_backend=self.spatial_backend,
         )
 
     # -- shared driver ----------------------------------------------------

@@ -12,6 +12,8 @@ joins*; this package provides every spatial primitive those joins need:
   of space onto workers, with owned sets and partition visible regions.
 * :mod:`repro.spatial.join` — spatial self-join algorithms used by the
   query phase.
+* :mod:`repro.spatial.columnar` — NumPy-backed columnar snapshots and batch
+  join kernels (the ``"vectorized"`` spatial backend).
 """
 
 from repro.spatial.vec import Vec2, Vec3
@@ -29,6 +31,14 @@ from repro.spatial.join import (
     index_self_join,
     neighbor_lists,
 )
+from repro.spatial.columnar import (
+    PointSet,
+    VectorizedGrid,
+    batch_neighbor_lists,
+    batch_range_query,
+    vectorized_neighbor_lists,
+    vectorized_self_join,
+)
 
 __all__ = [
     "Vec2",
@@ -43,4 +53,10 @@ __all__ = [
     "nested_loop_self_join",
     "index_self_join",
     "neighbor_lists",
+    "PointSet",
+    "VectorizedGrid",
+    "batch_neighbor_lists",
+    "batch_range_query",
+    "vectorized_neighbor_lists",
+    "vectorized_self_join",
 ]

@@ -11,7 +11,10 @@ Two strategies are provided, matching the paper's single-node experiments:
 
 Both return, for each probe item, the list of items falling inside its query
 box; :func:`neighbor_lists` is a radius-based convenience wrapper used by the
-fish and predator models.
+fish and predator models.  The semantic entry points
+(:func:`visible_region_self_join`, :func:`neighbor_lists`) report matches in
+item order whatever the index, and accept ``backend="vectorized"`` to run on
+the columnar kernels of :mod:`repro.spatial.columnar` instead.
 """
 
 from __future__ import annotations
@@ -19,6 +22,11 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.spatial.bbox import BBox
+from repro.spatial.columnar import (
+    derive_cell_size,
+    vectorized_neighbor_lists,
+    vectorized_self_join,
+)
 from repro.spatial.grid import UniformGrid
 from repro.spatial.kdtree import KDTree
 from repro.spatial.quadtree import QuadTree
@@ -45,14 +53,26 @@ def build_index(
 ):
     """Build the named spatial index over ``items``.
 
-    ``cell_size`` is only used by the grid index; when omitted it defaults to
-    1.0 which is almost always wrong for real workloads, so callers that use
-    the grid should pass an explicit value (typically the visibility radius).
+    ``cell_size`` is only used by the grid index.  Pass an explicit value
+    (typically the visibility diameter); when omitted, a size is derived
+    from the data extent via
+    :func:`~repro.spatial.columnar.derive_cell_size` — the grid never
+    silently falls back to 1.0-unit cells, which degraded real workloads
+    into near-linear bucket scans.  A non-positive ``cell_size`` raises
+    :class:`ValueError` immediately.
     """
     if index not in _INDEX_FACTORIES:
         raise ValueError(f"unknown spatial index {index!r}; choose from {available_indexes()}")
     if index == "grid":
-        return UniformGrid(items, cell_size if cell_size is not None else 1.0, key=key)
+        if cell_size is not None and not cell_size > 0:
+            raise ValueError(
+                f"grid cell_size must be positive, got {cell_size!r}; pass the "
+                "visibility diameter, or None to derive one from the data extent"
+            )
+        items = list(items)
+        if cell_size is None:
+            cell_size = derive_cell_size([tuple(map(float, key(item))) for item in items])
+        return UniformGrid(items, cell_size, key=key)
     if index == "quadtree":
         return QuadTree(items, key=key)
     return KDTree(items, key=key)
@@ -102,10 +122,32 @@ def index_self_join(
     return result
 
 
+def _item_order(items: Sequence[Any]) -> dict[int, int]:
+    """Object id → position in ``items`` (the canonical match order)."""
+    return {id(item): position for position, item in enumerate(items)}
+
+
+def _canonicalize(joined: dict[int, list[Any]], items: Sequence[Any]) -> dict[int, list[Any]]:
+    """Sort every probe's matches into item order, in place.
+
+    Index strategies enumerate candidates in index-specific order; sorting
+    the matches back into item order makes the join's output — and every
+    floating-point accumulation downstream — independent of the access path
+    (and bit-identical to the columnar kernels, which emit item order
+    natively).
+    """
+    order = _item_order(items)
+    for matches in joined.values():
+        if len(matches) > 1:
+            matches.sort(key=lambda match: order[id(match)])
+    return joined
+
+
 def visible_region_self_join(
     agents: Sequence[Any],
     index: str | None = "kdtree",
     cell_size: float | None = None,
+    backend: str = "python",
 ) -> dict[int, list[Any]]:
     """Join every agent with the agents inside its *declared* visible region.
 
@@ -114,8 +156,14 @@ def visible_region_self_join(
     ``#range``/``#visibility`` annotations), so the join is driven by the
     declarations rather than an ad-hoc radius.  ``index=None`` selects the
     nested-loop strategy; agents with unbounded visibility match the whole
-    extent.  The probe agent itself is excluded from its matches.
+    extent.  The probe agent itself is excluded from its matches; matches
+    come back in agent order regardless of the index.
+    ``backend="vectorized"`` delegates to the columnar
+    :func:`~repro.spatial.columnar.vectorized_self_join` (same output, one
+    batched kernel).
     """
+    if backend == "vectorized":
+        return vectorized_self_join(agents, cell_size=cell_size)
 
     # Box covering every agent position, for unbounded-visibility probes;
     # computed at most once per join, not per probe.
@@ -134,10 +182,13 @@ def visible_region_self_join(
         joined = nested_loop_self_join(agents, key, query_box)
     else:
         joined = index_self_join(agents, key, query_box, index=index, cell_size=cell_size)
-    return {
-        probe_index: [match for match in matches if match is not agents[probe_index]]
-        for probe_index, matches in joined.items()
-    }
+    return _canonicalize(
+        {
+            probe_index: [match for match in matches if match is not agents[probe_index]]
+            for probe_index, matches in joined.items()
+        },
+        agents,
+    )
 
 
 def neighbor_lists(
@@ -146,13 +197,25 @@ def neighbor_lists(
     radius: float,
     index: str | None = "kdtree",
     include_self: bool = False,
+    backend: str = "python",
 ) -> dict[int, list[Any]]:
-    """Radius-based neighbour lists for every item.
+    """Radius-based neighbour lists for every item, in item order.
 
-    ``index=None`` selects the nested-loop strategy.  The probe item is
-    excluded from its own neighbour list unless ``include_self`` is True.
+    ``index=None`` selects the nested-loop strategy;
+    ``backend="vectorized"`` delegates to the columnar
+    :func:`~repro.spatial.columnar.vectorized_neighbor_lists` (same output,
+    one batched kernel).  The probe item is excluded from its own neighbour
+    list unless ``include_self`` is True.
     """
+    if backend == "vectorized":
+        return vectorized_neighbor_lists(items, key, radius, include_self=include_self)
+
     points = [tuple(map(float, key(item))) for item in items]
+    # One conversion per item, looked up per candidate pair — the candidate
+    # points must not be rebuilt inside the quadratic pruning loop.
+    point_of: dict[int, tuple] = {
+        id(item): point for item, point in zip(items, points)
+    }
     radius_sq = radius * radius
 
     def prune(probe_index: int, candidates: Iterable[Any]) -> list[Any]:
@@ -161,7 +224,7 @@ def neighbor_lists(
         for candidate in candidates:
             if candidate is items[probe_index] and not include_self:
                 continue
-            point = tuple(map(float, key(candidate)))
+            point = point_of[id(candidate)]
             dist_sq = sum((p - c) ** 2 for p, c in zip(point, center))
             if dist_sq <= radius_sq:
                 matches.append(candidate)
@@ -169,14 +232,17 @@ def neighbor_lists(
 
     if index is None:
         joined = nested_loop_self_join(
-            items, key, lambda item: BBox.around(tuple(map(float, key(item))), radius)
+            items, key, lambda item: BBox.around(point_of[id(item)], radius)
         )
     else:
         joined = index_self_join(
             items,
             key,
-            lambda item: BBox.around(tuple(map(float, key(item))), radius),
+            lambda item: BBox.around(point_of[id(item)], radius),
             index=index,
             cell_size=radius if radius > 0 else None,
         )
-    return {probe_index: prune(probe_index, matches) for probe_index, matches in joined.items()}
+    return _canonicalize(
+        {probe_index: prune(probe_index, matches) for probe_index, matches in joined.items()},
+        items,
+    )

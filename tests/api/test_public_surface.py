@@ -56,6 +56,7 @@ SIMULATION_SURFACE = {
     "with_partitioning",
     "with_workers",
     "with_index",
+    "with_spatial_backend",
     "with_load_balancing",
     "with_epochs",
     "with_checkpointing",
