@@ -1,0 +1,41 @@
+"""Shared writer for machine-readable benchmark measurements.
+
+Benchmarks that feed a CI artifact (the perf-regression smokes) persist
+their numbers as ``BENCH_<name>.json`` at the repository root, all through
+this one helper so every file carries the same shape::
+
+    {
+        "benchmark": "<name>",
+        "rows": [ {...}, {...} ],
+        ...optional metadata...
+    }
+
+The CI jobs ``cat`` and archive these files; keeping the writer in one
+place keeps the schema from drifting per benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Repository root — the directory the CI jobs read BENCH_*.json from.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_path(name: str) -> Path:
+    """Where :func:`write_bench` puts the measurements for ``name``."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_bench(name: str, rows: list[dict[str, Any]], **metadata: Any) -> Path:
+    """Persist one benchmark's measurement rows (plus optional metadata).
+
+    Returns the path written, so callers can print it next to their table.
+    """
+    payload: dict[str, Any] = {"benchmark": name, "rows": rows}
+    payload.update(metadata)
+    target = bench_path(name)
+    target.write_text(json.dumps(payload, indent=2))
+    return target

@@ -1,0 +1,111 @@
+"""Benchmark: what does recording the tick history cost?
+
+Recording rides inside the tick loop (delta extraction + an eager flush per
+tick, a full checkpoint every ``checkpoint_every``), so its overhead is the
+price of the record-once / analyze-later workflow.  This smoke measures it
+on the fish workload — wall-clock with and without ``with_history`` on
+otherwise identical sessions — plus the store's on-disk footprint and the
+cost of a ``state_at`` time-travel query, and writes ``BENCH_history.json``
+for the CI artifact.
+
+The regression bars are deliberately loose (CI wall-clock is noisy): the
+recorded run must stay within an order of magnitude of the bare run, and
+recording must not perturb the simulation (bit-identical final states —
+the cheap end of the differential-replay guarantee, asserted here so the
+benchmark configuration itself stays honest).
+"""
+
+import time
+
+from benchmarks._bench_io import write_bench
+from repro.api import Simulation
+from repro.harness.common import format_table
+from repro.history import History
+from repro.simulations.fish.fish import Fish
+from repro.simulations.fish.workload import build_fish_world
+
+NUM_AGENTS = 150
+TICKS = 20
+SEED = 7
+CHECKPOINT_EVERY = 8
+
+
+def world():
+    # The module-level Fish class is picklable by name, as recorded clones
+    # require.
+    return build_fish_world(NUM_AGENTS, seed=SEED, fish_class=Fish)
+
+
+def run_bare():
+    session = Simulation.from_agents(world())
+    with session:
+        start = time.perf_counter()
+        session.run(TICKS)
+        seconds = time.perf_counter() - start
+        return seconds, session.states()
+
+
+def run_recorded(path):
+    session = Simulation.from_agents(world()).with_history(
+        path, checkpoint_every=CHECKPOINT_EVERY
+    )
+    with session:
+        start = time.perf_counter()
+        session.run(TICKS)
+        seconds = time.perf_counter() - start
+        return seconds, session.states()
+
+
+def measure(tmp_path):
+    bare_seconds, bare_states = run_bare()
+    recorded_seconds, recorded_states = run_recorded(tmp_path / "run")
+    assert recorded_states == bare_states, "recording perturbed the simulation"
+
+    history = History.open(tmp_path / "run")
+    start = time.perf_counter()
+    replayed = history.state_at(TICKS)
+    query_seconds = time.perf_counter() - start
+    assert replayed == bare_states
+
+    store_bytes = history.store.size_bytes()
+    return {
+        "agents": NUM_AGENTS,
+        "ticks": TICKS,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "bare_seconds": bare_seconds,
+        "recorded_seconds": recorded_seconds,
+        "overhead_ratio": recorded_seconds / bare_seconds,
+        "store_bytes": store_bytes,
+        "bytes_per_tick": store_bytes / TICKS,
+        "state_at_seconds": query_seconds,
+    }
+
+
+def test_recording_overhead_is_bounded(once, tmp_path):
+    row = once(measure, tmp_path)
+    write_bench("history", [row])
+    print()
+    print(
+        format_table(
+            ["Agents", "Ticks", "Bare", "Recorded", "Overhead", "Store", "state_at"],
+            [
+                [
+                    row["agents"],
+                    row["ticks"],
+                    f"{row['bare_seconds']:.3f}s",
+                    f"{row['recorded_seconds']:.3f}s",
+                    f"{row['overhead_ratio']:.2f}x",
+                    f"{row['store_bytes']:,} B",
+                    f"{row['state_at_seconds'] * 1000:.1f}ms",
+                ]
+            ],
+            title="Tick-history recording overhead (fish workload, serial)",
+        )
+    )
+    # Loose CI bars: recording costs ticks, not orders of magnitude.
+    assert row["overhead_ratio"] < 10.0, (
+        f"history recording made the run {row['overhead_ratio']:.1f}x slower"
+    )
+    # Time travel answers from one checkpoint + a bounded delta roll, so a
+    # single query must be far cheaper than re-running the simulation.
+    assert row["state_at_seconds"] < max(row["bare_seconds"], 0.05)

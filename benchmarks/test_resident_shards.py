@@ -22,6 +22,7 @@ import statistics
 import numpy as np
 import pytest
 
+from benchmarks._bench_io import write_bench
 from repro.api import Simulation
 from repro.brace.config import BraceConfig
 from repro.core.world import World
@@ -104,6 +105,7 @@ def test_ipc_scales_with_boundary_not_world(once):
         return rows
 
     rows = once(measure)
+    write_bench("resident_shards", rows, ticks=TICKS, workers=NUM_WORKERS)
     print()
     print(
         format_table(

@@ -17,12 +17,11 @@ CI push, writes ``BENCH_spatial.json`` and fails whenever the vectorized
 backend is *slower* than the interpreted one — the perf-regression guard.
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from benchmarks._bench_io import write_bench
 from repro.core.context import QueryContext
 from repro.simulations.fish import build_fish_world
 
@@ -31,8 +30,6 @@ SEED = 1
 RADIUS = 6.0
 #: Wall-clock floor per timing sample; best-of keeps CI noise down.
 TIMING_ROUNDS = 2
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_spatial.json"
 
 
 def join_seconds(agents, backend):
@@ -71,7 +68,7 @@ def run_comparison(num_agents):
 
 def write_results(rows):
     """Persist the measurements for the CI perf-regression job to archive."""
-    RESULTS_PATH.write_text(json.dumps({"benchmark": "spatial_kernel", "rows": rows}, indent=2))
+    write_bench("spatial", rows)
 
 
 class TestSpatialKernelSmoke:

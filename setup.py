@@ -12,7 +12,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="brace-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "From-scratch Python reproduction of 'Behavioral Simulations in "
         "MapReduce' (Wang et al., PVLDB 2010): the BRACE runtime, the BRASIL "

@@ -33,8 +33,9 @@ from repro.core.engine import SequentialEngine
 from repro.brace.runtime import BraceRuntime
 from repro.brace.config import BraceConfig
 from repro.api import Provenance, RunResult, Simulation, TickEvent
+from repro.history import History
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Agent",
@@ -57,5 +58,6 @@ __all__ = [
     "RunResult",
     "Provenance",
     "TickEvent",
+    "History",
     "__version__",
 ]

@@ -86,6 +86,9 @@ class FluentConfig:
     def _check_not_started(self) -> None:
         raise NotImplementedError
 
+    def _attach_history(self, path: Any, **options: Any) -> Any:
+        raise NotImplementedError
+
     def with_executor(
         self,
         executor: str,
@@ -221,6 +224,40 @@ class FluentConfig:
         self._check_not_started()
         self._builder.set(non_local_effects=bool(enabled))
         return self
+
+    def with_history(
+        self,
+        path: Any,
+        *,
+        checkpoint_every: int = 16,
+        max_ticks: int | None = None,
+        thin_to_checkpoints: bool = False,
+        overwrite: bool = False,
+    ) -> Any:
+        """Persist every executed tick into a queryable history store.
+
+        ``path`` names a directory; recording begins when the session starts
+        and every tick is appended live, so ``session.history`` (or
+        :meth:`repro.history.History.open` on the path, even from another
+        process) can time-travel to any recorded tick with
+        ``state_at(t)`` — bit-identical to a fresh run truncated at ``t``.
+
+        ``checkpoint_every`` sets the full-checkpoint cadence (replay rolls
+        at most that many deltas); ``max_ticks`` keeps only the most recent
+        window of ticks and ``thin_to_checkpoints=True`` retains only
+        checkpoint ticks for the older range — both thin without ever
+        breaking a retained tick's replay chain.  Recording forces a world
+        sync per tick on the process backend (like ``snapshot_states=True``),
+        trading resident-shard IPC savings for the persisted trajectory.
+        """
+        self._check_not_started()
+        return self._attach_history(
+            path,
+            checkpoint_every=checkpoint_every,
+            max_ticks=max_ticks,
+            thin_to_checkpoints=thin_to_checkpoints,
+            overwrite=overwrite,
+        )
 
     def with_options(self, **overrides: Any) -> Any:
         """Escape hatch: override any :class:`BraceConfig` field by name.

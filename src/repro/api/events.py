@@ -35,6 +35,10 @@ class TickEvent:
     #: backend this forces a per-tick world sync (a deliberately world-sized
     #: transfer), so it is off by default.
     states: dict[Any, dict[str, Any]] | None = None
+    #: True when this tick was appended to an attached history store
+    #: (``with_history(path)``) before observers fired — the tick is already
+    #: replayable via ``History.state_at(event.tick + 1)`` at this point.
+    persisted: bool = False
 
     @property
     def is_epoch_boundary(self) -> bool:

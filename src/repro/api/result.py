@@ -43,7 +43,13 @@ class Provenance:
     backend: str
     #: Seed all run randomness derived from.
     seed: int
-    #: The exact runtime configuration the session compiled down to.
+    #: The exact runtime configuration the session compiled down to, with
+    #: every automatic knob *resolved* to the choice that actually ran:
+    #: ``seed`` is the effective seed, ``resident_shards`` the runtime's
+    #: resolved residency and ``spatial_backend`` the backend the query
+    #: phases executed ("python" or "vectorized", never None).  Re-running
+    #: with this config reproduces the run bit for bit — backend resolution
+    #: is state-neutral, so pinning it changes nothing but speed.
     config: BraceConfig
     #: SHA-256 of the BRASIL source for script runs, None for agent runs.
     script_hash: str | None = None
@@ -74,6 +80,10 @@ class RunResult:
     provenance: Provenance
     #: Epoch numbers at which coordinated checkpoints were taken.
     checkpoints_taken: list[int] = field(default_factory=list)
+    #: Directory of the recorded tick history (``with_history(path)``), or
+    #: None when the session ran without recording.  Open it with
+    #: :meth:`repro.history.History.open` to time-travel the finished run.
+    history_path: str | None = None
 
     @property
     def num_agents(self) -> int:

@@ -39,8 +39,12 @@ from repro.brace.metrics import BraceRunMetrics, EpochStatistics
 from repro.brace.runtime import BraceRuntime
 from repro.brasil.compiler import CompiledScript
 from repro.core.agent import Agent
+from repro.core.context import resolve_spatial_backend
 from repro.core.errors import BraceError, SimulationSessionError
 from repro.core.world import World
+from repro.history.query import History
+from repro.history.recorder import HistoryRecorder
+from repro.history.store import HistoryStore
 from repro.spatial.bbox import BBox
 
 
@@ -86,6 +90,7 @@ class Simulation(FluentConfig):
         self._tick_observers: list[Callable[[TickEvent], None]] = []
         self._epoch_observers: list[Callable[[EpochStatistics], None]] = []
         self._checkpoint_observers: list[Callable[[EpochStatistics], None]] = []
+        self._recorder: HistoryRecorder | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -269,7 +274,40 @@ class Simulation(FluentConfig):
             runtime = BraceRuntime(self.world, self._compile_config())
             runtime.epoch_listeners.append(self._epoch_events.append)
             self._runtime = runtime
+            if self._recorder is not None:
+                provenance = dataclasses.asdict(self._provenance(runtime))
+                provenance["model"] = list(provenance["model"])
+                self._recorder.start(self.world, provenance=provenance)
+                runtime.recovery_listeners.append(self._recorder.handle_restore)
         return self._runtime
+
+    # ------------------------------------------------------------------
+    # History recording
+    # ------------------------------------------------------------------
+    def _attach_history(self, path: Any, **options: Any) -> "Simulation":
+        """Create the store + recorder behind ``with_history`` (pre-start)."""
+        if self._recorder is not None:
+            raise SimulationSessionError(
+                "a history store is already attached to this session "
+                f"({self._recorder.store.path}); one session records one trajectory"
+            )
+        self._recorder = HistoryRecorder(HistoryStore.create(path, **options))
+        return self
+
+    @property
+    def history(self) -> History:
+        """Query surface over the attached history store.
+
+        Live during the run — every tick is replayable the moment its
+        observers fire — and still valid after :meth:`close`.  Requires a
+        prior ``with_history(path)``.
+        """
+        if self._recorder is None:
+            raise SimulationSessionError(
+                "no history attached; configure with_history(path) before the "
+                "session starts to record a queryable trajectory"
+            )
+        return History(self._recorder.store)
 
     # ------------------------------------------------------------------
     # Observers
@@ -287,6 +325,22 @@ class Simulation(FluentConfig):
     def on_checkpoint(self, observer: Callable[[EpochStatistics], None]) -> "Simulation":
         """Call ``observer(stats)`` whenever a coordinated checkpoint is taken."""
         self._checkpoint_observers.append(observer)
+        return self
+
+    def unsubscribe(self, observer: Callable[..., None]) -> "Simulation":
+        """Remove ``observer`` from every list it is registered on.
+
+        Safe to call from inside the observer itself (each dispatch iterates
+        a copy of the list); unknown observers are ignored, so unsubscribing
+        twice is harmless.
+        """
+        for observers in (
+            self._tick_observers,
+            self._epoch_observers,
+            self._checkpoint_observers,
+        ):
+            while observer in observers:
+                observers.remove(observer)
         return self
 
     # ------------------------------------------------------------------
@@ -350,15 +404,29 @@ class Simulation(FluentConfig):
                 states = None
                 if snapshot_states:
                     states = self.states()
-                event = TickEvent(tick=stats.tick, stats=stats, epoch=epoch, states=states)
-                for observer in self._tick_observers:
+                persisted = False
+                if self._recorder is not None:
+                    if not snapshot_states:
+                        # Recording needs the authoritative post-tick world;
+                        # states() above already synced it otherwise.
+                        runtime.metrics.add_sync_ipc(runtime.sync_world())
+                    self._recorder.record(self.world)
+                    persisted = True
+                event = TickEvent(
+                    tick=stats.tick,
+                    stats=stats,
+                    epoch=epoch,
+                    states=states,
+                    persisted=persisted,
+                )
+                for observer in list(self._tick_observers):
                     observer(event)
                 if epoch is not None:
-                    for observer in self._epoch_observers:
+                    for observer in list(self._epoch_observers):
                         observer(epoch)
                     if epoch.checkpointed:
                         self._checkpoints_taken.append(epoch.epoch)
-                        for observer in self._checkpoint_observers:
+                        for observer in list(self._checkpoint_observers):
                             observer(epoch)
                 yield event
         finally:
@@ -387,16 +455,34 @@ class Simulation(FluentConfig):
             ticks=len(runtime.metrics.ticks),
             provenance=self._provenance(runtime),
             checkpoints_taken=list(self._checkpoints_taken),
+            history_path=(
+                str(self._recorder.store.path) if self._recorder is not None else None
+            ),
         )
 
     def _provenance(self, runtime: BraceRuntime) -> Provenance:
         model = tuple(sorted({type(agent).__name__ for agent in self.world.agents()}))
+        # Resolve every automatic knob to the choice that actually ran, so
+        # the recorded config reproduces the run without re-deriving the
+        # defaults: the effective seed, the runtime's resolved residency and
+        # the spatial backend the query phases executed.  Backend and
+        # residency are both state-neutral, so pinning them is safe.
+        config = dataclasses.replace(
+            runtime.config,
+            seed=runtime.seed,
+            resident_shards=runtime.resident,
+            spatial_backend=resolve_spatial_backend(
+                runtime.config.spatial_backend,
+                runtime.config.index,
+                self.world.agent_count(),
+            ),
+        )
         return Provenance(
             source=self._source,
             model=model,
             backend=runtime.config.executor,
             seed=runtime.seed,
-            config=runtime.config,
+            config=config,
             script_hash=self._script_hash,
             script_label=self._script_label,
         )
@@ -461,6 +547,8 @@ class Simulation(FluentConfig):
         self._closed = True
         if self._runtime is not None:
             self._runtime.close()
+        if self._recorder is not None:
+            self._recorder.close()
 
     def __enter__(self) -> "Simulation":
         return self

@@ -14,6 +14,7 @@ the fault-tolerance tests and the checkpointing ablation benchmark.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Any
 
@@ -21,6 +22,23 @@ import numpy as np
 
 from repro.core.errors import CheckpointError
 from repro.core.world import World
+
+
+def serialize_snapshot(payload: Any) -> bytes:
+    """Encode a checkpoint payload for stable storage.
+
+    The one codec shared by everything that persists simulation state: the
+    history store's on-disk checkpoints and delta frames both go through it,
+    so a payload written by one layer is always readable by the other.
+    Pickle at the highest protocol round-trips Python floats and ints
+    exactly, which is what the bit-identical replay guarantee rests on.
+    """
+    return pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_snapshot(data: bytes) -> Any:
+    """Decode a payload written by :func:`serialize_snapshot`."""
+    return pickle.loads(data)
 
 
 @dataclass

@@ -127,6 +127,12 @@ class BraceRuntime:
         #: (:mod:`repro.api`) registers here to surface epoch and checkpoint
         #: events; anything driving :meth:`run_tick` directly may too.
         self.epoch_listeners: list = []
+        #: Callbacks invoked as ``listener(world, restored_tick, failed_tick)``
+        #: at the end of every successful :meth:`recover`, after the world has
+        #: been rewound onto the checkpoint.  The persistent tick history
+        #: registers here to truncate its recorded trajectory back to the
+        #: restored tick before the re-executed ticks are recorded again.
+        self.recovery_listeners: list = []
 
         #: Whether ticks run the resident-shard delta protocol.  ``None`` in
         #: the config resolves to "on exactly when the executor does not
@@ -158,6 +164,16 @@ class BraceRuntime:
             owner = self.master.partitioning.partition_of(agent.position())
             self.workers[owner].add_owned(agent)
             self._owner_of[agent.agent_id] = owner
+
+    @property
+    def resident(self) -> bool:
+        """Whether ticks run the resident-shard delta protocol.
+
+        This is the *resolved* value of :attr:`BraceConfig.resident_shards`:
+        ``None`` (automatic) has already been turned into the actual choice —
+        on exactly when the executor does not share the driver's memory.
+        """
+        return self._resident
 
     def worker_of(self, agent_id: Any) -> int:
         """Return the id of the worker currently owning ``agent_id``."""
@@ -1062,6 +1078,8 @@ class BraceRuntime:
         self._epoch_wall_seconds = 0.0
         self._epoch_agent_ticks = 0
         self._epoch_first_tick = self.world.tick
+        for listener in self.recovery_listeners:
+            listener(self.world, checkpoint.tick, tick_before_failure)
         return ticks_lost
 
     def _rebuild_ownership(self) -> None:

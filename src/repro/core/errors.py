@@ -62,6 +62,16 @@ class LoadBalanceError(BraceError):
     """The load balancer produced an invalid repartitioning."""
 
 
+class HistoryError(ReproError):
+    """The persistent tick-history store was used or configured incorrectly.
+
+    Raised for unreadable or already-populated store directories, requests
+    for ticks that were never recorded (or whose deltas were thinned away by
+    a retention policy), and recording gaps — ticks executed outside the
+    recording session, e.g. directly through the runtime escape hatch.
+    """
+
+
 class SimulationSessionError(ReproError):
     """A :class:`repro.api.Simulation` session was used out of order.
 

@@ -80,6 +80,16 @@ class World:
         self._next_id += 1
         return allocated
 
+    @property
+    def next_agent_id(self) -> int:
+        """The id the next added agent would receive.
+
+        Part of the world's reproducible identity: checkpoints and the
+        persistent tick history record it so a reconstructed world allocates
+        the same ids a continued run would have.
+        """
+        return self._next_id
+
     def allocate_ids(self, count: int) -> list[int]:
         """Reserve ``count`` fresh ids (used when applying spawn requests)."""
         return [self._allocate_id() for _ in range(count)]

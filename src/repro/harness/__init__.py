@@ -28,7 +28,7 @@ scale-up figures *from BRASIL source* via ``repro.brasil.run_script``
 """
 
 from repro.harness.common import format_table
-from repro.harness.table2 import run_table2, Table2Result
+from repro.harness.table2 import rmspe_from_histories, run_table2, Table2Result
 from repro.harness.figure3 import run_figure3, Figure3Result
 from repro.harness.figure4 import run_figure4, Figure4Result
 from repro.harness.figure5 import run_figure5, Figure5Result
@@ -51,6 +51,7 @@ __all__ = [
     "run_all",
     "format_table",
     "run_table2",
+    "rmspe_from_histories",
     "Table2Result",
     "run_figure3",
     "Figure3Result",

@@ -25,6 +25,7 @@ from repro.simulations.traffic import (
     build_traffic_world,
     compare_lane_statistics,
 )
+from repro.stats.rmspe import rmspe
 
 
 @dataclass
@@ -65,6 +66,52 @@ class Table2Result:
             rows,
             title="Table 2: RMSPE for traffic simulation (agent model vs hand-coded baseline)",
         )
+
+
+def rmspe_from_histories(
+    observed,
+    reference,
+    field: str,
+    *,
+    reduce: str = "mean",
+    window: int | None = None,
+    start: int | None = None,
+    stop: int | None = None,
+    where=None,
+) -> float:
+    """Table 2's RMSPE measure computed from two recorded tick histories.
+
+    Instead of collecting statistics while the simulators run, both series
+    come from persisted trajectories (:class:`repro.history.History`): each
+    history is reduced to a per-tick aggregate of ``field`` (optionally
+    re-aggregated over ``window``-tick windows, optionally restricted by a
+    ``where(agent_id, state)`` predicate — e.g. one lane), and the RMSPE of
+    ``observed`` relative to ``reference`` is returned.  This is the
+    record-once / analyze-later workflow: validation metrics become history
+    queries over runs that already happened.
+    """
+    observed_series = observed.aggregate_series(
+        field, reduce=reduce, start=start, stop=stop, where=where
+    )
+    reference_series = reference.aggregate_series(
+        field, reduce=reduce, start=start, stop=stop, where=where
+    )
+    if window is not None:
+        observed_series = observed.window_aggregate(observed_series, window, reduce)
+        reference_series = reference.window_aggregate(reference_series, window, reduce)
+    observed_ticks = [tick for tick, _ in observed_series]
+    reference_ticks = [tick for tick, _ in reference_series]
+    if observed_ticks != reference_ticks:
+        raise ValueError(
+            "the two histories cover different tick ranges "
+            f"({observed_ticks[:1]}..{observed_ticks[-1:]} vs "
+            f"{reference_ticks[:1]}..{reference_ticks[-1:]}); "
+            "pass explicit start/stop to align them"
+        )
+    return rmspe(
+        [value for _, value in observed_series],
+        [value for _, value in reference_series],
+    )
 
 
 def run_table2(

@@ -1,0 +1,36 @@
+"""repro.history — the persistent, queryable tick-history store.
+
+A recorded run becomes a directory of checkpoints and per-tick columnar
+deltas (:class:`HistoryStore`), written live by a :class:`HistoryRecorder`
+attached behind the session layer (``Simulation...with_history(path)``) and
+read back through :class:`History`:
+
+* **time travel** — ``History.state_at(t)`` reconstructs the agent states
+  after tick ``t`` bit-identically to a fresh run truncated at ``t``, on
+  every executor backend (the differential test harness in
+  ``tests/history/`` enforces exactly this);
+* **analytics** — per-agent time series, per-tick cross-agent aggregates,
+  windowed reductions and cross-run diffs with a first-divergent-tick
+  report;
+* **retention** — a checkpoint cadence plus optional ``max_ticks`` /
+  checkpoint-only thinning bound the store's size without ever breaking a
+  retained tick's replay chain.
+
+>>> from repro.api import Simulation
+>>> from repro.history import History                  # doctest: +SKIP
+>>> sim = Simulation.from_agents(world).with_history("run_a")  # doctest: +SKIP
+>>> sim.run(100)                                       # doctest: +SKIP
+>>> History.open("run_a").state_at(42)                 # doctest: +SKIP
+"""
+
+from repro.history.query import History, HistoryDiff, REDUCERS
+from repro.history.recorder import HistoryRecorder
+from repro.history.store import HistoryStore
+
+__all__ = [
+    "History",
+    "HistoryDiff",
+    "HistoryRecorder",
+    "HistoryStore",
+    "REDUCERS",
+]

@@ -1,0 +1,81 @@
+"""Record a small reference trajectory from the command line.
+
+``python -m repro.history <path>`` runs one of the paper's workloads with
+history recording attached and prints a summary of the resulting store —
+used by CI to produce a store fixture artifact, and handy for generating
+a trajectory to poke at interactively::
+
+    python -m repro.history /tmp/fish_run --workload fish --agents 40 --ticks 24
+    python -m repro.history /tmp/ring_run --workload ring --executor process
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import Simulation
+from repro.history import History
+from repro.simulations.fish.fish import Fish
+from repro.simulations.fish.workload import build_fish_world
+from repro.simulations.traffic.ring import build_ring_world
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.history",
+        description="Record a reference trajectory into a history store.",
+    )
+    parser.add_argument("path", help="directory to record the trajectory into")
+    parser.add_argument(
+        "--workload", choices=("fish", "ring"), default="fish",
+        help="which workload to run (default: fish)",
+    )
+    parser.add_argument("--agents", type=int, default=40, help="number of agents")
+    parser.add_argument("--ticks", type=int, default=24, help="ticks to record")
+    parser.add_argument("--seed", type=int, default=11, help="simulation seed")
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial",
+        help="executor backend (default: serial)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="full-checkpoint cadence in ticks (default: 8)",
+    )
+    parser.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing store at the target path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.workload == "fish":
+        # The canonical Fish class is importable by name, so recorded clones
+        # (and process-executor payloads) pickle by reference.
+        world = build_fish_world(args.agents, seed=args.seed, fish_class=Fish)
+    else:
+        world = build_ring_world(args.agents, seed=args.seed)
+
+    session = (
+        Simulation.from_agents(world)
+        .with_executor(args.executor)
+        .with_history(
+            args.path,
+            checkpoint_every=args.checkpoint_every,
+            overwrite=args.overwrite,
+        )
+    )
+    with session:
+        result = session.run(args.ticks)
+
+    history = History.open(args.path)
+    store = history.store
+    print(result.summary())
+    print(
+        f"recorded ticks {history.base_tick}..{history.last_tick} -> {args.path} "
+        f"({len(store.delta_ticks())} deltas, {len(store.checkpoint_ticks())} "
+        f"checkpoints, {store.size_bytes():,} bytes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,182 @@
+"""Edge cases of the observer contract: errors, unsubscription, firing order.
+
+The happy path (observers see every tick/epoch/checkpoint) is covered by the
+simulation tests; these pin down the contract under adversarial use — an
+observer that raises mid-stream, observers that mutate the subscription
+lists while a dispatch is in flight, and the relative order of the three
+observer kinds at an epoch boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Simulation
+from repro.core.errors import SimulationSessionError
+from repro.simulations.traffic.ring import build_ring_world
+
+
+def session(**builder):
+    sim = Simulation.from_agents(build_ring_world(8, seed=2))
+    for name, value in builder.items():
+        sim = getattr(sim, f"with_{name}")(value)
+    return sim
+
+
+class TestObserverExceptions:
+    def test_exception_propagates_at_the_tick_boundary(self):
+        """An observer error surfaces to the caller with the tick completed."""
+        failures = []
+
+        def boom(event):
+            if event.tick == 3:
+                failures.append(event.tick)
+                raise RuntimeError("observer exploded")
+
+        with session() as sim:
+            sim.on_tick(boom)
+            with pytest.raises(RuntimeError, match="observer exploded"):
+                sim.run(6)
+            # The tick itself finished before the observer fired
+            # (event.tick is 0-based; the world is one past it).
+            assert sim.tick == 4
+            assert failures == [3]
+
+    def test_stream_is_finalized_and_the_session_continues(self):
+        """After an observer error the session runs on, bit-identically."""
+
+        def boom(event):
+            if event.tick == 2:
+                raise RuntimeError("once")
+
+        with session() as sim:
+            sim.on_tick(boom)
+            with pytest.raises(RuntimeError):
+                sim.run(5)
+            sim.unsubscribe(boom)
+            sim.run(5 - sim.tick)
+            resumed = sim.states()
+
+        with session() as clean:
+            clean.run(5)
+            assert clean.states() == resumed
+
+    def test_exception_inside_an_explicit_stream(self):
+        """Raising while pulling a stream closes it; a new stream works."""
+        with session() as sim:
+            stream = sim.stream(4)
+            next(stream)
+            with pytest.raises(RuntimeError, match="consumer error"):
+                stream.throw(RuntimeError("consumer error"))
+            events = list(sim.stream(2))
+            assert [event.tick for event in events] == [1, 2]
+
+
+class TestUnsubscribe:
+    def test_observer_can_unsubscribe_itself_mid_dispatch(self):
+        """Dispatch iterates a copy, so self-removal is safe and immediate."""
+        seen = []
+
+        def once(event):
+            seen.append(event.tick)
+            sim.unsubscribe(once)
+
+        later = []
+        sim = session().on_tick(once).on_tick(lambda event: later.append(event.tick))
+        with sim:
+            sim.run(4)
+        assert seen == [0]
+        # The sibling observer registered after the self-remover still fired
+        # on the removal tick and every one after it.
+        assert later == [0, 1, 2, 3]
+
+    def test_unsubscribe_covers_every_observer_kind(self):
+        calls = []
+
+        def everywhere(event_or_stats):
+            calls.append(event_or_stats)
+
+        sim = (
+            session(epochs=2, checkpointing=1)
+            .on_tick(everywhere)
+            .on_epoch(everywhere)
+            .on_checkpoint(everywhere)
+        )
+        with sim:
+            sim.unsubscribe(everywhere)
+            sim.run(4)
+        assert calls == []
+
+    def test_unsubscribing_an_unknown_observer_is_harmless(self):
+        with session() as sim:
+            sim.unsubscribe(lambda event: None)
+            sim.run(1)
+
+    def test_duplicate_registrations_are_all_removed(self):
+        calls = []
+
+        def counted(event):
+            calls.append(event.tick)
+
+        sim = session().on_tick(counted).on_tick(counted)
+        with sim:
+            sim.run(1)
+            assert calls == [0, 0]
+            sim.unsubscribe(counted)
+            sim.run(1)
+        assert calls == [0, 0]
+
+
+class TestFiringOrder:
+    def test_tick_then_epoch_then_checkpoint(self):
+        """At a checkpointed epoch boundary the kinds fire in that order."""
+        order = []
+        sim = (
+            session(epochs=2, checkpointing=1)
+            .on_tick(lambda event: order.append(("tick", event.tick)))
+            .on_epoch(lambda stats: order.append(("epoch", stats.epoch)))
+            .on_checkpoint(lambda stats: order.append(("checkpoint", stats.epoch)))
+        )
+        with sim:
+            sim.run(4)
+        assert order == [
+            ("tick", 0),
+            ("tick", 1),
+            ("epoch", 1),
+            ("checkpoint", 1),
+            ("tick", 2),
+            ("tick", 3),
+            ("epoch", 2),
+            ("checkpoint", 2),
+        ]
+
+    def test_checkpoint_observers_silent_when_checkpointing_is_off(self):
+        epochs = []
+        checkpoints = []
+        sim = (
+            session(epochs=2)
+            .on_epoch(lambda stats: epochs.append(stats.epoch))
+            .on_checkpoint(lambda stats: checkpoints.append(stats.epoch))
+        )
+        with sim:
+            sim.run(4)
+        assert epochs == [1, 2]
+        assert checkpoints == []
+
+    def test_registrations_fire_in_registration_order(self):
+        order = []
+        sim = (
+            session()
+            .on_tick(lambda event: order.append("first"))
+            .on_tick(lambda event: order.append("second"))
+        )
+        with sim:
+            sim.run(1)
+        assert order == ["first", "second"]
+
+
+def test_observers_on_a_closed_session_raise():
+    sim = session()
+    sim.close()
+    with pytest.raises(SimulationSessionError, match="closed"):
+        sim.run(1)

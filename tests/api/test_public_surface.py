@@ -34,6 +34,7 @@ REPRO_EXPORTS = {
     "RunResult",
     "Provenance",
     "TickEvent",
+    "History",
     "__version__",
 }
 
@@ -63,10 +64,12 @@ SIMULATION_SURFACE = {
     "with_seed",
     "with_non_local_effects",
     "with_options",
+    "with_history",
     # observers
     "on_tick",
     "on_epoch",
     "on_checkpoint",
+    "unsubscribe",
     # execution and lifecycle
     "run",
     "stream",
@@ -84,6 +87,7 @@ SIMULATION_SURFACE = {
     "config",
     "metrics",
     "runtime",
+    "history",
 }
 
 RUN_RESULT_FIELDS = {
@@ -92,6 +96,7 @@ RUN_RESULT_FIELDS = {
     "ticks",
     "provenance",
     "checkpoints_taken",
+    "history_path",
 }
 
 PROVENANCE_FIELDS = {

@@ -251,3 +251,51 @@ class TestRepr:
         assert "state=paused" in repr(sim)
         sim.close()
         assert "state=closed" in repr(sim)
+
+
+class TestProvenanceRoundTrip:
+    """result.provenance.config must reproduce the run without re-deriving
+    any automatic default: every knob the runtime resolved (seed, shard
+    residency, spatial backend) is recorded as the concrete choice that ran."""
+
+    def test_automatic_knobs_are_recorded_resolved(self):
+        with agent_session() as sim:
+            result = sim.run(3)
+        config = result.provenance.config
+        # The session never set these; the defaults are None/auto — the
+        # provenance must hold what actually executed instead.
+        assert config.spatial_backend in ("python", "vectorized")
+        assert config.resident_shards in (True, False)
+        assert config.seed == result.provenance.seed
+
+    def test_resolution_matches_the_runtime(self):
+        sim = (
+            agent_session()
+            .with_executor("process", max_workers=2)
+            .with_seed(23)
+        )
+        with sim:
+            result = sim.run(2)
+            runtime = sim.runtime
+            config = result.provenance.config
+            assert config.seed == runtime.seed == 23
+            assert config.resident_shards == runtime.resident
+            # The process executor does not share memory, so auto residency
+            # resolves to on — and the provenance says so explicitly.
+            assert config.resident_shards is True
+
+    def test_config_round_trips_into_an_identical_run(self):
+        """A session built from the recorded config replays bit-identically."""
+        with agent_session().with_workers(2).with_epochs(3) as first:
+            result = first.run(6)
+
+        replayed = Simulation.from_agents(
+            build_ring_world(NUM_CARS, SEED), config=result.provenance.config
+        )
+        with replayed:
+            # The recorded config carries every resolved knob verbatim...
+            assert replayed.config == result.provenance.config
+            rerun = replayed.run(6)
+        # ...and its provenance re-resolves to the same choices (fixpoint).
+        assert rerun.provenance.config == result.provenance.config
+        assert rerun.final_states == result.final_states

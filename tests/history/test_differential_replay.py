@@ -1,0 +1,244 @@
+"""Differential replay: ``History.state_at(t)`` == a fresh run truncated at t.
+
+The history store's contract is *bit-identical time travel*: for every
+recorded tick ``t``, replaying the store must reproduce exactly the agent
+states a fresh run of the same model would report after ``t`` ticks.  These
+tests enforce the contract differentially across the full execution matrix —
+
+    {fish school, traffic ring} x {serial, process executor}
+        x {python, vectorized spatial backend} x {resident shards on, off}
+
+— with a pause/resume boundary in the middle of every recorded run, plus
+checkpoint recovery (``recover()``) and a dynamic population (births and
+deaths) as separate scenarios.  The reference is always a serial run:
+cross-backend state equivalence is the repo's standing invariant, so any
+deviation localizes to the recording/replay layer itself.
+
+Process-executor combinations spin up pools and are marked ``slow`` (the CI
+history-smoke job runs with ``-m "not slow"``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Simulation
+from repro.history import History
+from repro.simulations.fish.fish import Fish
+from repro.simulations.fish.workload import build_fish_world
+from repro.simulations.traffic.ring import build_ring_world
+from tests.conftest import SpawningAgent, make_boid_world
+
+TICKS = 10
+PAUSE_AT = 4
+
+
+def fish_world():
+    # The canonical Fish class is importable by name, as pickling (process
+    # executor payloads and recorded clones alike) requires.
+    return build_fish_world(24, seed=5, fish_class=Fish)
+
+
+def ring_world():
+    return build_ring_world(20, seed=3)
+
+
+WORLDS = {"fish": fish_world, "ring": ring_world}
+
+
+def reference_states(world_builder, ticks):
+    """Tick -> states for a fresh serial run: {0: initial, t+1: after tick t}."""
+    session = Simulation.from_agents(world_builder())
+    reference = {0: session.states()}
+    with session:
+        for event in session.stream(ticks, snapshot_states=True):
+            reference[event.tick + 1] = event.states
+    return reference
+
+
+def record_run(world_builder, path, *, executor, backend, resident, ticks=TICKS):
+    """Record ``ticks`` ticks with a pause/resume boundary in the middle."""
+    session = (
+        Simulation.from_agents(world_builder())
+        .with_executor(executor, max_workers=2)
+        .with_workers(2)
+        .with_spatial_backend(backend)
+        .with_options(resident_shards=resident)
+        .with_history(path, checkpoint_every=4)
+    )
+    with session:
+        session.run(PAUSE_AT)
+        session.pause()
+        session.resume()
+        session.run(ticks - PAUSE_AT)
+    return session
+
+
+MATRIX = [
+    pytest.param(
+        executor,
+        backend,
+        resident,
+        marks=[pytest.mark.slow] if executor == "process" else [],
+        id=f"{executor}-{backend}-{'resident' if resident else 'inplace'}",
+    )
+    for executor in ("serial", "process")
+    for backend in ("python", "vectorized")
+    for resident in (False, True)
+]
+
+
+@pytest.mark.parametrize("workload", sorted(WORLDS))
+@pytest.mark.parametrize("executor,backend,resident", MATRIX)
+def test_state_at_matches_fresh_run_across_backends(
+    tmp_path, workload, executor, backend, resident
+):
+    """Every recorded tick replays bit-identically, on every combination."""
+    path = tmp_path / "run"
+    record_run(
+        WORLDS[workload], path, executor=executor, backend=backend, resident=resident
+    )
+    reference = reference_states(WORLDS[workload], TICKS)
+    history = History.open(path)
+
+    assert history.base_tick == 0
+    assert history.last_tick == TICKS
+    for tick in range(TICKS + 1):
+        assert history.state_at(tick) == reference[tick], (
+            f"replay diverged at tick {tick} "
+            f"({workload}, {executor}, {backend}, resident={resident})"
+        )
+
+
+@pytest.mark.parametrize("workload", sorted(WORLDS))
+def test_walk_matches_state_at(tmp_path, workload):
+    """Sequential replay and per-tick replay reconstruct the same states."""
+    path = tmp_path / "run"
+    record_run(WORLDS[workload], path, executor="serial", backend=None, resident=False)
+    history = History.open(path)
+    walked = dict(history.walk())
+    assert sorted(walked) == list(range(TICKS + 1))
+    for tick, states in walked.items():
+        assert states == history.state_at(tick)
+
+
+@pytest.mark.parametrize("workload", sorted(WORLDS))
+def test_state_at_equals_literally_truncated_fresh_runs(tmp_path, workload):
+    """The acceptance criterion verbatim: state_at(t) == a run stopped at t."""
+    path = tmp_path / "run"
+    record_run(WORLDS[workload], path, executor="serial", backend=None, resident=False)
+    history = History.open(path)
+    for tick in (0, 3, PAUSE_AT, 7, TICKS):
+        fresh = Simulation.from_agents(WORLDS[workload]())
+        with fresh:
+            fresh.run(tick)
+            assert history.state_at(tick) == fresh.states(), (
+                f"history disagrees with a fresh {tick}-tick run"
+            )
+
+
+@pytest.mark.parametrize(
+    "executor",
+    ["serial", pytest.param("process", marks=pytest.mark.slow)],
+)
+def test_recovery_rewinds_the_store_and_rerecords(tmp_path, executor):
+    """recover() truncates the stale tail; the re-run records bit-identically.
+
+    A failure at tick 7 rewinds to the runtime checkpoint at tick 6; the
+    re-executed ticks overwrite the truncated frames, so the final history
+    matches an uninterrupted run over its entire range.
+    """
+    total = 11
+    session = (
+        Simulation.from_agents(fish_world())
+        .with_executor(executor, max_workers=2)
+        .with_workers(2)
+        .with_epochs(3)
+        .with_checkpointing(every_epochs=1)
+        .with_history(tmp_path / "run", checkpoint_every=4)
+    )
+    with session:
+        session.run(7)
+        ticks_lost = session.runtime.recover()
+        assert ticks_lost == 1
+        assert session.history.last_tick == 6  # the stale tick-7 frame is gone
+        session.run(total - session.tick)
+        assert session.tick == total
+
+    reference = reference_states(fish_world, total)
+    history = History.open(tmp_path / "run")
+    for tick in range(total + 1):
+        assert history.state_at(tick) == reference[tick], (
+            f"post-recovery replay diverged at tick {tick} ({executor})"
+        )
+
+
+def test_recovery_across_pause_resume_boundary(tmp_path):
+    """pause/resume then recover then more ticks — the full lifecycle gauntlet."""
+    total = 12
+    session = (
+        Simulation.from_agents(ring_world())
+        .with_epochs(3)
+        .with_checkpointing(every_epochs=1)
+        .with_history(tmp_path / "run", checkpoint_every=5)
+    )
+    with session:
+        session.run(4)
+        session.pause()
+        session.resume()
+        session.run(4)  # now at tick 8, runtime checkpoint at tick 6
+        session.runtime.recover()
+        assert session.tick == 6
+        session.run(total - session.tick)
+
+    reference = reference_states(ring_world, total)
+    history = History.open(tmp_path / "run")
+    for tick in range(total + 1):
+        assert history.state_at(tick) == reference[tick]
+
+
+def test_dynamic_population_replays_births_deaths_and_ids(tmp_path):
+    """Spawns, kills and id allocation all round-trip through the store."""
+    ticks = 12
+
+    def world_builder():
+        return make_boid_world(num_agents=30, seed=11, agent_class=SpawningAgent)
+
+    session = (
+        Simulation.from_agents(world_builder())
+        .with_history(tmp_path / "run", checkpoint_every=5)
+    )
+    with session:
+        session.run(ticks)
+        final_population = set(session.states())
+
+    reference = reference_states(world_builder, ticks)
+    history = History.open(tmp_path / "run")
+    populations = set()
+    for tick in range(ticks + 1):
+        states = history.state_at(tick)
+        assert states == reference[tick]
+        populations.add(frozenset(states))
+    # The scenario exercised real population churn, not a fixed roster.
+    assert len(populations) > 1
+    assert set(history.state_at(ticks)) == final_population
+    # A reconstructed world resumes id allocation where the run left off.
+    replayed = history.world_at(ticks)
+    live = Simulation.from_agents(world_builder())
+    with live:
+        live.run(ticks)
+        assert replayed.next_agent_id == live.world.next_agent_id
+
+
+def test_history_readable_while_the_run_is_live(tmp_path):
+    """A reader in (conceptually) another process sees every completed tick."""
+    session = Simulation.from_agents(ring_world()).with_history(tmp_path / "run")
+    with session:
+        seen = []
+        for event in session.stream(6):
+            assert event.persisted
+            # Re-open from disk each tick: nothing is held back in memory.
+            reader = History.open(tmp_path / "run")
+            assert reader.last_tick == event.tick + 1
+            seen.append(reader.state_at(event.tick + 1))
+        assert seen[-1] == session.states()

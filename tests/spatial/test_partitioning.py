@@ -1,5 +1,6 @@
 """Tests for grid and strip spatial partitionings."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -103,3 +104,116 @@ class TestStripPartitioning:
         strips = StripPartitioning.uniform(BOUNDS, axis=0, num_strips=6)
         targets = strips.replication_targets((x, y), [radius, radius])
         assert strips.partition_of((x, y)) in targets
+
+
+# ---------------------------------------------------------------------------
+# Batch / scalar equivalence (property-based)
+# ---------------------------------------------------------------------------
+#: Bounds far from the origin: (coordinate - lo) loses low-order bits to
+#: cancellation, so any divergence between the scalar and vectorized float
+#: pipelines would surface here first.
+FAR_BOUNDS = BBox(((1.0e7, 1.0e7 + 300.0), (-4.0e6, -4.0e6 + 300.0)))
+
+
+def _axis_values(lo, hi, specials=()):
+    """Coordinates along one axis: bulk floats plus adversarial exact values.
+
+    The sampled specials hit the cases where scalar/batch disagreement would
+    hide: boundary-exact coordinates (ownership decided by a single float
+    comparison) and points just outside the bounds (clamping).
+    """
+    width = hi - lo
+    exact = [lo, hi, lo + width / 2, float(np.nextafter(lo, hi)), *specials]
+    return st.one_of(
+        st.floats(
+            min_value=lo - width, max_value=hi + width,
+            allow_nan=False, allow_infinity=False,
+        ),
+        st.sampled_from(exact),
+    )
+
+
+def _cloud(bounds, specials_per_axis):
+    """Point clouds over ``bounds``, with duplicates forced in."""
+    axes = [
+        st.tuples(*(
+            _axis_values(lo, hi, specials_per_axis[dim])
+            for dim, (lo, hi) in enumerate(bounds.intervals)
+        ))
+    ]
+    return st.lists(axes[0], min_size=1, max_size=24).map(
+        lambda points: points + points[: max(1, len(points) // 2)]
+    )
+
+
+def _grid_edges(bounds, dim, cells):
+    lo, hi = bounds.intervals[dim]
+    width = (hi - lo) / cells
+    return [lo + index * width for index in range(cells + 1)]
+
+
+class TestBatchScalarEquivalence:
+    """``partition_of_batch`` must agree with ``partition_of`` element for
+    element — the columnar map phase routes agents with the batch path while
+    everything else (replication, load accounting) uses the scalar one, so
+    even a single boundary-exact disagreement would split an agent's owner."""
+
+    def _assert_batch_matches(self, partitioning, points):
+        batch = partitioning.partition_of_batch(np.asarray(points, dtype=np.float64))
+        scalar = [partitioning.partition_of(point) for point in points]
+        assert batch.dtype == np.int64
+        assert batch.tolist() == scalar
+
+    @settings(max_examples=120, deadline=None)
+    @given(_cloud(BOUNDS, [_grid_edges(BOUNDS, 0, 7), _grid_edges(BOUNDS, 1, 3)]))
+    def test_grid_matches_scalar_near_origin(self, points):
+        self._assert_batch_matches(GridPartitioning(BOUNDS, [7, 3]), points)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        _cloud(FAR_BOUNDS, [_grid_edges(FAR_BOUNDS, 0, 5), _grid_edges(FAR_BOUNDS, 1, 4)])
+    )
+    def test_grid_matches_scalar_far_from_origin(self, points):
+        self._assert_batch_matches(GridPartitioning(FAR_BOUNDS, [5, 4]), points)
+
+    @settings(max_examples=120, deadline=None)
+    @given(_cloud(BOUNDS, [[25.0, 50.0, 75.0], []]))
+    def test_uniform_strips_match_scalar(self, points):
+        self._assert_batch_matches(
+            StripPartitioning.uniform(BOUNDS, axis=0, num_strips=4), points
+        )
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        _cloud(FAR_BOUNDS, [[], [-4.0e6 + 1.0, -4.0e6 + 7.5, -4.0e6 + 299.0]]),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_irregular_strips_match_scalar_far_from_origin(self, points, axis):
+        lo, hi = FAR_BOUNDS.intervals[axis]
+        boundaries = [lo + 1.0, lo + 7.5, hi - 1.0]
+        self._assert_batch_matches(
+            StripPartitioning(FAR_BOUNDS, axis=axis, boundaries=boundaries), points
+        )
+
+    def test_boundary_exact_points_go_right(self):
+        # bisect_right and searchsorted(side="right") both place a point
+        # sitting exactly on a boundary in the strip to its right.
+        strips = StripPartitioning(BOUNDS, axis=0, boundaries=[25.0, 50.0])
+        points = [(25.0, 0.0), (50.0, 0.0), (np.nextafter(25.0, 0.0), 0.0)]
+        assert [strips.partition_of(point) for point in points] == [1, 2, 0]
+        self._assert_batch_matches(strips, points)
+
+    def test_duplicate_positions_share_an_owner(self):
+        grid = GridPartitioning(BOUNDS, [4, 4])
+        points = [(12.5, 12.5)] * 5 + [(87.5, 87.5)] * 5
+        owners = grid.partition_of_batch(np.asarray(points))
+        assert len(set(owners[:5].tolist())) == 1
+        assert len(set(owners[5:].tolist())) == 1
+        self._assert_batch_matches(grid, points)
+
+    def test_empty_batch(self):
+        grid = GridPartitioning(BOUNDS, [4, 4])
+        strips = StripPartitioning.uniform(BOUNDS, axis=0, num_strips=4)
+        empty = np.empty((0, 2), dtype=np.float64)
+        assert grid.partition_of_batch(empty).shape == (0,)
+        assert strips.partition_of_batch(empty).shape == (0,)
