@@ -174,6 +174,23 @@ class FluentConfig:
         self._builder.set(spatial_backend=backend)
         return self
 
+    def with_plan_backend(self, backend: str | None) -> Any:
+        """Choose how BRASIL query/update plans execute.
+
+        ``"compiled"`` runs whole-phase columnar kernels (effect aggregation
+        as scatter-reductions over the spatial join's match lists, update
+        rules as column math over a structure-of-arrays snapshot),
+        ``"interpreted"`` the reference per-agent AST walk, ``None`` restores
+        automatic selection.  Plans outside the provable subset fall back to
+        the interpreter per worker-phase, so agent states are bit-identical
+        whichever backend runs — this knob only trades speed.
+        """
+        self._check_not_started()
+        # Validation happens in ConfigBuilder.set() -> BraceConfig.validate(),
+        # the single source of truth for legal backend names.
+        self._builder.set(plan_backend=backend)
+        return self
+
     def with_load_balancing(
         self,
         enabled: bool = True,

@@ -38,6 +38,7 @@ from repro.brace.config import BraceConfig
 from repro.brace.metrics import BraceRunMetrics, EpochStatistics
 from repro.brace.runtime import BraceRuntime
 from repro.brasil.compiler import CompiledScript
+from repro.brasil.kernels import resolve_plan_backend
 from repro.core.agent import Agent
 from repro.core.context import resolve_spatial_backend
 from repro.core.errors import BraceError, SimulationSessionError
@@ -464,9 +465,10 @@ class Simulation(FluentConfig):
         model = tuple(sorted({type(agent).__name__ for agent in self.world.agents()}))
         # Resolve every automatic knob to the choice that actually ran, so
         # the recorded config reproduces the run without re-deriving the
-        # defaults: the effective seed, the runtime's resolved residency and
-        # the spatial backend the query phases executed.  Backend and
-        # residency are both state-neutral, so pinning them is safe.
+        # defaults: the effective seed, the runtime's resolved residency, the
+        # spatial backend the query phases executed and the plan backend the
+        # BRASIL phases attempted.  All of these are state-neutral, so
+        # pinning them is safe.
         config = dataclasses.replace(
             runtime.config,
             seed=runtime.seed,
@@ -475,6 +477,10 @@ class Simulation(FluentConfig):
                 runtime.config.spatial_backend,
                 runtime.config.index,
                 self.world.agent_count(),
+            ),
+            plan_backend=resolve_plan_backend(
+                runtime.config.plan_backend,
+                {type(agent) for agent in self.world.agents()},
             ),
         )
         return Provenance(

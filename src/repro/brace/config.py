@@ -65,6 +65,18 @@ class BraceConfig:
     #: order on the vectorized backend vs k-d tree traversal order on the
     #: python backend — neighbour/visible queries are tie-free.)
     spatial_backend: str | None = None
+    #: How BRASIL query/update plans execute: ``"interpreted"`` (the
+    #: reference per-agent AST walk), ``"compiled"`` (whole-phase columnar
+    #: kernels — effect aggregation as ``np.ufunc.at`` scatter-reductions
+    #: over the spatial join's match lists, update rules as column math
+    #: over a structure-of-arrays snapshot) or ``None`` for automatic
+    #: selection (compiled wherever the plan compiler can *prove* the
+    #: kernel bit-identical, interpreted otherwise).  Constructs outside
+    #: the provable subset — ``rand()`` in a phase, nested ``foreach``,
+    #: loop-carried locals, ``collect`` effects, hand-written agent
+    #: classes — fall back to the interpreter per worker-phase, so states
+    #: are bit-identical across backends; only the speed differs.
+    plan_backend: str | None = None
 
     # Load balancing -------------------------------------------------------
     load_balance: bool = True
@@ -153,6 +165,11 @@ class BraceConfig:
             raise BraceError(
                 f"unknown spatial backend {self.spatial_backend!r}; expected "
                 "'python', 'vectorized' or None for automatic selection"
+            )
+        if self.plan_backend not in (None, "interpreted", "compiled"):
+            raise BraceError(
+                f"unknown plan backend {self.plan_backend!r}; expected "
+                "'interpreted', 'compiled' or None for automatic selection"
             )
         if self.cell_size is not None and not self.cell_size > 0:
             # cell_size is only *used* by the grid index but may legitimately

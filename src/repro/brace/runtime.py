@@ -423,6 +423,7 @@ class BraceRuntime:
                         cell_size=config.cell_size,
                         check_visibility=config.check_visibility,
                         spatial_backend=config.spatial_backend,
+                        plan_backend=config.plan_backend,
                     ),
                 )
                 for worker in self.workers
@@ -480,6 +481,7 @@ class BraceRuntime:
                         tick=tick,
                         seed=self.seed,
                         world_bounds=world.bounds,
+                        plan_backend=config.plan_backend,
                     ),
                 )
                 for worker in self.workers
@@ -640,6 +642,7 @@ class BraceRuntime:
                     cell_size=config.cell_size,
                     check_visibility=config.check_visibility,
                     spatial_backend=config.spatial_backend,
+                    plan_backend=config.plan_backend,
                 )
                 for worker in self.workers
             ]
@@ -657,6 +660,7 @@ class BraceRuntime:
                     config.cell_size,
                     config.check_visibility,
                     config.spatial_backend,
+                    config.plan_backend,
                 )
                 for worker in self.workers
             ]
@@ -680,6 +684,7 @@ class BraceRuntime:
                     tick=tick,
                     seed=self.seed,
                     world_bounds=self.world.bounds,
+                    plan_backend=self.config.plan_backend,
                 )
                 for worker in self.workers
             ]
@@ -695,6 +700,7 @@ class BraceRuntime:
                     tick,
                     self.seed,
                     self.world.bounds,
+                    self.config.plan_backend,
                 )
                 for worker in self.workers
             ]

@@ -97,6 +97,7 @@ class QueryCommand:
     cell_size: float | None
     check_visibility: bool
     spatial_backend: str | None = None
+    plan_backend: str | None = None
 
 
 @dataclass
@@ -122,6 +123,7 @@ class UpdateCommand:
     tick: int
     seed: int
     world_bounds: BBox | None
+    plan_backend: str | None = None
 
 
 @dataclass
@@ -175,6 +177,7 @@ def shard_query_phase(worker: Worker, command: QueryCommand) -> QueryResult:
         cell_size=command.cell_size,
         check_visibility=command.check_visibility,
         spatial_backend=command.spatial_backend,
+        plan_backend=command.plan_backend,
     )
     return QueryResult(
         replica_partials=worker.touched_replica_partials(),
@@ -188,7 +191,10 @@ def shard_update_phase(worker: Worker, command: UpdateCommand) -> UpdateResult:
     for agent_id, partials in command.partials:
         worker.merge_remote_partials(agent_id, partials)
     context = worker.run_update_phase(
-        tick=command.tick, seed=command.seed, world_bounds=command.world_bounds
+        tick=command.tick,
+        seed=command.seed,
+        world_bounds=command.world_bounds,
+        plan_backend=command.plan_backend,
     )
     return UpdateResult(
         spawn_requests=context.spawn_requests,

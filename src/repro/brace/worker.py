@@ -61,6 +61,40 @@ class UpdatePhaseResult:
     kill_requests: set[Any] = field(default_factory=set)
 
 
+def _query_loop(owned: list[Agent], context: QueryContext, plan_backend: str | None) -> None:
+    """Run the query phase body: compiled plan kernels when allowed, else
+    the interpreted per-agent loop.
+
+    ``plan_backend`` semantics: ``"interpreted"`` never compiles; ``None``
+    (automatic) and ``"compiled"`` both attempt the columnar kernels and
+    fall back silently for anything the plan compiler cannot prove.  The
+    import is lazy because :mod:`repro.brasil` imports this module's
+    package back for its runner.
+    """
+    if plan_backend != "interpreted":
+        from repro.brasil.kernels import try_compiled_query_phase
+
+        if try_compiled_query_phase(owned, context):
+            return
+    for agent in owned:
+        agent.query(context)
+
+
+def _update_loop(owned: list[Agent], context: UpdateContext, plan_backend: str | None) -> None:
+    """Run the update phase body: compiled per-class kernels, interpreted rest."""
+    remaining = owned
+    if plan_backend != "interpreted":
+        from repro.brasil.kernels import try_compiled_update_phase
+
+        remaining = try_compiled_update_phase(owned, context)
+    for agent in remaining:
+        agent._updating = True
+        try:
+            agent.update(context)
+        finally:
+            agent._updating = False
+
+
 def run_query_phase_remote(
     worker_id: int,
     owned: list[Agent],
@@ -71,6 +105,7 @@ def run_query_phase_remote(
     cell_size: float | None,
     check_visibility: bool,
     spatial_backend: str | None = None,
+    plan_backend: str | None = None,
 ) -> QueryPhaseResult:
     """Execute one worker's query phase on pickled agent copies.
 
@@ -90,8 +125,7 @@ def run_query_phase_remote(
         spatial_backend=spatial_backend,
     )
     with phase(Phase.QUERY):
-        for agent in owned:
-            agent.query(context)
+        _query_loop(owned, context, plan_backend)
     replica_partials = {}
     for replica in replicas:
         touched = replica.touched_effect_partials()
@@ -115,16 +149,12 @@ def run_update_phase_remote(
     tick: int,
     seed: int,
     world_bounds: BBox | None,
+    plan_backend: str | None = None,
 ) -> UpdatePhaseResult:
     """Execute one worker's update phase on pickled agent copies."""
     context = UpdateContext(tick=tick, seed=seed, world_bounds=world_bounds)
     with phase(Phase.UPDATE):
-        for agent in owned:
-            agent._updating = True
-            try:
-                agent.update(context)
-            finally:
-                agent._updating = False
+        _update_loop(owned, context, plan_backend)
     return UpdatePhaseResult(
         worker_id=worker_id,
         states={agent.agent_id: agent.state_dict() for agent in owned},
@@ -385,6 +415,7 @@ class Worker:
         cell_size: float | None,
         check_visibility: bool,
         spatial_backend: str | None = None,
+        plan_backend: str | None = None,
     ) -> QueryContext:
         """Execute the query phase (reduce 1) for every owned agent.
 
@@ -405,8 +436,7 @@ class Worker:
             snapshot=self._build_snapshot(agents, index, spatial_backend),
         )
         with phase(Phase.QUERY):
-            for agent in self.owned_agents():
-                agent.query(context)
+            _query_loop(self.owned_agents(), context, plan_backend)
         self.last_query_work_units = context.work_units
         self.last_index_probes = context.index_probes
         return context
@@ -483,19 +513,20 @@ class Worker:
         context._kill_requests = set(result.kill_requests)
         return context
 
-    def run_update_phase(self, tick: int, seed: int, world_bounds) -> UpdateContext:
+    def run_update_phase(
+        self,
+        tick: int,
+        seed: int,
+        world_bounds,
+        plan_backend: str | None = None,
+    ) -> UpdateContext:
         """Execute the update phase for every owned agent, collecting births/deaths."""
         # Positions change now: the map-phase snapshot rows are stale.
         self._position_cache = None
         self.last_snapshot = None
         context = UpdateContext(tick=tick, seed=seed, world_bounds=world_bounds)
         with phase(Phase.UPDATE):
-            for agent in self.owned_agents():
-                agent._updating = True
-                try:
-                    agent.update(context)
-                finally:
-                    agent._updating = False
+            _update_loop(self.owned_agents(), context, plan_backend)
         return context
 
     # ------------------------------------------------------------------

@@ -31,7 +31,9 @@ The compilation pipeline mirrors the paper's:
    assignments into local ones when possible (Theorems 2 and 3);
 4. :mod:`repro.brasil.translate` translates the query script into a monad
    algebra plan (Appendix B) on which :mod:`repro.brasil.optimizer` applies
-   algebraic rewrites;
+   algebraic rewrites; where the proof obligations hold, both phases also
+   compile to whole-phase columnar kernels (:mod:`repro.brasil.kernels`)
+   selected by ``BraceConfig.plan_backend``;
 5. :mod:`repro.brasil.compiler` packages everything into a Python
    :class:`~repro.core.agent.Agent` subclass executable by the sequential
    engine and by BRACE.
@@ -45,7 +47,12 @@ from repro.brasil.compiler import (
     compiled_class_for_spec,
 )
 from repro.brasil.effect_inversion import EffectInversionError, invert_effects
-from repro.brasil.optimizer import IndexSelection, select_index
+from repro.brasil.kernels import (
+    PlanKernelFallback,
+    kernels_for_class,
+    resolve_plan_backend,
+)
+from repro.brasil.optimizer import IndexSelection, PlanSelection, select_index, select_plan
 from repro.brasil.parser import parse
 from repro.brasil.runner import (
     ScriptRunResult,
@@ -61,6 +68,8 @@ __all__ = [
     "CompiledScript",
     "EffectInversionError",
     "IndexSelection",
+    "PlanKernelFallback",
+    "PlanSelection",
     "ScriptInfo",
     "ScriptRunResult",
     "analyze",
@@ -69,7 +78,10 @@ __all__ = [
     "compiled_class_for_spec",
     "config_for_script",
     "invert_effects",
+    "kernels_for_class",
     "parse",
+    "resolve_plan_backend",
     "run_script",
     "select_index",
+    "select_plan",
 ]

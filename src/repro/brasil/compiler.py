@@ -26,7 +26,14 @@ from typing import Any
 from repro.brasil.ast_nodes import ClassDecl, Script
 from repro.brasil.effect_inversion import EffectInversionError, InversionResult, invert_effects
 from repro.brasil.interpreter import Environment, evaluate, execute_block
-from repro.brasil.optimizer import IndexSelection, OptimizedPlan, optimize_plan, select_index
+from repro.brasil.optimizer import (
+    IndexSelection,
+    OptimizedPlan,
+    PlanSelection,
+    optimize_plan,
+    select_index,
+    select_plan,
+)
 from repro.brasil.parser import parse
 from repro.brasil.semantics import ScriptInfo, analyze_class
 from repro.brasil.translate import PlanQueryTask, TranslationNotSupported, translate_query
@@ -159,6 +166,10 @@ class CompiledScript:
     optimized_plan: OptimizedPlan | None = None
     spec: AgentClassSpec | None = None
     index_selection: IndexSelection | None = None
+    #: Which phases the plan compiler proved kernel-compilable (advisory:
+    #: the runtime re-derives feasibility per class; see
+    #: :class:`~repro.brasil.optimizer.PlanSelection`).
+    plan_selection: PlanSelection | None = None
 
     @property
     def class_name(self) -> str:
@@ -305,6 +316,9 @@ class BrasilCompiler:
                 index=None,
                 cell_size=None,
                 reason="indexing disabled by the compiler (use_index=False)",
+            ),
+            plan_selection=select_plan(
+                compiled_decl, info, restrict_to_visible=self.use_index
             ),
         )
 

@@ -1,0 +1,942 @@
+"""Columnar plan kernels: whole-phase batched execution of BRASIL plans.
+
+The interpreted runtime (:mod:`repro.brasil.interpreter`) evaluates each
+agent's ``run()`` body and update rules one agent — one *pair*, inside a
+``foreach`` — at a time.  This module compiles whole query and update
+plans to NumPy so a phase becomes a handful of array operations: effect
+aggregation turns into ``np.ufunc.at`` scatter-reductions over the spatial
+join's match lists, and update rules turn into column arithmetic over a
+:class:`~repro.core.soa.AgentTable` structure-of-arrays snapshot.
+
+Bit-identity with the interpreter is the contract, never tolerance, so the
+compiler only accepts constructs it can prove equivalent:
+
+* NIL semantics are carried as an explicit validity mask per lane —
+  division by zero, ``sqrt`` of a negative number and friends invalidate
+  the lane exactly where the interpreter would have produced ``None``;
+* ``min``/``max`` builtins use Python's comparison-based semantics
+  (``where(b < a, b, a)``), not ``np.minimum``'s NaN propagation;
+* transcendental builtins (``exp``, ``sin``, ``pow``, …) and the ``%``
+  operator are evaluated lane-by-lane through the *same* Python functions
+  the interpreter calls, because their NumPy counterparts are not
+  guaranteed bit-identical;
+* scatter order replicates the interpreter's fold order: pairs are laid
+  out probe-major / match-ascending, and ``ufunc.at`` applies duplicates
+  element by element in that order.  Fields whose combinator fold is
+  order-sensitive (``sum``, ``product``, ``mean``) are only compiled when
+  a single statement writes them (or all writers are per-probe local
+  assignments), so the per-target combine order provably matches;
+* a ``min``/``max`` scatter that would combine a NaN raises
+  :class:`PlanKernelFallback` *before* any agent is mutated — NumPy's
+  ``minimum.at`` and Python's ``min`` disagree on NaN ordering.
+
+Anything outside the provable subset — ``rand()`` in the phase, nested
+``foreach``, loop-carried local accumulators, agent-valued locals, the
+``collect`` combinator, unbounded visibility — simply leaves the phase on
+the interpreted path.  Fallback is per worker-phase and all-or-nothing:
+kernels do all their reading and computing first and only then write
+effects/state back, so a fallback mid-compute leaves the world untouched
+for the interpreter to process from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.brasil.ast_nodes import (
+    Assign,
+    BinaryOp,
+    Block,
+    BoolLit,
+    Call,
+    ClassDecl,
+    Conditional,
+    EffectAssign,
+    ExprStmt,
+    FieldAccess,
+    ForEach,
+    If,
+    LocalDecl,
+    Name,
+    NumberLit,
+    UnaryOp,
+)
+from repro.brasil.builtins import BUILTIN_FUNCTIONS
+from repro.brasil.semantics import ScriptInfo
+from repro.core.soa import AgentTable, UnpackableValueError, pack_column
+
+
+class PlanKernelFallback(Exception):
+    """A compiled kernel handed the phase back to the interpreter.
+
+    Raised only before any agent state or effect has been mutated, so the
+    caller can rerun the whole phase interpreted.
+    """
+
+
+class _Unsupported(Exception):
+    """Compile-time marker: a construct is outside the provable subset."""
+
+
+#: Arithmetic operators computed directly on ``float64`` columns (IEEE-exact).
+_ARITH_OPS = ("+", "-", "*")
+_COMPARE_OPS = ("==", "!=", "<", ">", "<=", ">=")
+
+#: Builtins with exact vector equivalents (comparison/rounding based).
+_VECTOR_CALLS = {"abs", "min", "max", "sqrt", "floor", "ceil", "sign"}
+#: Builtins evaluated lane-by-lane through the interpreter's own functions.
+_LANE_CALLS = {"exp", "log", "pow", "sin", "cos", "tan", "atan2", "hypot"}
+_SUPPORTED_CALLS = _VECTOR_CALLS | _LANE_CALLS
+
+#: Combinators whose fold is exactly order-insensitive: integer addition,
+#: boolean or/and, and (NaN-guarded) min/max.  Float ``sum``/``product``/
+#: ``mean`` folds are order-sensitive and get the single-writer restriction.
+_ORDER_INSENSITIVE = {"count", "min", "max", "any", "all"}
+_SCATTERABLE = {"sum", "count", "min", "max", "product", "any", "all", "mean"}
+
+#: Sentinel for locals whose vector value is no longer representable (a
+#: ``foreach``-scoped declaration read after the loop).  Reads raise.
+_POISON = object()
+
+
+def _exact_number(literal: NumberLit) -> None:
+    """Reject integer literals a float64 cannot represent exactly."""
+    value = literal.value
+    if type(value) is int:
+        try:
+            exact = int(float(value)) == value
+        except OverflowError:
+            exact = False
+        if not exact:
+            raise _Unsupported(f"integer literal {value!r} not exact in float64")
+
+
+def _call_arity_ok(function: str, arity: int) -> bool:
+    """Arities the compiled path supports (mirrors what cannot crash)."""
+    if function in ("min", "max"):
+        return arity >= 2
+    if function in ("pow", "atan2"):
+        return arity == 2
+    if function == "hypot":
+        return arity >= 1
+    return arity == 1
+
+
+class _ExprChecker:
+    """Static validation of one expression against the compilable subset."""
+
+    def __init__(self, value_names, agent_names, state_fields, poisoned=()):
+        self.value_names = value_names
+        self.agent_names = agent_names
+        self.state_fields = state_fields
+        self.poisoned = poisoned
+
+    def check(self, expr) -> None:
+        if isinstance(expr, NumberLit):
+            _exact_number(expr)
+            return
+        if isinstance(expr, BoolLit):
+            return
+        if isinstance(expr, Name):
+            name = expr.identifier
+            if name == "this" or name in self.agent_names:
+                raise _Unsupported(f"agent-valued name {name!r} used as a value")
+            if name in self.poisoned:
+                raise _Unsupported(f"loop-scoped local {name!r} read after foreach")
+            if name not in self.value_names and name not in self.state_fields:
+                raise _Unsupported(f"unresolvable name {name!r}")
+            return
+        if isinstance(expr, FieldAccess):
+            target = expr.target
+            if not isinstance(target, Name):
+                raise _Unsupported("computed field-access target")
+            if target.identifier != "this" and target.identifier not in self.agent_names:
+                raise _Unsupported(f"field access on non-agent {target.identifier!r}")
+            if expr.field_name not in self.state_fields:
+                raise _Unsupported(f"access to non-state field {expr.field_name!r}")
+            return
+        if isinstance(expr, BinaryOp):
+            if expr.operator not in _ARITH_OPS + _COMPARE_OPS + ("/", "%", "&&", "||"):
+                raise _Unsupported(f"operator {expr.operator!r}")
+            self.check(expr.left)
+            self.check(expr.right)
+            return
+        if isinstance(expr, UnaryOp):
+            if expr.operator not in ("-", "!"):
+                raise _Unsupported(f"unary operator {expr.operator!r}")
+            self.check(expr.operand)
+            return
+        if isinstance(expr, Conditional):
+            self.check(expr.condition)
+            self.check(expr.then_expr)
+            self.check(expr.else_expr)
+            return
+        if isinstance(expr, Call):
+            if expr.function not in _SUPPORTED_CALLS:
+                raise _Unsupported(f"call to {expr.function!r}")
+            if not _call_arity_ok(expr.function, len(expr.arguments)):
+                raise _Unsupported(f"unsupported arity for {expr.function!r}")
+            for argument in expr.arguments:
+                self.check(argument)
+            return
+        raise _Unsupported(f"expression node {type(expr).__name__}")
+
+
+def _validate_query_body(body: Block, info: ScriptInfo) -> None:
+    """Prove the whole ``run()`` body compilable, or raise ``_Unsupported``.
+
+    Mirrors the executor's structure: simulates local declarations in
+    statement order, tracks which effect fields are written where, and
+    enforces the per-field fold-order restrictions.
+    """
+    state_fields = set(info.state_field_names)
+    combinators = dict(info.effect_combinators)
+    probe_locals: set = set()
+    poisoned: set = set()
+    # field -> list of (depth, target_kind) with target_kind in {"this", "loopvar"}
+    writers: Dict[str, List[Tuple[int, str]]] = {}
+
+    def walk(statements, depth, in_if, loopvar, loop_locals):
+        for stmt in statements:
+            if isinstance(stmt, Block):
+                walk(stmt.statements, depth, in_if, loopvar, loop_locals)
+            elif isinstance(stmt, LocalDecl):
+                if in_if:
+                    raise _Unsupported("local declaration inside if")
+                if stmt.name == "this":
+                    raise _Unsupported("local named 'this'")
+                checker(depth, loopvar, loop_locals).check(stmt.initializer)
+                if depth == 0:
+                    probe_locals.add(stmt.name)
+                else:
+                    loop_locals.add(stmt.name)
+                poisoned.discard(stmt.name)
+            elif isinstance(stmt, Assign):
+                if depth > 0:
+                    raise _Unsupported("assignment inside foreach (loop-carried)")
+                if stmt.name not in probe_locals or stmt.name in poisoned:
+                    raise _Unsupported(f"assignment to {stmt.name!r}")
+                checker(depth, loopvar, loop_locals).check(stmt.value)
+            elif isinstance(stmt, EffectAssign):
+                kind = _target_kind(stmt, loopvar)
+                combinator = combinators.get(stmt.field_name)
+                if combinator is None:
+                    raise _Unsupported(f"unknown effect field {stmt.field_name!r}")
+                if combinator not in _SCATTERABLE:
+                    raise _Unsupported(f"combinator {combinator!r} not scatterable")
+                checker(depth, loopvar, loop_locals).check(stmt.value)
+                writers.setdefault(stmt.field_name, []).append((depth, kind))
+            elif isinstance(stmt, If):
+                checker(depth, loopvar, loop_locals).check(stmt.condition)
+                walk(stmt.then_block.statements, depth, True, loopvar, loop_locals)
+                if stmt.else_block is not None:
+                    walk(stmt.else_block.statements, depth, True, loopvar, loop_locals)
+            elif isinstance(stmt, ForEach):
+                if depth > 0:
+                    raise _Unsupported("nested foreach")
+                if in_if:
+                    # Work accounting per probe would need per-lane extent
+                    # resolution under a mask — supported by the executor,
+                    # but extent charging depends on has_bounded_visibility
+                    # per agent, which matches the class here; allow it.
+                    pass
+                if stmt.element_type != info.class_name:
+                    raise _Unsupported(f"foreach over foreign type {stmt.element_type!r}")
+                inner: set = set()
+                walk(stmt.body.statements, 1, False, stmt.variable, inner)
+                poisoned.update(inner)
+            elif isinstance(stmt, ExprStmt):
+                checker(depth, loopvar, loop_locals).check(stmt.expression)
+            else:
+                raise _Unsupported(f"statement node {type(stmt).__name__}")
+
+    def checker(depth, loopvar, loop_locals):
+        value_names = set(probe_locals) | (loop_locals if depth else set())
+        agent_names = {"this"} | ({loopvar} if loopvar else set())
+        # A loop variable shadows any probe-level local of the same name.
+        value_names -= agent_names
+        return _ExprChecker(value_names, agent_names, state_fields, poisoned)
+
+    walk(body.statements, 0, False, None, set())
+
+    for field, field_writers in writers.items():
+        if combinators[field] in _ORDER_INSENSITIVE:
+            continue
+        if len(field_writers) == 1:
+            continue
+        if all(depth == 0 for depth, _ in field_writers):
+            continue  # each target combined only by its own probe, in order
+        raise _Unsupported(
+            f"order-sensitive effect {field!r} written by multiple statements"
+        )
+
+
+def _target_kind(stmt: EffectAssign, loopvar: Optional[str]) -> str:
+    """Classify an effect target as ``this`` or the loop variable."""
+    target = stmt.target_agent
+    if target is None:
+        return "this"
+    if isinstance(target, Name):
+        if target.identifier == "this":
+            return "this"
+        if loopvar is not None and target.identifier == loopvar:
+            return "loopvar"
+    raise _Unsupported("effect target is neither 'this' nor the loop variable")
+
+
+class QueryKernel:
+    """A compiled query phase: one worker's ``run()`` bodies as array ops."""
+
+    def __init__(self, class_name: str, body: Block, info: ScriptInfo):
+        self.class_name = class_name
+        self.body = body
+        self.state_field_names = list(info.state_field_names)
+        self.effect_combinators = dict(info.effect_combinators)
+
+    def run(self, owned: Sequence[Any], context: Any) -> None:
+        """Execute the query phase for ``owned`` probes against ``context``.
+
+        Raises :class:`PlanKernelFallback` (before any mutation) when a
+        runtime-only condition blocks the compiled path.
+        """
+        frame = _VectorFrame.for_query(self, owned, context)
+        mask = np.ones(len(owned), dtype=bool)
+        frame.exec_block(self.body.statements, mask, "probe")
+        frame.writeback_effects()
+
+
+class UpdateKernel:
+    """A compiled update phase for one agent class: rules as column math."""
+
+    def __init__(self, class_name: str, rules, info: ScriptInfo):
+        self.class_name = class_name
+        #: ``(field_name, expression)`` in declaration order — the same
+        #: order the interpreted path applies ``setattr`` in.
+        self.rules = list(rules)
+        self.state_field_names = list(info.state_field_names)
+        self.effect_reads = {
+            name
+            for _, expr in self.rules
+            for name in _names_in(expr)
+            if name in info.effect_combinators
+        }
+
+    def run(self, agents: Sequence[Any], context: Any) -> None:
+        """Apply every update rule to ``agents`` (all of this class)."""
+        if not agents:
+            return
+        cls = type(agents[0])
+        table = AgentTable(agents, self.state_field_names)
+        effect_columns = {}
+        for name in self.effect_reads:
+            combinator = cls._effect_fields[name].combinator
+            effect_columns[name] = pack_column(
+                [combinator.finalize(agent._effects[name]) for agent in agents]
+            )
+        frame = _VectorFrame.for_update(table, effect_columns, self.state_field_names)
+        computed = [(field, frame.eval(expr, "probe")) for field, expr in self.rules]
+        # All reads and computation are done; from here on, writeback only.
+        for field, (values, valid) in computed:
+            old = table.column(field)
+            new = np.asarray(values, dtype=np.float64)
+            descriptor = cls._state_fields[field]
+            reach = descriptor.reachability if descriptor.spatial else None
+            if reach is not None:
+                # Python-semantics clamp: min(max(value, lo), hi) — NaN
+                # passes through both comparisons, unlike np.clip.
+                low = old - reach
+                high = old + reach
+                stepped = np.where(low > new, low, new)
+                new = np.where(high < stepped, high, stepped)
+            table.set_column(field, np.where(valid, new, old))
+        table.writeback()
+
+
+def _names_in(expr) -> List[str]:
+    """Every bare identifier referenced by ``expr``."""
+    found: List[str] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Name):
+            found.append(node.identifier)
+        elif isinstance(node, BinaryOp):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, UnaryOp):
+            stack.append(node.operand)
+        elif isinstance(node, Conditional):
+            stack.extend((node.condition, node.then_expr, node.else_expr))
+        elif isinstance(node, Call):
+            stack.extend(node.arguments)
+        elif isinstance(node, FieldAccess):
+            stack.append(node.target)
+    return found
+
+
+class _Accumulator:
+    """One effect field's scatter target, initialized from live effects."""
+
+    def __init__(self, field: str, combinator_name: str, raw_values: list):
+        self.field = field
+        self.combinator = combinator_name
+        n = len(raw_values)
+        self.touch = np.zeros(n, dtype=np.int64)
+        if combinator_name == "count":
+            if any(type(value) is not int for value in raw_values):
+                raise PlanKernelFallback(f"count accumulator for {field!r} not int")
+            self.data = np.array(raw_values, dtype=np.int64)
+        elif combinator_name in ("any", "all"):
+            if any(type(value) is not bool for value in raw_values):
+                raise PlanKernelFallback(f"bool accumulator for {field!r} not bool")
+            self.data = np.array(raw_values, dtype=bool)
+        elif combinator_name == "mean":
+            try:
+                self.sums = pack_column([value[0] for value in raw_values])
+                counts = [value[1] for value in raw_values]
+            except (TypeError, IndexError, UnpackableValueError) as exc:
+                raise PlanKernelFallback(str(exc)) from exc
+            if any(type(count) is not int for count in counts):
+                raise PlanKernelFallback(f"mean counts for {field!r} not int")
+            self.counts = np.array(counts, dtype=np.int64)
+        else:  # sum, min, max, product
+            try:
+                self.data = pack_column(raw_values)
+            except UnpackableValueError as exc:
+                raise PlanKernelFallback(str(exc)) from exc
+
+    def scatter(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """Combine ``values`` into the accumulator at ``rows``, in order."""
+        name = self.combinator
+        if name in ("min", "max") and bool(np.isnan(values).any()):
+            # Python's min/max keep the accumulator when the candidate is
+            # NaN; np.minimum.at would propagate it.  Bail out before any
+            # agent has been touched.
+            raise PlanKernelFallback(f"NaN combined into {name} effect {self.field!r}")
+        if name == "sum":
+            np.add.at(self.data, rows, values)
+        elif name == "count":
+            np.add.at(self.data, rows, 1)
+        elif name == "min":
+            np.minimum.at(self.data, rows, values)
+        elif name == "max":
+            np.maximum.at(self.data, rows, values)
+        elif name == "product":
+            np.multiply.at(self.data, rows, values)
+        elif name == "any":
+            np.logical_or.at(self.data, rows, values != 0.0)
+        elif name == "all":
+            np.logical_and.at(self.data, rows, values != 0.0)
+        elif name == "mean":
+            np.add.at(self.sums, rows, values)
+            np.add.at(self.counts, rows, 1)
+        np.add.at(self.touch, rows, 1)
+
+    def writeback(self, agents: Sequence[Any]) -> None:
+        """Store combined accumulators into the touched agents' effects."""
+        for row in np.nonzero(self.touch)[0]:
+            agent = agents[int(row)]
+            name = self.combinator
+            if name == "count":
+                value: Any = int(self.data[row])
+            elif name in ("any", "all"):
+                value = bool(self.data[row])
+            elif name == "mean":
+                value = (float(self.sums[row]), int(self.counts[row]))
+            else:
+                value = float(self.data[row])
+            agent._effects[self.field] = value
+            agent._effects_touched.add(self.field)
+
+
+class _VectorFrame:
+    """Runtime state for one kernel execution: columns, locals, pair lists."""
+
+    def __init__(self, table: AgentTable, probe_rows: np.ndarray):
+        self.table = table
+        self.probe_rows = probe_rows
+        self.locals: Dict[str, Any] = {}
+        self.effect_columns: Dict[str, np.ndarray] = {}
+        self.state_fields: set = set()
+        self.context = None
+        self.kernel: Optional[QueryKernel] = None
+        self.probes: List[Any] = []
+        self.accumulators: Dict[str, _Accumulator] = {}
+        self.pair_probe: Optional[np.ndarray] = None
+        self.pair_rows: Optional[np.ndarray] = None
+        self.loopvar: Optional[str] = None
+        self._probe_cache: Dict[str, np.ndarray] = {}
+        self._pair_cache: Dict[str, np.ndarray] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def for_query(cls, kernel: QueryKernel, owned: Sequence[Any], context: Any):
+        canonical = context._canonical_agents()
+        extent = [a for a in canonical if type(a).__name__ == kernel.class_name]
+        try:
+            table = AgentTable(extent, kernel.state_field_names)
+        except UnpackableValueError as exc:
+            raise PlanKernelFallback(str(exc)) from exc
+        try:
+            probe_rows = np.array(
+                [table.row_of(agent) for agent in owned], dtype=np.intp
+            )
+        except KeyError as exc:
+            raise PlanKernelFallback("probe not in extent") from exc
+        frame = cls(table, probe_rows)
+        frame.kernel = kernel
+        frame.context = context
+        frame.probes = list(owned)
+        frame.state_fields = set(kernel.state_field_names)
+        frame.accumulators = {
+            field: _Accumulator(
+                field, combinator, [agent._effects[field] for agent in extent]
+            )
+            for field, combinator in kernel.effect_combinators.items()
+        }
+        return frame
+
+    @classmethod
+    def for_update(cls, table: AgentTable, effect_columns, state_field_names):
+        frame = cls(table, np.arange(len(table), dtype=np.intp))
+        frame.effect_columns = effect_columns
+        frame.state_fields = set(state_field_names)
+        return frame
+
+    # -- spaces --------------------------------------------------------
+    def _length(self, space: str) -> int:
+        if space == "probe":
+            return len(self.probe_rows)
+        return len(self.pair_rows)
+
+    def _promote(self, pair, space_from: str, space_to: str):
+        if space_from == space_to:
+            return pair
+        if space_from == "probe" and space_to == "pair":
+            values, valid = pair
+            return values[self.pair_probe], valid[self.pair_probe]
+        raise PlanKernelFallback("pair-space value escaping its foreach")
+
+    def _state_column(self, name: str, space: str, of_match: bool):
+        if of_match:
+            key = name
+            cached = self._pair_cache.get(key)
+            if cached is None:
+                cached = self.table.column(name)[self.pair_rows]
+                self._pair_cache[key] = cached
+            return cached
+        cached = self._probe_cache.get(name)
+        if cached is None:
+            cached = self.table.column(name)[self.probe_rows]
+            self._probe_cache[name] = cached
+        if space == "pair":
+            return cached[self.pair_probe]
+        return cached
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, expr, space: str):
+        """Evaluate ``expr`` to ``(values, valid)`` float64/bool arrays."""
+        n = self._length(space)
+        if isinstance(expr, NumberLit):
+            return (
+                np.full(n, float(expr.value), dtype=np.float64),
+                np.ones(n, dtype=bool),
+            )
+        if isinstance(expr, BoolLit):
+            return (
+                np.full(n, 1.0 if expr.value else 0.0, dtype=np.float64),
+                np.ones(n, dtype=bool),
+            )
+        if isinstance(expr, Name):
+            return self._eval_name(expr.identifier, space, n)
+        if isinstance(expr, FieldAccess):
+            of_match = expr.target.identifier != "this"
+            values = self._state_column(expr.field_name, space, of_match)
+            return values, np.ones(n, dtype=bool)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, space, n)
+        if isinstance(expr, UnaryOp):
+            values, valid = self.eval(expr.operand, space)
+            if expr.operator == "-":
+                return -values, valid
+            return np.where(values != 0.0, 0.0, 1.0), valid
+        if isinstance(expr, Conditional):
+            cond, cond_valid = self.eval(expr.condition, space)
+            then_v, then_valid = self.eval(expr.then_expr, space)
+            else_v, else_valid = self.eval(expr.else_expr, space)
+            truthy = cond != 0.0
+            return (
+                np.where(truthy, then_v, else_v),
+                cond_valid & np.where(truthy, then_valid, else_valid),
+            )
+        if isinstance(expr, Call):
+            return self._eval_call(expr, space, n)
+        raise PlanKernelFallback(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_name(self, name: str, space: str, n: int):
+        entry = self.locals.get(name)
+        if entry is _POISON:
+            raise PlanKernelFallback(f"read of loop-scoped local {name!r}")
+        if entry is not None:
+            values, valid, stored_space = entry
+            return self._promote((values, valid), stored_space, space)
+        if name in self.state_fields:
+            return self._state_column(name, space, of_match=False), np.ones(n, dtype=bool)
+        column = self.effect_columns.get(name)
+        if column is not None:
+            return column, np.ones(n, dtype=bool)
+        raise PlanKernelFallback(f"unresolvable name {name!r}")
+
+    def _eval_binary(self, expr: BinaryOp, space: str, n: int):
+        operator = expr.operator
+        left, left_valid = self.eval(expr.left, space)
+        right, right_valid = self.eval(expr.right, space)
+        with np.errstate(all="ignore"):
+            if operator == "+":
+                return left + right, left_valid & right_valid
+            if operator == "-":
+                return left - right, left_valid & right_valid
+            if operator == "*":
+                return left * right, left_valid & right_valid
+            if operator == "/":
+                valid = left_valid & right_valid & (right != 0.0)
+                values = left / np.where(right == 0.0, 1.0, right)
+                return values, valid
+            if operator == "%":
+                # CPython's float modulo (fmod + sign correction) is the
+                # reference; evaluate it lane by lane to stay exact.
+                valid = left_valid & right_valid & (right != 0.0)
+                values = np.zeros(n, dtype=np.float64)
+                for lane in np.nonzero(valid)[0]:
+                    values[lane] = float(left[lane]) % float(right[lane])
+                return values, valid
+            if operator == "&&":
+                left_truthy = left != 0.0
+                values = np.where(left_truthy, (right != 0.0).astype(np.float64), 0.0)
+                valid = left_valid & (~left_truthy | right_valid)
+                return values, valid
+            if operator == "||":
+                left_truthy = left != 0.0
+                values = np.where(left_truthy, 1.0, (right != 0.0).astype(np.float64))
+                valid = left_valid & (left_truthy | right_valid)
+                return values, valid
+            comparison = {
+                "==": np.equal,
+                "!=": np.not_equal,
+                "<": np.less,
+                ">": np.greater,
+                "<=": np.less_equal,
+                ">=": np.greater_equal,
+            }.get(operator)
+            if comparison is None:
+                raise PlanKernelFallback(f"operator {operator!r}")
+            return (
+                comparison(left, right).astype(np.float64),
+                left_valid & right_valid,
+            )
+
+    def _eval_call(self, expr: Call, space: str, n: int):
+        evaluated = [self.eval(argument, space) for argument in expr.arguments]
+        values = [pair[0] for pair in evaluated]
+        valid = np.ones(n, dtype=bool)
+        for pair in evaluated:
+            valid = valid & pair[1]
+        function = expr.function
+        with np.errstate(all="ignore"):
+            if function == "abs":
+                return np.abs(values[0]), valid
+            if function in ("min", "max"):
+                # Python fold semantics: candidate replaces the running
+                # value only on a strict comparison win (NaN never wins).
+                accumulator = values[0]
+                for candidate in values[1:]:
+                    if function == "min":
+                        accumulator = np.where(
+                            candidate < accumulator, candidate, accumulator
+                        )
+                    else:
+                        accumulator = np.where(
+                            candidate > accumulator, candidate, accumulator
+                        )
+                return accumulator, valid
+            if function == "sqrt":
+                argument = values[0]
+                negative = argument < 0.0
+                return np.sqrt(np.where(negative, 0.0, argument)), valid & ~negative
+            if function in ("floor", "ceil"):
+                argument = values[0]
+                finite = np.isfinite(argument)
+                rounded = (np.floor if function == "floor" else np.ceil)(
+                    np.where(finite, argument, 0.0)
+                )
+                return rounded, valid & finite
+            if function == "sign":
+                argument = values[0]
+                return (
+                    np.where(argument > 0.0, 1.0, np.where(argument < 0.0, -1.0, 0.0)),
+                    valid,
+                )
+            if function in _LANE_CALLS:
+                reference = BUILTIN_FUNCTIONS[function]
+                out = np.zeros(n, dtype=np.float64)
+                ok = valid.copy()
+                for lane in np.nonzero(valid)[0]:
+                    try:
+                        out[lane] = reference(
+                            *(float(column[lane]) for column in values)
+                        )
+                    except (ValueError, OverflowError):
+                        ok[lane] = False
+                return out, ok
+        raise PlanKernelFallback(f"call to {function!r}")
+
+    # -- statement execution -------------------------------------------
+    def exec_block(self, statements, mask: np.ndarray, space: str) -> None:
+        for statement in statements:
+            self.exec_statement(statement, mask, space)
+
+    def exec_statement(self, statement, mask: np.ndarray, space: str) -> None:
+        if isinstance(statement, Block):
+            self.exec_block(statement.statements, mask, space)
+        elif isinstance(statement, LocalDecl):
+            values, valid = self.eval(statement.initializer, space)
+            self.locals[statement.name] = (values, valid, space)
+        elif isinstance(statement, Assign):
+            new_values, new_valid = self.eval(statement.value, space)
+            entry = self.locals.get(statement.name)
+            if entry is None or entry is _POISON:
+                raise PlanKernelFallback(f"assignment to {statement.name!r}")
+            old_values, old_valid, stored_space = entry
+            self.locals[statement.name] = (
+                np.where(mask, new_values, old_values),
+                np.where(mask, new_valid, old_valid),
+                space,
+            )
+        elif isinstance(statement, EffectAssign):
+            values, valid = self.eval(statement.value, space)
+            lanes = mask & valid
+            if _target_kind(statement, self.loopvar) == "loopvar":
+                rows = self.pair_rows
+            elif space == "pair":
+                rows = self.probe_rows[self.pair_probe]
+            else:
+                rows = self.probe_rows
+            accumulator = self.accumulators[statement.field_name]
+            accumulator.scatter(rows[lanes], values[lanes])
+        elif isinstance(statement, If):
+            cond, cond_valid = self.eval(statement.condition, space)
+            taken = cond_valid & (cond != 0.0)
+            self.exec_block(statement.then_block.statements, mask & taken, space)
+            if statement.else_block is not None:
+                self.exec_block(statement.else_block.statements, mask & ~taken, space)
+        elif isinstance(statement, ForEach):
+            self._exec_foreach(statement, mask)
+        elif isinstance(statement, ExprStmt):
+            pass  # provably pure: no effects, no work accounting, no rand
+        else:
+            raise PlanKernelFallback(f"statement {type(statement).__name__}")
+
+    def _exec_foreach(self, statement: ForEach, mask: np.ndarray) -> None:
+        # Resolve the extent per active probe through the same public
+        # context API the interpreter uses: identical matches, identical
+        # work accounting, canonical (ascending) match order.
+        pair_probe: List[int] = []
+        pair_rows: List[int] = []
+        row_of = self.table.row_of
+        class_name = self.kernel.class_name
+        for index in np.nonzero(mask)[0]:
+            agent = self.probes[int(index)]
+            for match in self.context.visible(agent):
+                if type(match).__name__ == class_name:
+                    pair_probe.append(int(index))
+                    pair_rows.append(row_of(match))
+        saved_locals = dict(self.locals)
+        self.pair_probe = np.array(pair_probe, dtype=np.intp)
+        self.pair_rows = np.array(pair_rows, dtype=np.intp)
+        self.loopvar = statement.variable
+        self._pair_cache = {}
+        pair_mask = np.ones(len(pair_rows), dtype=bool)
+        self.exec_block(statement.body.statements, pair_mask, "pair")
+        # Locals declared (or re-declared) inside the loop held the last
+        # iteration's scalar in the interpreter; no single vector
+        # represents that, so reads after the loop fall back.
+        restored: Dict[str, Any] = {}
+        for name, entry in self.locals.items():
+            if entry is _POISON or entry[2] == "pair":
+                previous = saved_locals.get(name, _POISON)
+                if previous is _POISON or previous[2] == "pair":
+                    restored[name] = _POISON
+                else:
+                    restored[name] = previous
+            else:
+                restored[name] = entry
+        self.locals = restored
+        self.pair_probe = None
+        self.pair_rows = None
+        self.loopvar = None
+        self._pair_cache = {}
+
+    # -- writeback ------------------------------------------------------
+    def writeback_effects(self) -> None:
+        """Flush accumulators into the extent agents' effect dicts."""
+        agents = self.table.agents
+        for field in self.kernel.effect_combinators:
+            self.accumulators[field].writeback(agents)
+
+
+# ----------------------------------------------------------------------
+# Kernel construction and caching
+# ----------------------------------------------------------------------
+def build_query_kernel(
+    class_decl: ClassDecl, info: ScriptInfo, restrict_to_visible: bool = True
+) -> Optional[QueryKernel]:
+    """Compile the class's ``run()`` body, or ``None`` if unprovable."""
+    run_method = class_decl.run_method()
+    if run_method is None or not info.has_run_method:
+        return None
+    if info.uses_rand_in_query:
+        return None
+    body = run_method.body
+    uses_foreach = any(isinstance(stmt, ForEach) for stmt in _all_statements(body))
+    if uses_foreach and not (info.has_bounded_visibility and restrict_to_visible):
+        return None
+    try:
+        _validate_query_body(body, info)
+    except _Unsupported:
+        return None
+    return QueryKernel(info.class_name, body, info)
+
+
+def build_update_kernel(class_decl: ClassDecl, info: ScriptInfo) -> Optional[UpdateKernel]:
+    """Compile the class's update rules, or ``None`` if unprovable."""
+    if info.uses_rand_in_update:
+        return None
+    rules = []
+    readable = {
+        name
+        for name, combinator in info.effect_combinators.items()
+        if combinator != "collect"
+    }
+    checker = _ExprChecker(
+        value_names=set(info.state_field_names) | readable,
+        agent_names=set(),
+        state_fields=set(),
+    )
+    for field_decl in class_decl.state_fields():
+        if field_decl.update_rule is None:
+            continue
+        try:
+            checker.check(field_decl.update_rule)
+        except _Unsupported:
+            return None
+        rules.append((field_decl.name, field_decl.update_rule))
+    if not rules:
+        return None
+    return UpdateKernel(info.class_name, rules, info)
+
+
+def _all_statements(block: Block):
+    stack = list(block.statements)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, Block):
+            stack.extend(stmt.statements)
+        elif isinstance(stmt, If):
+            stack.extend(stmt.then_block.statements)
+            if stmt.else_block is not None:
+                stack.extend(stmt.else_block.statements)
+        elif isinstance(stmt, ForEach):
+            stack.extend(stmt.body.statements)
+
+
+def kernels_for_class(cls) -> Tuple[Optional[QueryKernel], Optional[UpdateKernel]]:
+    """The class's (query, update) kernels, compiled once and cached.
+
+    Non-BRASIL classes (no ``_class_decl``) get ``(None, None)``: the
+    interpreted path is the only semantics for hand-written agents.  The
+    cache lives on the class object itself, so worker processes that
+    rebuild compiled classes from :class:`AgentClassSpec` recompile
+    lazily on first use.
+    """
+    cached = cls.__dict__.get("_plan_kernels")
+    if cached is not None:
+        return cached
+    class_decl = getattr(cls, "_class_decl", None)
+    info = getattr(cls, "_script_info", None)
+    if class_decl is None or info is None:
+        kernels: Tuple[Optional[QueryKernel], Optional[UpdateKernel]] = (None, None)
+    else:
+        restrict = getattr(cls, "_restrict_to_visible", True)
+        kernels = (
+            build_query_kernel(class_decl, info, restrict),
+            build_update_kernel(class_decl, info),
+        )
+    cls._plan_kernels = kernels
+    return kernels
+
+
+def resolve_plan_backend(plan_backend: Optional[str], agent_classes) -> str:
+    """The backend a run with this knob actually attempts.
+
+    Mirrors :func:`repro.core.context.resolve_spatial_backend` for the
+    provenance record: an explicit knob wins; ``None`` (automatic) means
+    "compiled wherever a kernel exists", which resolves to ``compiled``
+    when at least one class compiled and ``interpreted`` otherwise.
+    """
+    if plan_backend in ("interpreted", "compiled"):
+        return plan_backend
+    classes = list(agent_classes)
+    if classes and any(kernels_for_class(cls) != (None, None) for cls in classes):
+        return "compiled"
+    return "interpreted"
+
+
+# ----------------------------------------------------------------------
+# Phase-level entry points (called by the worker layer)
+# ----------------------------------------------------------------------
+def try_compiled_query_phase(owned: Sequence[Any], context: Any) -> bool:
+    """Run the whole query phase compiled; ``False`` means "not executed".
+
+    All-or-nothing per worker: every owned agent must share one compiled
+    class, otherwise the caller's interpreted loop runs instead.  On a
+    runtime fallback the context's work accounting is restored so the
+    interpreted rerun charges exactly once.
+    """
+    if not owned:
+        return False
+    cls = type(owned[0])
+    if any(type(agent) is not cls for agent in owned):
+        return False
+    kernel = kernels_for_class(cls)[0]
+    if kernel is None:
+        return False
+    saved_work = (context.work_units, context.index_probes)
+    try:
+        kernel.run(owned, context)
+        return True
+    except PlanKernelFallback:
+        context.work_units, context.index_probes = saved_work
+        return False
+
+
+def try_compiled_update_phase(owned: Sequence[Any], context: Any) -> List[Any]:
+    """Run compiled update kernels; return the agents still needing the
+    interpreted loop, in their original (canonical) order."""
+    interpreted_classes = set()
+    groups: Dict[type, List[Any]] = {}
+    for agent in owned:
+        groups.setdefault(type(agent), []).append(agent)
+    for cls, agents in groups.items():
+        kernel = kernels_for_class(cls)[1]
+        if kernel is None:
+            interpreted_classes.add(cls)
+            continue
+        try:
+            kernel.run(agents, context)
+        except PlanKernelFallback:
+            interpreted_classes.add(cls)
+    if not interpreted_classes:
+        return []
+    return [agent for agent in owned if type(agent) in interpreted_classes]

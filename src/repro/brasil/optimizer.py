@@ -44,6 +44,7 @@ from repro.brasil.algebra import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.brasil.ast_nodes import ClassDecl
     from repro.brasil.semantics import ScriptInfo
 
 
@@ -121,6 +122,65 @@ def select_index(info: "ScriptInfo") -> IndexSelection:
             f"{sorted(set(radii))}: a k-d tree range query handles "
             "per-dimension bounds without committing to one grid cell size"
         ),
+    )
+
+
+@dataclass(frozen=True)
+class PlanSelection:
+    """Which phases of a script the plan compiler proved kernel-compilable.
+
+    Advisory (it does not pin ``BraceConfig.plan_backend``): the runtime
+    re-derives kernel feasibility per agent class from the same proof, so
+    the selection merely *reports* what ``plan_backend=None`` will do for
+    this script.  ``reason`` records why, mirroring :class:`IndexSelection`.
+    """
+
+    query_compiled: bool
+    update_compiled: bool
+    reason: str
+
+
+def select_plan(
+    class_decl: "ClassDecl", info: "ScriptInfo", restrict_to_visible: bool = True
+) -> PlanSelection:
+    """Decide which phases compile to whole-phase columnar kernels.
+
+    Feasibility comes from :func:`repro.brasil.translate.translate_plan_kernels`
+    — a phase is compilable exactly when a kernel provably bit-identical to
+    the interpreter exists for it.
+    """
+    from repro.brasil.translate import translate_plan_kernels
+
+    query_kernel, update_kernel = translate_plan_kernels(
+        class_decl, info, restrict_to_visible=restrict_to_visible
+    )
+    if query_kernel is not None and update_kernel is not None:
+        reason = (
+            "both phases are inside the provable subset: effect aggregation "
+            "runs as scatter-reductions over the spatial join's match lists, "
+            "update rules as column math over a structure-of-arrays snapshot"
+        )
+    elif query_kernel is not None:
+        reason = (
+            "query phase compiles to a scatter-reduction kernel; the update "
+            "rules use a construct outside the provable subset and stay "
+            "interpreted"
+        )
+    elif update_kernel is not None:
+        reason = (
+            "update rules compile to columnar math; the query phase uses a "
+            "construct outside the provable subset (rand(), nested foreach, "
+            "loop-carried locals or unbounded visibility) and stays interpreted"
+        )
+    else:
+        reason = (
+            "neither phase is inside the provable subset; the interpreter "
+            "(the path covering the whole language) executes both"
+        )
+    return PlanSelection(
+        query_compiled=query_kernel is not None,
+        update_compiled=update_kernel is not None,
+        reason=reason,
     )
 
 

@@ -291,6 +291,35 @@ def translate_query(declaration: ClassDecl, info: ScriptInfo | None = None) -> A
     return QueryTranslator(declaration, info).translate()
 
 
+def translate_plan_kernels(
+    declaration: ClassDecl,
+    info: ScriptInfo | None = None,
+    restrict_to_visible: bool = True,
+) -> tuple[Any, Any]:
+    """Translate both phases into whole-phase columnar kernels, where provable.
+
+    This is the batched counterpart of :func:`translate_query`: instead of an
+    algebra plan evaluated tuple-at-a-time, the query phase becomes one
+    :class:`~repro.brasil.kernels.QueryKernel` (effect aggregation as
+    ``np.ufunc.at`` scatter-reductions over the spatial join's match lists)
+    and the update rules become one
+    :class:`~repro.brasil.kernels.UpdateKernel` (column math over a
+    structure-of-arrays snapshot).  Either slot is ``None`` when that phase
+    uses a construct whose kernel cannot be *proven* bit-identical to the
+    interpreter — ``rand()``, nested ``foreach``, loop-carried locals,
+    ``collect`` effects — in which case the runtime keeps the interpreted
+    path for it.
+    """
+    from repro.brasil.kernels import build_query_kernel, build_update_kernel
+
+    if info is None:
+        info = analyze_class(declaration)
+    return (
+        build_query_kernel(declaration, info, restrict_to_visible=restrict_to_visible),
+        build_update_kernel(declaration, info),
+    )
+
+
 # ----------------------------------------------------------------------
 # Executor-ready plan evaluation
 # ----------------------------------------------------------------------

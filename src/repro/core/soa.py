@@ -1,0 +1,161 @@
+"""Structure-of-arrays (SoA) packing for per-shard agent state.
+
+The interpreted runtime stores agent state as one ``dict`` per agent object
+(:class:`~repro.core.agent.Agent`).  The columnar plan kernels
+(:mod:`repro.brasil.kernels`) instead want each numeric field of a class as
+one contiguous NumPy column so a whole query or update phase becomes a
+handful of array operations.  :class:`AgentTable` is the bridge: it packs
+one class's agents — in the same canonical order the
+:class:`~repro.spatial.columnar.PointSet` snapshot harvested by
+``Worker.distribute`` uses — into ``float64`` columns, and writes dirty
+columns back to the owning objects afterwards.
+
+Bit-identity is the contract, so packing is conservative:
+
+* ``float`` values pass through exactly (they already are IEEE doubles);
+* ``bool`` packs as 0.0/1.0 and ``int`` packs as its exact ``float64``
+  value **only** when the round-trip is lossless (|v| ≤ 2**53 in effect);
+* anything else — strings, tuples, ``None``, or an integer a double cannot
+  represent (the "far-origin position" overflow case) — raises
+  :class:`UnpackableValueError` so the caller falls back to the
+  interpreted per-object path instead of silently corrupting state.
+
+Writeback is keyed by the *object references* captured at pack time, not by
+row position in some later list, so agents born or killed between pack and
+writeback cannot shift rows: new agents are simply not in the table, and
+rows whose agents left the world write to an unreferenced ``_state`` dict,
+which is harmless.  A cell whose packed value never changed writes the
+*original* Python object back (same type, same NaN payload), making a
+pack → writeback round-trip bit-identical to not packing at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+class UnpackableValueError(ValueError):
+    """A field value cannot be packed into a ``float64`` column losslessly."""
+
+
+def pack_value(value) -> float:
+    """Return ``value`` as an exact ``float64``, or raise.
+
+    Accepts floats (verbatim, NaN/inf included), bools (0.0/1.0) and ints
+    that survive an exact ``int → float → int`` round trip.  Everything
+    else raises :class:`UnpackableValueError`.
+    """
+    if type(value) is float:
+        return value
+    if type(value) is bool:
+        return 1.0 if value else 0.0
+    if type(value) is int:
+        try:
+            as_float = float(value)
+        except OverflowError as exc:
+            raise UnpackableValueError(f"int too large for float64: {value!r}") from exc
+        if math.isinf(as_float) or int(as_float) != value:
+            raise UnpackableValueError(
+                f"int does not round-trip through float64: {value!r}"
+            )
+        return as_float
+    raise UnpackableValueError(f"cannot pack {type(value).__name__} value {value!r}")
+
+
+def pack_column(values: Iterable) -> np.ndarray:
+    """Pack a sequence of field values into one ``float64`` column."""
+    return np.array([pack_value(value) for value in values], dtype=np.float64)
+
+
+def _cells_equal(a: float, b: float) -> bool:
+    """Exact cell equality: same double, NaN equal to NaN, -0.0 != 0.0."""
+    if math.isnan(a):
+        return math.isnan(b)
+    return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+
+
+class AgentTable:
+    """Columnar (structure-of-arrays) view over one class's agents.
+
+    ``agents`` must all be instances of the same agent class and should be
+    supplied in canonical order (``sorted(key=agent_sort_key)``) so rows
+    line up with the worker's ``PointSet`` snapshot.  ``field_names``
+    defaults to every declared state field of the class, in declaration
+    order — the same order ``position()`` uses for spatial fields.
+    """
+
+    def __init__(self, agents: Sequence, field_names: Sequence[str] | None = None):
+        self.agents: List = list(agents)
+        if field_names is None:
+            if self.agents:
+                field_names = list(type(self.agents[0])._state_fields)
+            else:
+                field_names = []
+        self.field_names: List[str] = list(field_names)
+        self._row_of: Dict[int, int] = {id(a): i for i, a in enumerate(self.agents)}
+        self._columns: Dict[str, np.ndarray] = {}
+        self._originals: Dict[str, list] = {}
+        self._packed_originals: Dict[str, np.ndarray] = {}
+        self._dirty: set = set()
+        for name in self.field_names:
+            originals = [agent._state[name] for agent in self.agents]
+            packed = pack_column(originals)
+            self._columns[name] = packed
+            self._originals[name] = originals
+            self._packed_originals[name] = packed.copy()
+
+    def __len__(self) -> int:
+        return len(self.agents)
+
+    def row_of(self, agent) -> int:
+        """Row index of ``agent`` (by object identity)."""
+        return self._row_of[id(agent)]
+
+    def column(self, name: str) -> np.ndarray:
+        """The packed ``float64`` column for state field ``name``."""
+        return self._columns[name]
+
+    def set_column(self, name: str, values: np.ndarray) -> None:
+        """Replace a column and mark it dirty for :meth:`writeback`."""
+        column = np.asarray(values, dtype=np.float64)
+        if column.shape != (len(self.agents),):
+            raise ValueError(
+                f"column {name!r} has shape {column.shape}, "
+                f"expected ({len(self.agents)},)"
+            )
+        self._columns[name] = column
+        self._dirty.add(name)
+
+    def mark_dirty(self, name: str) -> None:
+        """Mark a column mutated in place as needing :meth:`writeback`."""
+        if name not in self._columns:
+            raise KeyError(name)
+        self._dirty.add(name)
+
+    @property
+    def dirty_fields(self) -> frozenset:
+        """The set of columns that will be written back."""
+        return frozenset(self._dirty)
+
+    def writeback(self) -> None:
+        """Write dirty columns back into the agents' ``_state`` dicts.
+
+        Cells whose packed value is unchanged restore the original Python
+        object (preserving its type and, for NaN, its identity); changed
+        cells are written as Python floats — matching what the interpreted
+        update path stores for computed values.
+        """
+        for name in sorted(self._dirty):
+            column = self._columns[name]
+            originals = self._originals[name]
+            packed_originals = self._packed_originals[name]
+            for row, agent in enumerate(self.agents):
+                new = float(column[row])
+                if _cells_equal(new, float(packed_originals[row])):
+                    agent._state[name] = originals[row]
+                else:
+                    agent._state[name] = new
+        self._dirty.clear()

@@ -51,10 +51,18 @@ class TestConstruction:
             Simulation(build_ring_world(2, 0), "nonsense")
 
 
+# One full deterministic run serves every test that only *reads* its
+# RunResult (populated-result shape, resolved-provenance assertions) —
+# lifecycle tests that need their own session keep building one.
+@pytest.fixture(scope="module")
+def full_run_result():
+    with agent_session() as sim:
+        return sim.run(TICKS)
+
+
 class TestLifecycle:
-    def test_run_returns_populated_result(self):
-        with agent_session() as sim:
-            result = sim.run(TICKS)
+    def test_run_returns_populated_result(self, full_run_result):
+        result = full_run_result
         assert isinstance(result, RunResult)
         assert result.ticks == TICKS
         assert result.num_agents == NUM_CARS
@@ -258,14 +266,16 @@ class TestProvenanceRoundTrip:
     any automatic default: every knob the runtime resolved (seed, shard
     residency, spatial backend) is recorded as the concrete choice that ran."""
 
-    def test_automatic_knobs_are_recorded_resolved(self):
-        with agent_session() as sim:
-            result = sim.run(3)
+    def test_automatic_knobs_are_recorded_resolved(self, full_run_result):
+        result = full_run_result
         config = result.provenance.config
         # The session never set these; the defaults are None/auto — the
         # provenance must hold what actually executed instead.
         assert config.spatial_backend in ("python", "vectorized")
         assert config.resident_shards in (True, False)
+        # Hand-written RingCar has no plan kernels: auto resolves to the
+        # interpreter, and the provenance records that concrete choice.
+        assert config.plan_backend == "interpreted"
         assert config.seed == result.provenance.seed
 
     def test_resolution_matches_the_runtime(self):

@@ -1,0 +1,224 @@
+"""Bit-identical world states across plan backends.
+
+The plan kernels (:mod:`repro.brasil.kernels`) are an *execution* strategy,
+never a semantic one: ``plan_backend="interpreted"`` and ``"compiled"`` must
+produce exactly the same agent states — on every executor, under both
+spatial backends, with resident shards on and off, for both the fish-school
+and ring-traffic BRASIL workloads, through dynamic populations and across a
+pause/resume boundary.  This is the conformance matrix backing the
+``plan_backend`` knob's "only trades speed" promise.
+"""
+
+import pytest
+
+from repro.api import Simulation
+from repro.brace.config import BraceConfig
+from repro.brasil import compile_script, run_script
+from repro.core.agent import Agent
+from repro.core.errors import BraceError
+from repro.core.fields import StateField
+from repro.simulations.predator.brasil_scripts import FISH_SCHOOL_SCRIPT
+from repro.simulations.traffic.brasil_scripts import TRAFFIC_SCRIPT
+
+TICKS = 4
+NUM_AGENTS = 100
+SCRIPTS = {"fish": FISH_SCHOOL_SCRIPT, "traffic": TRAFFIC_SCRIPT}
+
+SPATIAL_BACKENDS = ("python", "vectorized")
+PLAN_BACKENDS = ("interpreted", "compiled")
+RESIDENCY = (False, True)
+
+
+def run_cell(workload, executor, spatial, plan, resident):
+    config = BraceConfig(
+        num_workers=3,
+        executor=executor,
+        spatial_backend=spatial,
+        plan_backend=plan,
+        resident_shards=resident,
+        ticks_per_epoch=2,
+    )
+    result = run_script(
+        SCRIPTS[workload], config, num_agents=NUM_AGENTS, ticks=TICKS, seed=5
+    )
+    return result.final_states()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    # The reference cell every other combination must reproduce exactly.
+    return {
+        workload: run_cell(workload, "serial", "python", "interpreted", False)
+        for workload in SCRIPTS
+    }
+
+
+class TestPlanBackendMatrix:
+    @pytest.mark.parametrize("workload", sorted(SCRIPTS))
+    @pytest.mark.parametrize("spatial", SPATIAL_BACKENDS)
+    @pytest.mark.parametrize("plan", PLAN_BACKENDS)
+    @pytest.mark.parametrize("resident", RESIDENCY)
+    def test_serial_matrix_bit_identical(self, baseline, workload, spatial, plan, resident):
+        states = run_cell(workload, "serial", spatial, plan, resident)
+        assert states == baseline[workload]
+
+    @pytest.mark.parametrize("workload", sorted(SCRIPTS))
+    def test_process_compiled_matches_serial_interpreted(self, baseline, workload):
+        states = run_cell(workload, "process", "vectorized", "compiled", True)
+        assert states == baseline[workload]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workload", sorted(SCRIPTS))
+    @pytest.mark.parametrize("spatial", SPATIAL_BACKENDS)
+    @pytest.mark.parametrize("plan", PLAN_BACKENDS)
+    @pytest.mark.parametrize("resident", RESIDENCY)
+    def test_process_matrix_bit_identical(self, baseline, workload, spatial, plan, resident):
+        states = run_cell(workload, "process", spatial, plan, resident)
+        assert states == baseline[workload]
+
+    @pytest.mark.parametrize("workload", sorted(SCRIPTS))
+    def test_auto_matches_forced_backends(self, baseline, workload):
+        # plan_backend=None attempts kernels wherever they exist, so for
+        # these fully-compilable scripts it must equal both forced choices.
+        states = run_cell(workload, "serial", "vectorized", None, False)
+        assert states == baseline[workload]
+
+    def test_workloads_actually_compile(self):
+        # Non-vacuity: both matrix workloads exercise real kernels.
+        for workload, source in SCRIPTS.items():
+            selection = compile_script(source).plan_selection
+            assert selection.query_compiled, workload
+            assert selection.update_compiled, workload
+
+
+# ---------------------------------------------------------------------------
+# Dynamic populations: births and deaths while kernels execute
+# ---------------------------------------------------------------------------
+
+_CRITTER_SCRIPT = """
+class Critter {
+    public state float x : (x + min(max(w, 0 - 0.5), 0.5)); #visibility[2];
+    public state float y : (y - min(max(w, 0 - 0.5), 0.5)); #visibility[2];
+    public state float w : (cnt > 0) ? (w + acc / cnt) * 0.5 : w;
+    private effect float acc : sum;
+    private effect int cnt : count;
+    public void run() {
+        foreach (Critter p : Extent<Critter>) {
+            acc <- (x - p.x) + (y - p.y);
+            cnt <- 1;
+        }
+    }
+}
+"""
+
+_CRITTER = compile_script(_CRITTER_SCRIPT)
+
+
+class Drone(Agent):
+    """Hand-written spawner: births compiled Critters, then dies.
+
+    Lives alongside the compiled class so the update phase runs its kernel
+    over a population that grows and shrinks mid-run.
+    """
+
+    x = StateField(default=0.0, spatial=True, visibility=2.0)
+    y = StateField(default=0.0, spatial=True, visibility=2.0)
+    age = StateField(default=0.0)
+
+    def query(self, ctx) -> None:
+        pass
+
+    def update(self, ctx) -> None:
+        self.age = self.age + 1.0
+        if self.age <= 3.0:
+            child = _CRITTER.make_agent(
+                x=self.x + 0.25 * self.age, y=self.y - 0.25 * self.age, w=0.125
+            )
+            ctx.spawn(self, child)
+        if self.age >= 4.0:
+            ctx.kill(self)
+
+
+def _run_dynamic(plan_backend):
+    from repro.brace.runtime import BraceRuntime
+    from repro.core.world import World
+    from repro.spatial.bbox import BBox
+
+    world = World(bounds=BBox(((-20.0, 20.0), (-20.0, 20.0))), seed=3)
+    for i in range(24):
+        world.add_agent(_CRITTER.make_agent(x=float(i) - 12.0, y=float(i % 5) - 2.0))
+    for i in range(4):
+        world.add_agent(Drone(x=4.0 * i - 8.0, y=2.0 * i - 3.0))
+    config = BraceConfig(num_workers=3, plan_backend=plan_backend, ticks_per_epoch=2)
+    with BraceRuntime(world, config) as runtime:
+        runtime.run(6)
+    states = {agent.agent_id: agent.state_dict() for agent in world.agents()}
+    return states, world.agent_count()
+
+
+class TestDynamicPopulation:
+    def test_births_and_deaths_bit_identical(self):
+        interpreted, interp_count = _run_dynamic("interpreted")
+        compiled, compiled_count = _run_dynamic("compiled")
+        assert compiled == interpreted
+        assert compiled_count == interp_count
+        # Non-vacuity: the population actually changed (drones died after
+        # spawning three critters each).
+        assert interp_count == 24 + 4 * 3
+
+
+# ---------------------------------------------------------------------------
+# Pause/resume boundary
+# ---------------------------------------------------------------------------
+
+
+class TestPauseResumeBoundary:
+    def test_compiled_run_survives_pause_resume(self):
+        def split_run(plan_backend):
+            session = Simulation.from_script(
+                FISH_SCHOOL_SCRIPT, num_agents=80, seed=9
+            ).with_workers(3).with_plan_backend(plan_backend)
+            with session:
+                session.run(2)
+                session.pause()
+                session.resume()
+                result = session.run(2)
+            return result.final_states
+
+        straight = Simulation.from_script(
+            FISH_SCHOOL_SCRIPT, num_agents=80, seed=9
+        ).with_workers(3).with_plan_backend("interpreted")
+        with straight:
+            reference = straight.run(TICKS).final_states
+
+        assert split_run("compiled") == reference
+        assert split_run("interpreted") == reference
+
+
+# ---------------------------------------------------------------------------
+# Configuration surface and provenance
+# ---------------------------------------------------------------------------
+
+
+class TestConfigSurface:
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(BraceError, match="plan backend"):
+            BraceConfig(plan_backend="jit").validate()
+
+    def test_builder_rejects_unknown_backend(self):
+        session = Simulation.from_script(FISH_SCHOOL_SCRIPT, num_agents=10, seed=1)
+        with pytest.raises(BraceError, match="plan backend"):
+            session.with_plan_backend("jit")
+
+    def test_builder_accepts_and_round_trips_backend(self):
+        session = Simulation.from_script(
+            FISH_SCHOOL_SCRIPT, num_agents=10, seed=1
+        ).with_plan_backend("compiled")
+        assert session._builder.build().plan_backend == "compiled"
+
+    def test_provenance_records_resolved_backend(self):
+        with Simulation.from_script(FISH_SCHOOL_SCRIPT, num_agents=20, seed=2) as sim:
+            result = sim.run(2)
+        # Automatic selection resolved to "compiled" for a fully-compilable
+        # script, and the provenance pins the resolved choice (PR 6 style).
+        assert result.provenance.config.plan_backend == "compiled"

@@ -19,7 +19,7 @@ from repro.spatial.bbox import BBox
 
 DOCS = Path(__file__).resolve().parents[2] / "docs"
 BRASIL_DOC = DOCS / "brasil.md"
-EXECUTED_DOCS = ("runtime.md", "spatial.md", "api.md", "history.md")
+EXECUTED_DOCS = ("runtime.md", "spatial.md", "api.md", "history.md", "brasil.md")
 
 
 def doc_scripts():

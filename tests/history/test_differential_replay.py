@@ -88,17 +88,41 @@ MATRIX = [
 ]
 
 
+# Every matrix cell compares against the same deterministic serial
+# reference, so compute it once per workload instead of once per cell.
+@pytest.fixture(scope="module")
+def cached_references():
+    cache = {}
+
+    def get(workload):
+        if workload not in cache:
+            cache[workload] = reference_states(WORLDS[workload], TICKS)
+        return cache[workload]
+
+    return get
+
+
+# The serial/auto/in-place recording is read-only for its consumers, so one
+# recording per workload serves every test that replays it.
+@pytest.fixture(scope="module", params=sorted(WORLDS))
+def serial_recording(request, tmp_path_factory):
+    workload = request.param
+    path = tmp_path_factory.mktemp(f"replay-{workload}") / "run"
+    record_run(WORLDS[workload], path, executor="serial", backend=None, resident=False)
+    return workload, History.open(path)
+
+
 @pytest.mark.parametrize("workload", sorted(WORLDS))
 @pytest.mark.parametrize("executor,backend,resident", MATRIX)
 def test_state_at_matches_fresh_run_across_backends(
-    tmp_path, workload, executor, backend, resident
+    tmp_path, cached_references, workload, executor, backend, resident
 ):
     """Every recorded tick replays bit-identically, on every combination."""
     path = tmp_path / "run"
     record_run(
         WORLDS[workload], path, executor=executor, backend=backend, resident=resident
     )
-    reference = reference_states(WORLDS[workload], TICKS)
+    reference = cached_references(workload)
     history = History.open(path)
 
     assert history.base_tick == 0
@@ -110,24 +134,18 @@ def test_state_at_matches_fresh_run_across_backends(
         )
 
 
-@pytest.mark.parametrize("workload", sorted(WORLDS))
-def test_walk_matches_state_at(tmp_path, workload):
+def test_walk_matches_state_at(serial_recording):
     """Sequential replay and per-tick replay reconstruct the same states."""
-    path = tmp_path / "run"
-    record_run(WORLDS[workload], path, executor="serial", backend=None, resident=False)
-    history = History.open(path)
+    _, history = serial_recording
     walked = dict(history.walk())
     assert sorted(walked) == list(range(TICKS + 1))
     for tick, states in walked.items():
         assert states == history.state_at(tick)
 
 
-@pytest.mark.parametrize("workload", sorted(WORLDS))
-def test_state_at_equals_literally_truncated_fresh_runs(tmp_path, workload):
+def test_state_at_equals_literally_truncated_fresh_runs(serial_recording):
     """The acceptance criterion verbatim: state_at(t) == a run stopped at t."""
-    path = tmp_path / "run"
-    record_run(WORLDS[workload], path, executor="serial", backend=None, resident=False)
-    history = History.open(path)
+    workload, history = serial_recording
     for tick in (0, 3, PAUSE_AT, 7, TICKS):
         fresh = Simulation.from_agents(WORLDS[workload]())
         with fresh:

@@ -26,10 +26,22 @@ def record_ring(path, *, seed=3, cars=12, ticks=10, **history_options):
     return result
 
 
-@pytest.fixture
-def history(tmp_path):
-    record_ring(tmp_path / "run", checkpoint_every=4)
-    return History.open(tmp_path / "run")
+# Module-scoped: recording is deterministic and every consumer is read-only
+# (series, aggregates, the left side of diffs), so one 10-tick simulation
+# serves the whole module instead of one per test.
+@pytest.fixture(scope="module")
+def history(tmp_path_factory):
+    root = tmp_path_factory.mktemp("queries-history")
+    record_ring(root / "run", checkpoint_every=4)
+    return History.open(root / "run")
+
+
+@pytest.fixture(scope="module")
+def twin_history(tmp_path_factory):
+    """A bit-identical second recording (same seed) for diff/RMSPE tests."""
+    root = tmp_path_factory.mktemp("queries-twin")
+    record_ring(root / "twin", checkpoint_every=4)
+    return History.open(root / "twin")
 
 
 class TestSeries:
@@ -86,9 +98,8 @@ class TestAggregates:
 
 
 class TestDiff:
-    def test_identical_runs_diff_clean(self, tmp_path, history):
-        record_ring(tmp_path / "twin", checkpoint_every=4)
-        diff = history.diff(History.open(tmp_path / "twin"))
+    def test_identical_runs_diff_clean(self, history, twin_history):
+        diff = history.diff(twin_history)
         assert diff.identical
         assert diff.first_divergent_tick is None
         assert "identical" in diff.summary()
@@ -238,10 +249,8 @@ class TestProvenanceManifest:
 
 
 class TestRmspeAsQuery:
-    def test_identical_histories_have_zero_rmspe(self, tmp_path, history):
-        record_ring(tmp_path / "twin", checkpoint_every=4)
-        twin = History.open(tmp_path / "twin")
-        assert rmspe_from_histories(history, twin, "v", start=1) == 0.0
+    def test_identical_histories_have_zero_rmspe(self, history, twin_history):
+        assert rmspe_from_histories(history, twin_history, "v", start=1) == 0.0
 
     def test_divergent_histories_have_positive_rmspe(self, tmp_path, history):
         record_ring(tmp_path / "other", seed=9, checkpoint_every=4)
