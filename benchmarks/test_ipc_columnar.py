@@ -1,0 +1,214 @@
+"""Benchmark: columnar delta frames vs pickled protocol objects.
+
+The resident process backend ships three payload families per tick —
+replica maps, routed effect partials, and spawn/kill results.  The
+``"pickle"`` IPC backend pickles the protocol objects whole; the
+``"columnar"`` backend re-encodes them as SoA delta frames, ships replicas
+as :class:`~repro.ipc.frames.ReplicaDelta` rows (only what each
+destination doesn't already hold), and routes still-packed frames through
+the driver without decoding them.
+
+The workload is the regime the wire format exists for: wide-state
+"sensor" agents with unbounded visibility, so every agent replicates to
+every other shard and the replica map dwarfs the rest of the traffic.  A
+sparse active fraction (1 in 16) drifts each tick, exercising the
+changed-row resend path; the dormant majority is exactly what the delta
+protocol avoids reshipping.  Both backends are timed interleaved
+(pickle, columnar, pickle, ...) and compared round-by-round, because a
+busy single-core host shifts absolute wall-clock between rounds far more
+than it shifts the within-round ratio.
+
+Measurements land in ``BENCH_ipc.json`` for the CI ``ipc-perf-smoke``
+job; the slow configuration asserts the headline bar — columnar at least
+1.5x faster per tick, with fewer measured bytes on the wire.
+"""
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._bench_io import write_bench
+from repro.api import Simulation
+from repro.brace.config import BraceConfig
+from repro.core.agent import Agent
+from repro.core.fields import StateField
+from repro.core.world import World
+from repro.harness.common import format_table
+from repro.spatial.bbox import BBox
+
+NUM_WORKERS = 4
+SEED = 19
+#: 1 in ACTIVE_STRIDE agents rewrites its state each tick; the rest hold
+#: every field object steady, so their replica rows never reship.
+ACTIVE_STRIDE = 16
+PAYLOAD_FIELDS = 48
+
+WORLD_WIDTH = 30.0
+WORLD_LENGTH = 400.0
+
+
+def _sensor_namespace() -> dict:
+    namespace = {
+        "__doc__": "Wide-state agent whose replicas dominate tick traffic.",
+        # Built through the metaclass call, __module__ would otherwise point
+        # at the metaclass's frame — pin it so pickle finds the class here.
+        "__module__": __name__,
+        "__qualname__": "Sensor",
+        "x": StateField(0.0, spatial=True, visibility=None, reachability=2.0),
+        "y": StateField(0.0, spatial=True, visibility=None, reachability=2.0),
+        "update": _sensor_update,
+    }
+    for index in range(PAYLOAD_FIELDS):
+        namespace[f"f{index}"] = StateField(0.0)
+    return namespace
+
+
+def _sensor_update(self, ctx):
+    if self.agent_id % ACTIVE_STRIDE == 0:
+        self.x = min(self.x + 0.125, WORLD_LENGTH - 1e-6)
+        self.f0 = self.f0 + 0.001
+
+
+#: Built via ``type`` so the 50 fields don't need 50 assignment lines; the
+#: module-level binding keeps the class importable (process-pool picklable).
+Sensor = type(Agent)("Sensor", (Agent,), _sensor_namespace())
+
+
+def build_sensor_world(num_agents: int, seed: int = SEED) -> World:
+    world = World(bounds=BBox(((0.0, WORLD_LENGTH), (0.0, WORLD_WIDTH))), seed=seed)
+    rng = np.random.default_rng(seed)
+    slot = WORLD_LENGTH / num_agents
+    for index in range(num_agents):
+        payload = {
+            f"f{j}": float(rng.uniform(0.0, 1.0)) for j in range(PAYLOAD_FIELDS)
+        }
+        world.add_agent(
+            Sensor(
+                x=min((index + float(rng.uniform(0.0, 1.0))) * slot, WORLD_LENGTH - 1e-6),
+                y=float(rng.uniform(0.0, WORLD_WIDTH)),
+                **payload,
+            )
+        )
+    return world
+
+
+def run_backend(ipc_backend: str, num_agents: int, ticks: int):
+    """One timed run; returns (world, seconds/tick, bytes/tick, phases)."""
+    world = build_sensor_world(num_agents)
+    config = BraceConfig(
+        num_workers=NUM_WORKERS,
+        ticks_per_epoch=1000,  # no epoch events inside the measurement
+        load_balance=False,
+        executor="process",
+        max_workers=NUM_WORKERS,
+        ipc_backend=ipc_backend,
+        spatial_backend="python",
+    )
+    with Simulation.from_agents(world, config=config) as session:
+        session.runtime.run_tick()  # warm the pools and seed the shards
+        start = time.perf_counter()
+        session.run(ticks)
+        seconds_per_tick = (time.perf_counter() - start) / ticks
+        assert all(tick.resident for tick in session.metrics.ticks)
+        bytes_per_tick = session.metrics.mean_ipc_bytes_per_tick(skip_ticks=1)
+        phases = session.metrics.ipc_phase_breakdown(skip_ticks=1)
+    return world, seconds_per_tick, bytes_per_tick, phases
+
+
+def measure_interleaved(num_agents: int, ticks: int, rounds: int):
+    """Interleave backends and keep per-round ratios (noise-robust)."""
+    # The process's very first pool spawn pays import and page-fault costs
+    # that later spawns don't; burn them in an untimed round per backend.
+    run_backend("pickle", min(num_agents, 200), 1)
+    run_backend("columnar", min(num_agents, 200), 1)
+    pickle_rows, columnar_rows, ratios = [], [], []
+    worlds = {}
+    for _ in range(rounds):
+        worlds["pickle"], pickle_wall, pickle_bytes, _ = run_backend(
+            "pickle", num_agents, ticks
+        )
+        worlds["columnar"], columnar_wall, columnar_bytes, phases = run_backend(
+            "columnar", num_agents, ticks
+        )
+        pickle_rows.append((pickle_wall, pickle_bytes))
+        columnar_rows.append((columnar_wall, columnar_bytes))
+        ratios.append(pickle_wall / columnar_wall)
+    # Host noise is additive (a busy core only ever makes a round slower),
+    # so the minimum wall per backend is the noise floor — the speedup of
+    # the floors is far more stable than any single round's ratio.
+    pickle_floor = min(wall for wall, _ in pickle_rows)
+    columnar_floor = min(wall for wall, _ in columnar_rows)
+    return {
+        "agents": num_agents,
+        "ticks": ticks,
+        "rounds": rounds,
+        "pickle_seconds_per_tick": pickle_floor,
+        "columnar_seconds_per_tick": columnar_floor,
+        "pickle_bytes_per_tick": pickle_rows[-1][1],
+        "columnar_bytes_per_tick": columnar_rows[-1][1],
+        "speedup": pickle_floor / columnar_floor,
+        "speedup_median": statistics.median(ratios),
+        "columnar_serialize_seconds_per_tick": phases["serialize"] / ticks,
+        "worlds": worlds,
+    }
+
+
+def report(rows: list[dict]) -> None:
+    print()
+    print(
+        format_table(
+            ["Agents", "Pickle s/tick", "Columnar s/tick", "Speedup (min/med)", "Bytes pickle", "Bytes columnar"],
+            [
+                [
+                    row["agents"],
+                    f"{row['pickle_seconds_per_tick']:.3f}",
+                    f"{row['columnar_seconds_per_tick']:.3f}",
+                    f"{row['speedup']:.2f} / {row['speedup_median']:.2f}",
+                    f"{row['pickle_bytes_per_tick']:.0f} B",
+                    f"{row['columnar_bytes_per_tick']:.0f} B",
+                ]
+                for row in rows
+            ],
+            title="Per-tick wall-clock and wire bytes: pickle vs columnar IPC",
+        )
+    )
+
+
+def persist(rows: list[dict]) -> None:
+    write_bench(
+        "ipc",
+        [{key: value for key, value in row.items() if key != "worlds"} for row in rows],
+        workers=NUM_WORKERS,
+        agent="Sensor",
+        payload_fields=PAYLOAD_FIELDS,
+        active_stride=ACTIVE_STRIDE,
+    )
+
+
+def test_columnar_never_slower_at_smoke_scale(once):
+    row = once(measure_interleaved, num_agents=600, ticks=3, rounds=4)
+    report([row])
+    persist([row])
+    # The wire carries strictly less: byte counts are deterministic.
+    assert row["columnar_bytes_per_tick"] < row["pickle_bytes_per_tick"]
+    # Wall-clock is noisy on a shared host; the noise floors must still
+    # come out at least even.
+    assert row["speedup"] >= 1.0, f"columnar slower: {row['speedup']:.2f}x"
+    # The measured configuration stays bit-identical across wire formats.
+    assert row["worlds"]["pickle"].same_state_as(
+        row["worlds"]["columnar"], tolerance=0.0
+    )
+
+
+@pytest.mark.slow
+def test_columnar_beats_pickle_at_scale(once):
+    row = once(measure_interleaved, num_agents=3000, ticks=5, rounds=3)
+    report([row])
+    persist([row])
+    assert row["columnar_bytes_per_tick"] < row["pickle_bytes_per_tick"]
+    assert row["speedup"] >= 1.5, (
+        f"columnar speedup {row['speedup']:.2f}x (noise floors over "
+        f"{row['rounds']} rounds), below the 1.5x bar"
+    )

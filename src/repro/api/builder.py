@@ -191,6 +191,23 @@ class FluentConfig:
         self._builder.set(plan_backend=backend)
         return self
 
+    def with_ipc_backend(self, backend: str | None) -> Any:
+        """Choose how resident-shard deltas cross the driver/shard boundary.
+
+        ``"columnar"`` packs each round's agents and effect partials into
+        structure-of-arrays delta frames and moves them through pooled
+        shared-memory segments with comm/compute overlap, ``"pickle"`` keeps
+        the legacy per-object protocol, ``None`` restores automatic
+        selection (columnar exactly when deltas really cross a process
+        boundary).  Decoded payloads are bit-identical whichever backend
+        runs — this knob only trades speed.
+        """
+        self._check_not_started()
+        # Validation happens in ConfigBuilder.set() -> BraceConfig.validate(),
+        # the single source of truth for legal backend names.
+        self._builder.set(ipc_backend=backend)
+        return self
+
     def with_load_balancing(
         self,
         enabled: bool = True,

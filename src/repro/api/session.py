@@ -482,6 +482,7 @@ class Simulation(FluentConfig):
                 runtime.config.plan_backend,
                 {type(agent) for agent in self.world.agents()},
             ),
+            ipc_backend=runtime.ipc_backend,
         )
         return Provenance(
             source=self._source,

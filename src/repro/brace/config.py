@@ -77,6 +77,17 @@ class BraceConfig:
     #: classes — fall back to the interpreter per worker-phase, so states
     #: are bit-identical across backends; only the speed differs.
     plan_backend: str | None = None
+    #: How resident-shard deltas cross the driver/shard boundary:
+    #: ``"pickle"`` (the legacy per-object protocol), ``"columnar"``
+    #: (structure-of-arrays delta frames moved through pooled
+    #: shared-memory segments, with comm/compute overlap in every round)
+    #: or ``None`` for automatic selection (columnar exactly when resident
+    #: deltas really cross a process boundary — the process backend).
+    #: Decoded payloads are bit-identical across backends; only the speed
+    #: differs.  Forcing ``"columnar"`` on a memory-sharing backend
+    #: round-trips every delta through the frame codec in process, which
+    #: is how the wire format is conformance-tested without pools.
+    ipc_backend: str | None = None
 
     # Load balancing -------------------------------------------------------
     load_balance: bool = True
@@ -170,6 +181,11 @@ class BraceConfig:
             raise BraceError(
                 f"unknown plan backend {self.plan_backend!r}; expected "
                 "'interpreted', 'compiled' or None for automatic selection"
+            )
+        if self.ipc_backend not in (None, "pickle", "columnar"):
+            raise BraceError(
+                f"unknown ipc backend {self.ipc_backend!r}; expected "
+                "'pickle', 'columnar' or None for automatic selection"
             )
         if self.cell_size is not None and not self.cell_size > 0:
             # cell_size is only *used* by the grid index but may legitimately

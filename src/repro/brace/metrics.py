@@ -39,6 +39,21 @@ class BraceTickStatistics:
     ipc_bytes_sent: int = 0
     #: Measured bytes shards shipped back to the driver this tick.
     ipc_bytes_received: int = 0
+    #: Measured seconds spent encoding/decoding shard payloads and results
+    #: this tick, both ends summed over the three rounds.  Like the
+    #: ``ipc_bytes_*`` measurements (and unlike the modeled ``*_seconds``
+    #: fields above), the phase breakdown is real wall clock, so it is *not*
+    #: part of the cross-backend determinism contract.
+    ipc_serialize_seconds: float = 0.0
+    #: Measured seconds moving encoded frames through shared memory
+    #: (parking/mapping at both ends; 0 on the pipe and in-process paths).
+    ipc_transport_seconds: float = 0.0
+    #: Measured seconds of shard task bodies, summed across workers.
+    ipc_compute_seconds: float = 0.0
+    #: Measured round residual: wall clock not covered by serialization,
+    #: transport, or the slowest task — synchronization and pipe overhead,
+    #: the share that comm/compute overlap shrinks.
+    ipc_wait_seconds: float = 0.0
     #: Wall-clock seconds each worker's query phase took, indexed by worker id.
     query_seconds_per_worker: list[float] = field(default_factory=list)
     #: Wall-clock seconds each worker's update phase took, indexed by worker id.
@@ -76,6 +91,15 @@ class BraceTickStatistics:
         """Measured driver<->shard bytes for this tick (both directions)."""
         return self.ipc_bytes_sent + self.ipc_bytes_received
 
+    @property
+    def ipc_overhead_seconds(self) -> float:
+        """Non-compute IPC seconds this tick (serialize + transport + wait)."""
+        return (
+            self.ipc_serialize_seconds
+            + self.ipc_transport_seconds
+            + self.ipc_wait_seconds
+        )
+
 
 @dataclass
 class EpochStatistics:
@@ -94,6 +118,12 @@ class EpochStatistics:
     #: Measured driver<->shard bytes spent on epoch-boundary coordination
     #: (boundary flush, coordinate pull, repartition moves, checkpoint sync).
     ipc_bytes: int = 0
+    #: Per-phase IPC seconds summed over the epoch's ticks (measured wall
+    #: clock, not part of the determinism contract — see the tick fields).
+    ipc_serialize_seconds: float = 0.0
+    ipc_transport_seconds: float = 0.0
+    ipc_compute_seconds: float = 0.0
+    ipc_wait_seconds: float = 0.0
 
     @property
     def seconds_per_epoch(self) -> float:
@@ -184,6 +214,23 @@ class BraceRunMetrics:
         if not ticks:
             return 0.0
         return sum(t.ipc_bytes_total for t in ticks) / len(ticks)
+
+    def ipc_phase_breakdown(self, skip_ticks: int = 0) -> dict[str, float]:
+        """Summed per-tick IPC phase seconds: serialize/transport/compute/wait.
+
+        The observable form of the wire format's cost structure: the pickle
+        protocol spends its time in ``serialize``; the columnar shm path
+        shifts it into (much smaller) ``transport`` and overlapped ``wait``.
+        All measured wall clock — compare across runs, not across backends'
+        determinism contract.
+        """
+        ticks = self.ticks[skip_ticks:]
+        return {
+            "serialize": sum(t.ipc_serialize_seconds for t in ticks),
+            "transport": sum(t.ipc_transport_seconds for t in ticks),
+            "compute": sum(t.ipc_compute_seconds for t in ticks),
+            "wait": sum(t.ipc_wait_seconds for t in ticks),
+        }
 
     def mean_query_wall_imbalance(self, skip_ticks: int = 0) -> float:
         """Average per-tick query-phase wall-clock imbalance (load-skew indicator)."""

@@ -80,7 +80,9 @@ from repro.core.engine import apply_births_and_deaths
 from repro.core.errors import BraceError, ExecutorError
 from repro.core.ordering import agent_sort_key
 from repro.core.world import World
-from repro.mapreduce.executor import make_executor
+from repro.ipc import agent_frame_bytes, partial_frame_bytes, resolve_ipc_backend
+from repro.ipc.frames import ColumnarCodec, concat_agent_chunks
+from repro.mapreduce.executor import available_parallelism, make_executor
 from repro.spatial.partitioning import StripPartitioning
 
 
@@ -141,6 +143,29 @@ class BraceRuntime:
             self._resident = not self.executor.shares_memory
         else:
             self._resident = bool(self.config.resident_shards)
+        #: Resolved wire format for the resident-shard delta protocol.
+        #: ``None`` (auto) picks columnar frames exactly when deltas really
+        #: cross a process boundary; a forced value wins either way.  The
+        #: knob only matters to resident runs — non-resident ticks never
+        #: serialize protocol payloads — so the codec stays unset for them.
+        self._ipc_backend = resolve_ipc_backend(
+            self.config.ipc_backend, self.executor.shares_memory, self._resident
+        )
+        self._codec = (
+            ColumnarCodec()
+            if (self._ipc_backend == "columnar" and self._resident)
+            else None
+        )
+        #: Ship each frame as soon as it is encoded so hosts decode and
+        #: compute while later frames still serialize.  Overlap only helps
+        #: when driver and hosts can actually run simultaneously; on a
+        #: single-CPU machine the eager submissions just add context
+        #: switches, so it stays off there.
+        self._overlap = self._codec is not None and available_parallelism() > 1
+        #: Replica delta shipping: destinations retain last tick's replicas
+        #: and receive only changed/removed rows.  Part of the columnar
+        #: delta protocol, so it switches with the codec.
+        self._replica_deltas = self._codec is not None
         self._shards_ready = False
         #: Births/deaths applied driver-side but not yet shipped to shards.
         self._pending_boundary: dict[int, BoundaryDelta] = {}
@@ -155,6 +180,11 @@ class BraceRuntime:
         self._epoch_wall_seconds = 0.0
         self._epoch_agent_ticks = 0
         self._epoch_first_tick = world.tick
+        self._epoch_ipc_phase = self._zero_ipc_phase()
+
+    @staticmethod
+    def _zero_ipc_phase() -> dict[str, float]:
+        return {"serialize": 0.0, "transport": 0.0, "compute": 0.0, "wait": 0.0}
 
     # ------------------------------------------------------------------
     # Ownership bookkeeping
@@ -174,6 +204,19 @@ class BraceRuntime:
         on exactly when the executor does not share the driver's memory.
         """
         return self._resident
+
+    @property
+    def ipc_backend(self) -> str:
+        """The *resolved* wire format of the resident-shard protocol.
+
+        ``BraceConfig.ipc_backend``'s ``None`` (automatic) has already been
+        turned into the actual choice: ``"columnar"`` exactly when resident
+        deltas cross a process boundary, ``"pickle"`` otherwise.  Forced
+        values pass through — forcing ``"columnar"`` on a memory-sharing
+        backend round-trips every delta through the frame codec in process,
+        which is how the wire format is conformance-tested without pools.
+        """
+        return self._ipc_backend
 
     def worker_of(self, agent_id: Any) -> int:
         """Return the id of the worker currently owning ``agent_id``."""
@@ -241,7 +284,7 @@ class BraceRuntime:
                     worker.remove_owned(agent.agent_id)
                     self.workers[owner].add_owned(agent)
                     self._owner_of[agent.agent_id] = owner
-                    migration_bytes[(worker.worker_id, owner)] += agent.approximate_size_bytes()
+                    migration_bytes[(worker.worker_id, owner)] += agent_frame_bytes(agent)
                     agents_migrated += 1
 
         replicas_created = 0
@@ -249,7 +292,7 @@ class BraceRuntime:
             cost = worker_costs[worker.worker_id]
             cost.work_units += config.map_work_units_per_agent * worker.owned_count()
             for agent in worker.owned_agents():
-                size = agent.approximate_size_bytes()
+                size = agent_frame_bytes(agent)
                 for target in replication_targets(agent, self.master.partitioning):
                     if target == worker.worker_id:
                         continue
@@ -280,7 +323,7 @@ class BraceRuntime:
                     key=lambda item: agent_sort_key(item[0]),
                 ):
                     owner = self.worker_of(agent_id)
-                    size = 16 + 8 * len(partials)
+                    size = partial_frame_bytes(partials)
                     if owner != worker.worker_id:
                         effect_bytes[(worker.worker_id, owner)] += size
                     self.workers[owner].merge_remote_partials(agent_id, partials)
@@ -351,6 +394,7 @@ class BraceRuntime:
         num_agents = world.agent_count()
         ipc_sent = 0
         ipc_received = 0
+        ipc_phase = self._zero_ipc_phase()
 
         # ------------------------------------------------------------------
         # Round 1 — map/distribute: each shard applies the previous tick's
@@ -366,10 +410,15 @@ class BraceRuntime:
                         boundary=pending.get(worker.worker_id),
                         spatial_backend=config.spatial_backend,
                         index=config.index,
+                        # Crossing the process wire copies every outgoing
+                        # agent anyway, so the shard can skip the clones.
+                        clone_replicas=self.executor.shares_memory,
+                        replica_deltas=self._replica_deltas,
                     ),
                 )
                 for worker in self.workers
-            ]
+            ],
+            phase=ipc_phase,
         )
         ipc_sent += sum(result.payload_bytes for result in map_results)
         ipc_received += sum(result.result_bytes for result in map_results)
@@ -392,7 +441,10 @@ class BraceRuntime:
                     self._owner_of[agent.agent_id] = destination
                     migrated_in[destination].append(agent)
             for destination, replicas in sorted(plan.replicas_out.items()):
-                replicas_in[destination].extend(replicas)
+                # Each entry is a routed chunk: a plain agent list, or a
+                # still-packed frame under the columnar codec (the driver
+                # never looks inside replicas, so they stay packed).
+                replicas_in[destination].append(replicas)
             migration_bytes.update(plan.migration_pair_bytes)
             replication_bytes.update(plan.replication_pair_bytes)
             agents_migrated += plan.agents_migrated
@@ -416,7 +468,13 @@ class BraceRuntime:
                     shard_query_phase,
                     QueryCommand(
                         migrated_in=migrated_in[worker.worker_id],
-                        replicas_in=replicas_in[worker.worker_id],
+                        # Delta chunks route as-is (one ReplicaDelta per
+                        # source); full chunks concatenate per destination.
+                        replicas_in=(
+                            replicas_in[worker.worker_id]
+                            if self._replica_deltas
+                            else concat_agent_chunks(replicas_in[worker.worker_id])
+                        ),
                         tick=tick,
                         seed=self.seed,
                         index=config.index,
@@ -427,7 +485,8 @@ class BraceRuntime:
                     ),
                 )
                 for worker in self.workers
-            ]
+            ],
+            phase=ipc_phase,
         )
         ipc_sent += sum(result.payload_bytes for result in query_results)
         ipc_received += sum(result.result_bytes for result in query_results)
@@ -452,7 +511,7 @@ class BraceRuntime:
                     key=lambda item: agent_sort_key(item[0]),
                 ):
                     owner = self.worker_of(agent_id)
-                    size = 16 + 8 * len(partials)
+                    size = partial_frame_bytes(partials)
                     if owner != source:
                         effect_bytes[(source, owner)] += size
                     routed[owner].append((agent_id, partials))
@@ -485,7 +544,8 @@ class BraceRuntime:
                     ),
                 )
                 for worker in self.workers
-            ]
+            ],
+            phase=ipc_phase,
         )
         ipc_sent += sum(result.payload_bytes for result in update_results)
         ipc_received += sum(result.result_bytes for result in update_results)
@@ -537,6 +597,7 @@ class BraceRuntime:
             resident=True,
             ipc_bytes_sent=ipc_sent,
             ipc_bytes_received=ipc_received,
+            ipc_phase=ipc_phase,
         )
 
     def _finalize_tick(
@@ -558,6 +619,7 @@ class BraceRuntime:
         resident: bool = False,
         ipc_bytes_sent: int = 0,
         ipc_bytes_received: int = 0,
+        ipc_phase: dict[str, float] | None = None,
     ) -> BraceTickStatistics:
         """Convert a tick's measurements into virtual time and statistics.
 
@@ -570,6 +632,8 @@ class BraceRuntime:
         owned_counts = self.owned_counts()
         wall_seconds = time.perf_counter() - wall_start
         self.world.tick += 1
+        if ipc_phase is None:
+            ipc_phase = self._zero_ipc_phase()
 
         stats = BraceTickStatistics(
             tick=tick,
@@ -593,6 +657,10 @@ class BraceRuntime:
             resident=resident,
             ipc_bytes_sent=ipc_bytes_sent,
             ipc_bytes_received=ipc_bytes_received,
+            ipc_serialize_seconds=ipc_phase["serialize"],
+            ipc_transport_seconds=ipc_phase["transport"],
+            ipc_compute_seconds=ipc_phase["compute"],
+            ipc_wait_seconds=ipc_phase["wait"],
             query_seconds_per_worker=query_seconds,
             update_seconds_per_worker=update_seconds,
         )
@@ -602,6 +670,8 @@ class BraceRuntime:
         self._epoch_virtual_seconds += stats.virtual_seconds
         self._epoch_wall_seconds += stats.wall_seconds
         self._epoch_agent_ticks += stats.agent_ticks
+        for key in self._epoch_ipc_phase:
+            self._epoch_ipc_phase[key] += ipc_phase[key]
         if self._epoch_ticks >= config.ticks_per_epoch:
             self._end_of_epoch()
         return stats
@@ -733,15 +803,39 @@ class BraceRuntime:
             )
             for worker in self.workers
         }
-        self.executor.init_shards(make_resident_worker, payloads)
+        self.executor.init_shards(make_resident_worker, payloads, codec=self._codec)
         self._shards_ready = True
         self._pending_boundary = {}
         self._world_dirty = False
 
-    def _shard_round(self, tasks):
-        """One synchronized round of shard tasks, invalidating state on failure."""
+    def _shard_round(self, tasks, phase: dict[str, float] | None = None):
+        """One synchronized round of shard tasks, invalidating state on failure.
+
+        When ``phase`` is given, the round's IPC phase breakdown accumulates
+        into it: per-task serialize/transport seconds as measured at both
+        ends, total task compute, and the *wait* residual — round wall clock
+        not accounted for by serialization, transport, or the slowest task —
+        which is the synchronization + pipe overhead the comm/compute
+        overlap is meant to shrink.
+        """
+        start = time.perf_counter()
+        results = self._shard_round_raw(tasks)
+        if phase is not None:
+            round_wall = time.perf_counter() - start
+            serialize = sum(result.serialize_seconds for result in results)
+            transport = sum(result.transport_seconds for result in results)
+            slowest = max((result.wall_seconds for result in results), default=0.0)
+            phase["serialize"] += serialize
+            phase["transport"] += transport
+            phase["compute"] += sum(result.wall_seconds for result in results)
+            phase["wait"] += max(0.0, round_wall - serialize - transport - slowest)
+        return results
+
+    def _shard_round_raw(self, tasks):
         try:
-            return self.executor.run_sharded_tasks(tasks)
+            return self.executor.run_sharded_tasks(
+                tasks, codec=self._codec, overlap=self._overlap
+            )
         except ExecutorError:
             # Whatever happened (a dead host, an unpicklable payload), the
             # resident state can no longer be trusted; force a re-seed before
@@ -962,6 +1056,10 @@ class BraceRuntime:
             checkpoint_bytes=checkpoint_bytes,
             agents_migrated_by_balancer=migrated_by_balancer,
             ipc_bytes=epoch_ipc_bytes,
+            ipc_serialize_seconds=self._epoch_ipc_phase["serialize"],
+            ipc_transport_seconds=self._epoch_ipc_phase["transport"],
+            ipc_compute_seconds=self._epoch_ipc_phase["compute"],
+            ipc_wait_seconds=self._epoch_ipc_phase["wait"],
         )
         self.metrics.add_epoch(epoch_stats)
         for listener in self.epoch_listeners:
@@ -972,6 +1070,7 @@ class BraceRuntime:
         self._epoch_wall_seconds = 0.0
         self._epoch_agent_ticks = 0
         self._epoch_first_tick = self.world.tick
+        self._epoch_ipc_phase = self._zero_ipc_phase()
 
     def _apply_new_partitioning(self) -> tuple[int, float]:
         """Reassign ownership after the master adopted a new partitioning.
@@ -994,7 +1093,7 @@ class BraceRuntime:
                     worker.remove_owned(agent.agent_id)
                     self.workers[owner].add_owned(agent)
                     self._owner_of[agent.agent_id] = owner
-                    size = agent.approximate_size_bytes()
+                    size = agent_frame_bytes(agent)
                     seconds = network.transfer_seconds(worker.worker_id, owner, size)
                     per_worker_seconds[worker.worker_id] += seconds
                     per_worker_seconds[owner] += seconds
@@ -1041,7 +1140,7 @@ class BraceRuntime:
                     stale = self.workers[source].remove_owned(agent.agent_id)
                     self.workers[destination].add_owned(stale)
                     self._owner_of[agent.agent_id] = destination
-                    size = agent.approximate_size_bytes()
+                    size = agent_frame_bytes(agent)
                     seconds = network.transfer_seconds(source, destination, size)
                     per_worker_seconds[source] += seconds
                     per_worker_seconds[destination] += seconds
@@ -1084,6 +1183,7 @@ class BraceRuntime:
         self._epoch_wall_seconds = 0.0
         self._epoch_agent_ticks = 0
         self._epoch_first_tick = self.world.tick
+        self._epoch_ipc_phase = self._zero_ipc_phase()
         for listener in self.recovery_listeners:
             listener(self.world, checkpoint.tick, tick_before_failure)
         return ticks_lost
@@ -1091,6 +1191,7 @@ class BraceRuntime:
     def _rebuild_ownership(self) -> None:
         for worker in self.workers:
             worker.owned.clear()
+            worker._owned_sorted = None
             worker.clear_replicas()
         self._owner_of.clear()
         self._assign_initial_ownership()

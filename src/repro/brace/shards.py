@@ -39,6 +39,8 @@ from typing import Any
 
 from repro.brace.worker import DistributionResult, Worker
 from repro.core.agent import Agent
+from repro.core.soa import pack_cells, unpack_cells
+from repro.ipc import frames as ipc_frames
 from repro.spatial.bbox import BBox
 from repro.spatial.partitioning import Partition, SpatialPartitioning
 
@@ -83,14 +85,27 @@ class MapCommand:
     boundary: BoundaryDelta | None = None
     spatial_backend: str | None = None
     index: str | None = "kdtree"
+    #: False when every boundary crossing is a real copy anyway (the process
+    #: backend's wire), letting the shard skip the per-replica clone.
+    clone_replicas: bool = True
+    #: True to ship replicas as per-destination deltas
+    #: (:class:`repro.ipc.frames.ReplicaDelta`) against what each
+    #: destination already holds, instead of the full set every tick.
+    replica_deltas: bool = False
 
 
 @dataclass
 class QueryCommand:
-    """Round 2 input: incoming deltas plus the query-phase parameters."""
+    """Round 2 input: incoming deltas plus the query-phase parameters.
+
+    ``replicas_in`` is a flat agent list on the memory-sharing path; under
+    the columnar codec the driver routes replicas as still-packed frames,
+    so it may arrive as an :class:`repro.ipc.frames.AgentChunks` that the
+    shard (or the wire decode) flattens.
+    """
 
     migrated_in: list[Agent]
-    replicas_in: list[Agent]
+    replicas_in: Any
     tick: int
     seed: int
     index: str | None
@@ -160,7 +175,10 @@ def shard_map_phase(worker: Worker, command: MapCommand) -> DistributionResult:
     if command.boundary is not None:
         worker.apply_boundary(command.boundary.kill_ids, command.boundary.spawn_agents)
     return worker.distribute(
-        spatial_backend=command.spatial_backend, index=command.index
+        spatial_backend=command.spatial_backend,
+        index=command.index,
+        clone_replicas=command.clone_replicas,
+        replica_deltas=command.replica_deltas,
     )
 
 
@@ -168,8 +186,31 @@ def shard_query_phase(worker: Worker, command: QueryCommand) -> QueryResult:
     """Round 2: install incoming deltas and run the query phase."""
     for agent in command.migrated_in:
         worker.add_owned(agent)
-    for replica in command.replicas_in:
-        worker.install_replica(replica)
+    replicas_in = command.replicas_in
+    if isinstance(replicas_in, ipc_frames.AgentChunks):
+        replicas_in = replicas_in.unpack()
+    if worker._replica_delta_mode:
+        deltas = replicas_in or ()
+        # Removals strictly before additions: after a rebalance the old
+        # owner's removal and the new owner's addition for the same agent
+        # can arrive in the same tick.
+        for delta in deltas:
+            for agent_id in delta.removed_ids:
+                worker.discard_replica(agent_id)
+        # Retained replicas carry last tick's effect assignments; reset
+        # them to match what a freshly shipped clone would hold.
+        for replica in worker.replicas.values():
+            if replica._effects_touched:
+                replica.reset_effects()
+        for delta in deltas:
+            additions = delta.additions
+            if isinstance(additions, ipc_frames.LazyAgentFrame):
+                additions = additions.unpack()
+            for replica in additions:
+                worker.install_replica(replica)
+    else:
+        for replica in replicas_in:
+            worker.install_replica(replica)
     worker.run_query_phase(
         tick=command.tick,
         seed=command.seed,
@@ -227,3 +268,275 @@ def shard_adopt_partitioning(
 def shard_install_owned(worker: Worker, agents: list[Agent]) -> int:
     """Install agents migrated in by a repartitioning; returns the owned count."""
     return worker.install_owned(agents)
+
+
+# ---------------------------------------------------------------------------
+# Columnar wire transforms
+# ---------------------------------------------------------------------------
+# The protocol types above register how their bulk payloads pack into the
+# columnar delta frames of :mod:`repro.ipc.frames`.  The registrations live
+# here — with the types they describe — so the codec never imports upward,
+# and importing this module (which both driver and shard hosts do to name
+# the shard entry points) is what arms the codec on each side.
+
+
+def _pack_agent_map(agent_map: dict) -> list:
+    """Pack ``destination -> agents`` into ``(destination, frame)`` pairs.
+
+    Destination lists holding the *same object sequence* — what
+    ``distribute(clone_replicas=False)`` produces when an agent replicates
+    to every neighbour — are packed once and share one frame, so both the
+    pack pass and the pickled bytes scale with distinct agents, not with
+    ``agents × destinations`` (pickle's memo dedupes the shared frame's
+    buffers on the wire).
+    """
+    memo: dict = {}
+
+    def shared_frame(agents):
+        if isinstance(agents, ipc_frames.LazyAgentFrame):
+            return agents.frame
+        identity = tuple(map(id, agents))
+        frame = memo.get(identity)
+        if frame is None:
+            frame = memo[identity] = ipc_frames.pack_agents(agents)
+        return frame
+
+    payload = []
+    for key, agents in agent_map.items():
+        if isinstance(agents, ipc_frames.ReplicaDelta):
+            entry = ("delta", shared_frame(agents.additions), pack_cells(agents.removed_ids))
+        else:
+            entry = shared_frame(agents)
+        payload.append((key, entry))
+    return payload
+
+
+def _unpack_agent_map(payload: list) -> dict:
+    return {key: ipc_frames.unpack_agents(frame) for key, frame in payload}
+
+
+def _lazy_agent_map(payload: list) -> dict:
+    """Decode an agent map without unpacking its frames.
+
+    Used for the replica map: the driver only concatenates replica lists
+    per destination, so the frames stay packed end-to-end and are re-emitted
+    verbatim into the next query command (see
+    :class:`repro.ipc.frames.LazyAgentFrame`).  Delta-mode entries decode
+    to :class:`repro.ipc.frames.ReplicaDelta` with their additions frame
+    kept packed the same way.
+    """
+    decoded = {}
+    for key, entry in payload:
+        if type(entry) is tuple and entry[0] == "delta":
+            decoded[key] = ipc_frames.ReplicaDelta(
+                ipc_frames.LazyAgentFrame(entry[1]), unpack_cells(entry[2])
+            )
+        else:
+            decoded[key] = ipc_frames.LazyAgentFrame(entry)
+    return decoded
+
+
+def _pack_agent_chunks(replicas) -> tuple:
+    """Pack routed replica chunks, re-emitting already-packed frames."""
+    if isinstance(replicas, list) and any(
+        isinstance(chunk, ipc_frames.ReplicaDelta) for chunk in replicas
+    ):
+        return (
+            "deltas",
+            [
+                (
+                    delta.additions.frame
+                    if isinstance(delta.additions, ipc_frames.LazyAgentFrame)
+                    else ipc_frames.pack_agents(delta.additions),
+                    pack_cells(delta.removed_ids),
+                )
+                for delta in replicas
+            ],
+        )
+    if isinstance(replicas, ipc_frames.AgentChunks):
+        return (
+            "frames",
+            [
+                chunk.frame
+                if isinstance(chunk, ipc_frames.LazyAgentFrame)
+                else ipc_frames.pack_agents(chunk)
+                for chunk in replicas.chunks
+            ],
+        )
+    return ("frames", [ipc_frames.pack_agents(replicas)])
+
+
+def _unpack_agent_chunks(payload: tuple):
+    kind, entries = payload
+    if kind == "deltas":
+        return [
+            ipc_frames.ReplicaDelta(
+                ipc_frames.LazyAgentFrame(frame), unpack_cells(removed)
+            )
+            for frame, removed in entries
+        ]
+    agents: list = []
+    for frame in entries:
+        agents.extend(ipc_frames.unpack_agents(frame))
+    return agents
+
+
+def _encode_seed(seed: ShardSeed) -> tuple:
+    return (seed.partition, seed.partitioning, ipc_frames.pack_agents(seed.agents))
+
+
+def _decode_seed(payload: tuple) -> ShardSeed:
+    partition, partitioning, agents = payload
+    return ShardSeed(partition, partitioning, ipc_frames.unpack_agents(agents))
+
+
+def _encode_boundary(delta: BoundaryDelta) -> tuple:
+    return (
+        pack_cells(delta.kill_ids),
+        ipc_frames.pack_agents(delta.spawn_agents),
+    )
+
+
+def _decode_boundary(payload: tuple) -> BoundaryDelta:
+    kill_ids, spawn_agents = payload
+    return BoundaryDelta(unpack_cells(kill_ids), ipc_frames.unpack_agents(spawn_agents))
+
+
+def _encode_map_command(command: MapCommand) -> tuple:
+    boundary = command.boundary
+    return (
+        None if boundary is None else _encode_boundary(boundary),
+        command.spatial_backend,
+        command.index,
+        command.clone_replicas,
+        command.replica_deltas,
+    )
+
+
+def _decode_map_command(payload: tuple) -> MapCommand:
+    boundary, spatial_backend, index, clone_replicas, replica_deltas = payload
+    return MapCommand(
+        None if boundary is None else _decode_boundary(boundary),
+        spatial_backend,
+        index,
+        clone_replicas,
+        replica_deltas,
+    )
+
+
+def _encode_distribution(result: DistributionResult) -> tuple:
+    return (
+        _pack_agent_map(result.migrations_out),
+        _pack_agent_map(result.replicas_out),
+        result.migration_pair_bytes,
+        result.replication_pair_bytes,
+        result.agents_migrated,
+        result.replicas_created,
+    )
+
+
+def _decode_distribution(payload: tuple) -> DistributionResult:
+    migrations, replicas, migration_bytes, replication_bytes, migrated, created = payload
+    return DistributionResult(
+        _unpack_agent_map(migrations),
+        _lazy_agent_map(replicas),
+        migration_bytes,
+        replication_bytes,
+        migrated,
+        created,
+    )
+
+
+def _encode_query_command(command: QueryCommand) -> tuple:
+    return (
+        ipc_frames.pack_agents(command.migrated_in),
+        _pack_agent_chunks(command.replicas_in),
+        command.tick,
+        command.seed,
+        command.index,
+        command.cell_size,
+        command.check_visibility,
+        command.spatial_backend,
+        command.plan_backend,
+    )
+
+
+def _decode_query_command(payload: tuple) -> QueryCommand:
+    migrated_in, replica_frames = payload[0], payload[1]
+    return QueryCommand(
+        ipc_frames.unpack_agents(migrated_in),
+        _unpack_agent_chunks(replica_frames),
+        *payload[2:],
+    )
+
+
+def _encode_query_result(result: QueryResult) -> tuple:
+    return (
+        ipc_frames.pack_mapping_rows(list(result.replica_partials.items())),
+        result.work_units,
+        result.index_probes,
+    )
+
+
+def _decode_query_result(payload: tuple) -> QueryResult:
+    partials, work_units, index_probes = payload
+    return QueryResult(
+        dict(ipc_frames.unpack_mapping_rows(partials)), work_units, index_probes
+    )
+
+
+def _encode_update_command(command: UpdateCommand) -> tuple:
+    return (
+        ipc_frames.pack_mapping_rows(command.partials),
+        command.tick,
+        command.seed,
+        command.world_bounds,
+        command.plan_backend,
+    )
+
+
+def _decode_update_command(payload: tuple) -> UpdateCommand:
+    return UpdateCommand(ipc_frames.unpack_mapping_rows(payload[0]), *payload[1:])
+
+
+def _encode_update_result(result: UpdateResult) -> tuple:
+    parents = pack_cells([parent for parent, _, _ in result.spawn_requests])
+    sequences = pack_cells([sequence for _, sequence, _ in result.spawn_requests])
+    children = ipc_frames.pack_agents([child for _, _, child in result.spawn_requests])
+    return (parents, sequences, children, list(result.kill_requests))
+
+
+def _decode_update_result(payload: tuple) -> UpdateResult:
+    parents, sequences, children, kill_requests = payload
+    spawn_requests = list(
+        zip(
+            unpack_cells(parents),
+            unpack_cells(sequences),
+            ipc_frames.unpack_agents(children),
+        )
+    )
+    return UpdateResult(spawn_requests, set(kill_requests))
+
+
+ipc_frames.register_wire_type(ShardSeed, "shard-seed", _encode_seed, _decode_seed)
+ipc_frames.register_wire_type(
+    BoundaryDelta, "boundary-delta", _encode_boundary, _decode_boundary
+)
+ipc_frames.register_wire_type(
+    MapCommand, "map-command", _encode_map_command, _decode_map_command
+)
+ipc_frames.register_wire_type(
+    DistributionResult, "distribution", _encode_distribution, _decode_distribution
+)
+ipc_frames.register_wire_type(
+    QueryCommand, "query-command", _encode_query_command, _decode_query_command
+)
+ipc_frames.register_wire_type(
+    QueryResult, "query-result", _encode_query_result, _decode_query_result
+)
+ipc_frames.register_wire_type(
+    UpdateCommand, "update-command", _encode_update_command, _decode_update_command
+)
+ipc_frames.register_wire_type(
+    UpdateResult, "update-result", _encode_update_result, _decode_update_result
+)

@@ -13,6 +13,7 @@ partials do.
 
 from __future__ import annotations
 
+import operator
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
@@ -25,6 +26,8 @@ from repro.core.context import QueryContext, UpdateContext, resolve_spatial_back
 from repro.core.errors import BraceError
 from repro.core.ordering import agent_sort_key
 from repro.core.phase import Phase, phase
+from repro.ipc.frames import ReplicaDelta
+from repro.ipc.sizing import agent_frame_bytes
 from repro.spatial.bbox import BBox
 from repro.spatial.columnar import PointSet
 from repro.spatial.partitioning import Partition, SpatialPartitioning
@@ -219,6 +222,17 @@ class Worker:
         self._position_cache: dict[Any, tuple] | None = None
         #: The columnar snapshot served to the last vectorized query phase.
         self.last_snapshot: PointSet | None = None
+        #: Memoized ``owned_agents()`` order; ownership changes clear it.
+        self._owned_sorted: list[Agent] | None = None
+        #: Memoized ``replica_agents()`` order; replica changes clear it.
+        self._replicas_sorted: list[Agent] | None = None
+        #: Delta-mode bookkeeping: ``destination -> {agent_id: state values
+        #: tuple last sent}``.  Compared by object identity next tick to
+        #: decide which replicas actually need reshipping.
+        self._replica_sent: dict[int, dict] = {}
+        #: Whether the last map phase ran in replica-delta mode (consulted
+        #: by the query phase to apply incoming deltas incrementally).
+        self._replica_delta_mode = False
 
     # ------------------------------------------------------------------
     # Ownership management
@@ -226,9 +240,11 @@ class Worker:
     def add_owned(self, agent: Agent) -> None:
         """Take ownership of ``agent``."""
         self.owned[agent.agent_id] = agent
+        self._owned_sorted = None
 
     def remove_owned(self, agent_id: Any) -> Agent:
         """Release ownership of the agent with ``agent_id`` and return it."""
+        self._owned_sorted = None
         try:
             return self.owned.pop(agent_id)
         except KeyError:
@@ -242,9 +258,15 @@ class Worker:
         Uses :func:`~repro.core.ordering.agent_sort_key`, the same total
         order the driver uses to route effect partials, so an in-place
         worker, a resident shard and the driver always enumerate agents
-        identically.
+        identically.  The order is memoized between ownership changes —
+        several phases per tick iterate it — and a fresh list is returned
+        each call so callers can mutate ownership while iterating.
         """
-        return [self.owned[agent_id] for agent_id in sorted(self.owned, key=agent_sort_key)]
+        if self._owned_sorted is None:
+            self._owned_sorted = [
+                self.owned[agent_id] for agent_id in sorted(self.owned, key=agent_sort_key)
+            ]
+        return list(self._owned_sorted)
 
     def owned_count(self) -> int:
         """Number of owned agents."""
@@ -254,24 +276,40 @@ class Worker:
     # Replicas
     # ------------------------------------------------------------------
     def clear_replicas(self) -> None:
-        """Drop every replica (called at the start of each tick)."""
+        """Drop every replica and the delta-mode send history.
+
+        Called at the start of each full-reship tick, and on any ownership
+        upheaval (rebalance, recovery) where retained replicas or the send
+        history could go stale — clearing both forces a full resend.
+        """
         self.replicas.clear()
+        self._replicas_sorted = None
+        self._replica_sent = {}
+
+    def discard_replica(self, agent_id: Any) -> None:
+        """Drop one hosted replica, if present (delta-mode removals)."""
+        if self.replicas.pop(agent_id, None) is not None:
+            self._replicas_sorted = None
 
     def receive_replica(self, agent: Agent) -> None:
         """Host a read-only replica of an agent owned elsewhere."""
         replica = agent.clone()
         replica.reset_effects()
         self.replicas[replica.agent_id] = replica
+        self._replicas_sorted = None
 
     def install_replica(self, replica: Agent) -> None:
         """Host an already-cloned replica (shipped from another shard)."""
         self.replicas[replica.agent_id] = replica
+        self._replicas_sorted = None
 
     def replica_agents(self) -> list[Agent]:
-        """Hosted replicas sorted by id."""
-        return [
-            self.replicas[agent_id] for agent_id in sorted(self.replicas, key=agent_sort_key)
-        ]
+        """Hosted replicas sorted by id (memoized between replica changes)."""
+        if self._replicas_sorted is None:
+            self._replicas_sorted = [
+                self.replicas[agent_id] for agent_id in sorted(self.replicas, key=agent_sort_key)
+            ]
+        return list(self._replicas_sorted)
 
     # ------------------------------------------------------------------
     # Resident-shard operations (the map phase, computed shard-locally)
@@ -281,6 +319,8 @@ class Worker:
         partitioning: SpatialPartitioning | None = None,
         spatial_backend: str | None = None,
         index: str | None = "kdtree",
+        clone_replicas: bool = True,
+        replica_deltas: bool = False,
     ) -> DistributionResult:
         """Run the tick's map phase locally: reset, migrate out, replicate.
 
@@ -297,34 +337,98 @@ class Worker:
         ownership routing itself runs as one batched
         :meth:`~repro.spatial.partitioning.SpatialPartitioning.partition_of_batch`
         call (bit-identical to the scalar path).
+
+        ``clone_replicas=False`` skips the per-replica clone: effects were
+        just reset, so the agent itself *is* the replica snapshot.  Only
+        valid when every outgoing list is copied anyway before anyone
+        mutates the originals — the process backend's wire does exactly
+        that (encoding happens in the same shard task, before the query
+        phase runs), which is where the driver requests it.
+
+        ``replica_deltas=True`` switches replica shipping to *delta mode*:
+        destinations retain last tick's replicas, and ``replicas_out``
+        carries :class:`~repro.ipc.frames.ReplicaDelta` objects naming only
+        the rows that are new, changed, or gone.  "Changed" is decided by
+        object identity of the state values against what was last sent —
+        exact by construction (an untouched field keeps the very same
+        object; a rewritten one cannot), so a false "unchanged" is
+        impossible.  Modeled byte/replica accounting still charges every
+        logical replica, keeping the cost model identical across modes.
         """
         partitioning = partitioning if partitioning is not None else self.partitioning
         if partitioning is None:
             raise BraceError(f"worker {self.worker_id} has no partitioning to distribute with")
         result = DistributionResult()
-        self.clear_replicas()
+        self._replica_delta_mode = replica_deltas
+        if replica_deltas:
+            previous_sent = self._replica_sent
+            sent: dict[int, dict] = {}
+            additions: dict[int, list] = {}
+            is_ = operator.is_
+        else:
+            self.clear_replicas()
         for agent in self.owned_agents():
             agent.reset_effects()
         owned = self.owned_agents()
         owners = self._harvest_positions(owned, partitioning, spatial_backend, index)
         for agent, owner in zip(owned, owners):
-            size = agent.approximate_size_bytes()
+            size = agent_frame_bytes(agent)
             if owner != self.worker_id:
                 self.remove_owned(agent.agent_id)
                 result.migrations_out.setdefault(owner, []).append(agent)
                 result.migration_pair_bytes[(self.worker_id, owner)] += size
                 result.agents_migrated += 1
-            for target in replication_targets(agent, partitioning):
+            targets = replication_targets(agent, partitioning)
+            if replica_deltas and targets:
+                values = tuple(agent._state.values())
+                agent_id = agent.agent_id
+            for target in targets:
                 if target == owner:
                     continue
-                replica = agent.clone()
-                replica.reset_effects()
-                if target == self.worker_id:
-                    self.install_replica(replica)
-                else:
-                    result.replicas_out.setdefault(target, []).append(replica)
                 result.replication_pair_bytes[(owner, target)] += size
                 result.replicas_created += 1
+                if replica_deltas:
+                    cache = sent.get(target)
+                    if cache is None:
+                        cache = sent[target] = {}
+                    cache[agent_id] = values
+                    prev_cache = previous_sent.get(target)
+                    if prev_cache is not None:
+                        prev = prev_cache.get(agent_id)
+                        if (
+                            prev is not None
+                            and len(prev) == len(values)
+                            and all(map(is_, prev, values))
+                        ):
+                            continue  # destination already holds this row
+                if clone_replicas:
+                    replica = agent.clone()
+                    replica.reset_effects()
+                else:
+                    # Effects were reset above; the wire copies the rest.
+                    replica = agent
+                if target == self.worker_id:
+                    self.install_replica(replica)
+                elif replica_deltas:
+                    additions.setdefault(target, []).append(replica)
+                else:
+                    result.replicas_out.setdefault(target, []).append(replica)
+        if replica_deltas:
+            for target in previous_sent.keys() | sent.keys() | additions.keys():
+                new_cache = sent.get(target, ())
+                removed = [
+                    agent_id
+                    for agent_id in previous_sent.get(target, ())
+                    if agent_id not in new_cache
+                ]
+                if target == self.worker_id:
+                    for agent_id in removed:
+                        self.discard_replica(agent_id)
+                    continue
+                added = additions.get(target, [])
+                if added or removed:
+                    result.replicas_out[target] = ReplicaDelta(added, removed)
+            self._replica_sent = sent
         return result
 
     def _harvest_positions(
@@ -365,6 +469,7 @@ class Worker:
         on the driver: killed agents leave the owned set, spawned agents
         (already carrying their driver-assigned ids) join it.
         """
+        self._owned_sorted = None
         for agent_id in kill_ids:
             self.owned.pop(agent_id, None)
         for agent in spawn_agents:
@@ -388,6 +493,10 @@ class Worker:
         """
         self.partitioning = partitioning
         self.partition = partition
+        # Ownership is reshuffling under the delta protocol's feet: drop
+        # retained replicas and the send history so the next map phase
+        # reships everything from scratch.
+        self.clear_replicas()
         outgoing: dict[int, list[Agent]] = {}
         for agent in self.owned_agents():
             owner = partitioning.partition_of(agent.position())
@@ -541,8 +650,13 @@ class Worker:
         }
 
     def checkpoint_size_bytes(self) -> int:
-        """Approximate serialized size of a checkpoint of this worker."""
-        return sum(agent.approximate_size_bytes() for agent in self.owned.values())
+        """Modeled serialized size of a checkpoint of this worker.
+
+        Charged from the same frame-size formula as the wire traffic
+        (:func:`repro.ipc.sizing.agent_frame_bytes`), so checkpoint and IPC
+        costs stay on one scale.
+        """
+        return sum(agent_frame_bytes(agent) for agent in self.owned.values())
 
     def __repr__(self) -> str:
         return (

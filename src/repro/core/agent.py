@@ -24,6 +24,23 @@ from repro.core.fields import EffectField, StateField
 from repro.spatial.bbox import BBox
 
 
+#: Value types that can be shared between an agent and its clone outright.
+_ATOMIC_TYPES = frozenset(
+    (float, int, bool, str, bytes, complex, type(None), frozenset)
+)
+
+
+def _copy_mapping(mapping: dict) -> dict:
+    """Copy a field-value dict, deep-copying only what is actually mutable."""
+    for value in mapping.values():
+        if type(value) not in _ATOMIC_TYPES:
+            return {
+                name: value if type(value) in _ATOMIC_TYPES else copy.deepcopy(value)
+                for name, value in mapping.items()
+            }
+    return dict(mapping)
+
+
 class AgentMeta(type):
     """Collects field declarations (including inherited ones) in order."""
 
@@ -205,12 +222,18 @@ class Agent(metaclass=AgentMeta):
     # Replication / checkpointing helpers
     # ------------------------------------------------------------------
     def clone(self) -> "Agent":
-        """A deep copy sharing nothing with the original (used for replication)."""
+        """A deep copy sharing nothing mutable with the original.
+
+        Used for replication, so it is on the per-replica hot path:
+        immutable values (the overwhelming majority — floats, ints, bools,
+        strings) are shared rather than walked through ``copy.deepcopy``,
+        which is an order of magnitude cheaper and observably identical.
+        """
         duplicate = type(self).__new__(type(self))
         duplicate.agent_id = self.agent_id
         duplicate._updating = False
-        duplicate._state = copy.deepcopy(self._state)
-        duplicate._effects = copy.deepcopy(self._effects)
+        duplicate._state = _copy_mapping(self._state)
+        duplicate._effects = _copy_mapping(self._effects)
         duplicate._effects_touched = set(self._effects_touched)
         return duplicate
 

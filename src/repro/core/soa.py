@@ -32,6 +32,7 @@ pack → writeback round-trip bit-identical to not packing at all.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
@@ -68,6 +69,110 @@ def pack_value(value) -> float:
 def pack_column(values: Iterable) -> np.ndarray:
     """Pack a sequence of field values into one ``float64`` column."""
     return np.array([pack_value(value) for value in values], dtype=np.float64)
+
+
+#: Per-cell kind tags of a mixed :class:`PackedColumn` ("m"): the cell's
+#: Python type, so decoding restores `float` vs `bool` vs `int` exactly.
+CELL_FLOAT, CELL_BOOL, CELL_INT, CELL_ESCAPE = 0, 1, 2, 3
+
+
+@dataclass
+class PackedColumn:
+    """One delta column packed standalone (no owning :class:`AgentTable`).
+
+    ``kind`` selects the layout:
+
+    * ``"f"`` — every cell is a ``float``; ``data`` is a ``float64`` array
+      (bit-exact, NaN payloads and signed zeros included);
+    * ``"i"`` — every cell is an ``int`` representable as ``int64``;
+      ``data`` is an ``int64`` array (exact for the whole range, so
+      ``2**53 + 1`` survives where a ``float64`` cell could not);
+    * ``"b"`` — every cell is a ``bool``; ``data`` is a ``bool`` array;
+    * ``"m"`` — mixed: ``data`` holds :func:`pack_value` doubles,
+      ``cell_kinds`` tags each cell's Python type, and cells no double can
+      carry (strings, tuples, out-of-range ints, ...) are ``CELL_ESCAPE``
+      entries consumed in row order from ``escapes`` — the pickle escape
+      column that keeps bit-identity off the table entirely.
+
+    The dataclass itself is picklable, and the bulk data are NumPy arrays,
+    so pickling a frame of packed columns writes raw buffers at C speed
+    instead of walking Python objects cell by cell.
+    """
+
+    kind: str
+    data: np.ndarray | None = None
+    cell_kinds: np.ndarray | None = None
+    escapes: list | None = None
+
+    def __len__(self) -> int:
+        return 0 if self.data is None else len(self.data)
+
+
+def pack_cells(values: Sequence) -> PackedColumn:
+    """Pack one column of delta cells, preserving every cell's exact type.
+
+    Homogeneous columns (the overwhelmingly common case for agent state)
+    take an all-array fast path; anything else falls into the mixed layout
+    with per-cell kind tags and the pickle escape list.  The contract is
+    ``unpack_cells(pack_cells(values)) == values`` with *identical* types
+    and bit patterns, for arbitrary Python values.
+    """
+    # set(map(...)) runs the type scan at C speed; columns are almost
+    # always homogeneous, so this one pass decides the layout.
+    kinds = set(map(type, values))
+    if not kinds or kinds == {float}:
+        return PackedColumn("f", np.asarray(values, dtype=np.float64))
+    if kinds == {bool}:
+        return PackedColumn("b", np.asarray(values, dtype=np.bool_))
+    if kinds == {int}:
+        try:
+            return PackedColumn("i", np.asarray(values, dtype=np.int64))
+        except OverflowError:
+            pass  # an int outside int64: fall through to the escape column
+    data = np.zeros(len(values), dtype=np.float64)
+    cell_kinds = np.empty(len(values), dtype=np.uint8)
+    escapes: list = []
+    for row, value in enumerate(values):
+        kind = type(value)
+        if kind is float:
+            cell_kinds[row] = CELL_FLOAT
+            data[row] = value
+        elif kind is bool:
+            cell_kinds[row] = CELL_BOOL
+            data[row] = 1.0 if value else 0.0
+        elif kind is int:
+            try:
+                data[row] = pack_value(value)
+            except UnpackableValueError:
+                cell_kinds[row] = CELL_ESCAPE
+                escapes.append(value)
+            else:
+                cell_kinds[row] = CELL_INT
+        else:
+            cell_kinds[row] = CELL_ESCAPE
+            escapes.append(value)
+    return PackedColumn("m", data, cell_kinds, escapes)
+
+
+def unpack_cells(column: PackedColumn) -> list:
+    """Restore the exact Python cells of a column packed by :func:`pack_cells`."""
+    if column.kind != "m":
+        # ndarray.tolist() rebuilds native Python floats/ints/bools with the
+        # element's exact value (bit pattern included for float64).
+        return column.data.tolist()
+    out: list = []
+    escapes = iter(column.escapes or ())
+    data = column.data
+    for row, kind in enumerate(column.cell_kinds):
+        if kind == CELL_FLOAT:
+            out.append(float(data[row]))
+        elif kind == CELL_BOOL:
+            out.append(bool(data[row]))
+        elif kind == CELL_INT:
+            out.append(int(data[row]))
+        else:
+            out.append(next(escapes))
+    return out
 
 
 def _cells_equal(a: float, b: float) -> bool:

@@ -33,28 +33,33 @@ import numpy as np
 
 from repro.core.errors import HistoryError
 from repro.core.ordering import agent_sort_key
+from repro.core.soa import PackedColumn, pack_cells, unpack_cells
 from repro.core.world import World
 from repro.history.store import HistoryStore
 
 
-def _pack_column(values: list[Any]) -> Any:
-    """Pack one field's values columnar when they are homogeneous numbers.
+def _pack_column(values: list[Any]) -> PackedColumn:
+    """Pack one field's values through the shared delta-cell codec.
 
-    ``float64``/``int64`` arrays round-trip Python floats and ints exactly
-    (``.tolist()`` restores the original objects bit for bit), which is what
-    the bit-identical replay guarantee needs; anything else — bools, mixed
-    types, non-numerics — stays a plain list.
+    Delegates to :func:`repro.core.soa.pack_cells` — the same column layout
+    the resident-shard IPC frames use — so bool columns pack as bit arrays
+    and mixed columns get per-cell kind tags with a pickle escape list
+    instead of falling back to a plain Python list.  The round trip is
+    bit-identical for arbitrary cells, which is exactly the replay
+    guarantee's requirement.
     """
-    if values and all(type(value) is float for value in values):
-        return np.asarray(values, dtype=np.float64)
-    if values and all(type(value) is int for value in values):
-        if all(-(2**63) <= value < 2**63 for value in values):
-            return np.asarray(values, dtype=np.int64)
-    return list(values)
+    return pack_cells(values)
 
 
 def unpack_column(column: Any) -> list[Any]:
-    """Restore a column written by :func:`_pack_column` to Python values."""
+    """Restore a column written by :func:`_pack_column` to Python values.
+
+    Accepts all three on-disk generations: :class:`PackedColumn` (current),
+    bare ``float64``/``int64`` arrays (earlier stores) and plain lists
+    (the original format), so old trajectories stay replayable.
+    """
+    if isinstance(column, PackedColumn):
+        return unpack_cells(column)
     if isinstance(column, np.ndarray):
         return column.tolist()
     return list(column)

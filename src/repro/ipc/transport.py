@@ -1,0 +1,260 @@
+"""Shared-memory transport for columnar delta frames.
+
+The process backend's pool pipes copy every payload twice (driver pickle →
+pipe → host unpickle, and back for results).  For the columnar frames of
+:mod:`repro.ipc.frames` the bulk bytes are already contiguous buffers, so
+this module moves them through ``multiprocessing.shared_memory`` instead:
+the sender parks an encoded frame in a named segment and ships only a tiny
+:class:`FrameToken` (name + length) through the pipe; the receiver maps
+the segment and decodes straight out of the shared buffer.
+
+Lifecycle is double-buffered pooling rather than per-frame churn:
+
+* a :class:`SegmentPool` owns the segments one *sender* creates.  Each
+  frame acquires a free segment with enough capacity (or creates one with
+  power-of-two capacity), and the segment returns to the free list once
+  the receiver is done — command segments when their round completes,
+  result segments via the release list piggybacked on the *next* round's
+  submission.  Steady state is a handful of segments per host, reused
+  every tick, zero allocation churn.
+* a :class:`SegmentCache` keeps the *receiver's* attachments open by name
+  across rounds, so a reused segment maps exactly once per process.
+* the creating process unlinks everything at pool close; shard hosts run
+  an explicit transport-close task during executor teardown, before the
+  driver's own pool closes.
+
+On this interpreter (CPython < 3.13) the ``resource_tracker`` — one
+process shared by the driver and its forked shard hosts — would hear
+about every create, attach and unlink and mismatch them (its cache is a
+set of names, so cross-process pairs collapse); pooled segments instead
+run every lifecycle step under :func:`_tracker_silenced`, leaving cleanup
+entirely to the explicit owner-managed teardown.
+
+Everything degrades gracefully: :func:`shm_available` probes once per
+process, and any ``OSError`` while parking a frame falls back to sending
+the blob bytes through the pipe — the frame codec does not care how its
+bytes traveled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+try:  # pragma: no cover - exercised only where shm is missing entirely
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+
+@dataclass(frozen=True)
+class FrameToken:
+    """Reference to an encoded frame parked in a shared-memory segment."""
+
+    name: str
+    length: int
+
+
+@contextmanager
+def _tracker_silenced():
+    """Keep the ``resource_tracker`` out of our segments' lifecycle.
+
+    CPython before 3.13 registers every segment with the resource tracker on
+    create *and* attach, and unregisters on unlink.  The tracker process is
+    shared by the driver and its forked shard hosts and keeps a *set* of
+    names, so cross-process register/unregister pairs collapse and mismatch
+    — producing KeyError noise in the tracker and spurious unlink attempts
+    at exit.  Pool segments have an explicit owner-managed lifecycle
+    (:meth:`SegmentPool.close`, the hosts' transport-close task), so the
+    cleanest contract is that the tracker never hears about them at all:
+    every create/attach/unlink runs with the tracker hooks stubbed out.
+    """
+    if sys.version_info >= (3, 13):  # pragma: no cover - track=False exists
+        yield
+        return
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - no tracker, nothing to silence
+        yield
+        return
+    original_register = resource_tracker.register
+    original_unregister = resource_tracker.unregister
+
+    def quiet_register(name, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - not our resource
+            original_register(name, rtype)
+
+    def quiet_unregister(name, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - not our resource
+            original_unregister(name, rtype)
+
+    resource_tracker.register = quiet_register
+    resource_tracker.unregister = quiet_unregister
+    try:
+        yield
+    finally:
+        resource_tracker.register = original_register
+        resource_tracker.unregister = original_unregister
+
+
+_SEGMENT_COUNTER = itertools.count()
+
+#: Smallest segment capacity; tiny frames share the same pooled segments.
+_MIN_SEGMENT_BYTES = 1 << 12
+
+
+class SegmentPool:
+    """Reusable named shared-memory segments owned by one sender process.
+
+    ``write`` parks a byte blob and returns its :class:`FrameToken`;
+    ``release`` returns a segment to the free list once the receiver has
+    consumed it.  ``close`` unlinks every segment this pool created —
+    only the creating process may call it.
+    """
+
+    def __init__(self):
+        self._segments: dict = {}
+        self._free: list = []
+
+    def write(self, blob) -> FrameToken:
+        """Copy ``blob`` into a pooled segment and return its token."""
+        nbytes = len(blob)
+        segment = self._acquire(nbytes)
+        segment.buf[:nbytes] = blob
+        return FrameToken(segment.name, nbytes)
+
+    def _acquire(self, nbytes: int):
+        for index, segment in enumerate(self._free):
+            if segment.size >= nbytes:
+                return self._free.pop(index)
+        capacity = max(_MIN_SEGMENT_BYTES, 1 << max(nbytes - 1, 1).bit_length())
+        name = f"repro_{os.getpid()}_{next(_SEGMENT_COUNTER)}"
+        with _tracker_silenced():
+            segment = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+        self._segments[segment.name] = segment
+        return segment
+
+    def release(self, name: str) -> None:
+        """Return the named segment to the free list for reuse."""
+        segment = self._segments.get(name)
+        if segment is not None and segment not in self._free:
+            self._free.append(segment)
+
+    def close(self) -> None:
+        """Close and unlink every segment this pool created."""
+        with _tracker_silenced():
+            for segment in self._segments.values():
+                try:
+                    segment.close()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                try:
+                    segment.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+        self._segments.clear()
+        self._free.clear()
+
+
+class SegmentCache:
+    """A receiver's open attachments, keyed by segment name.
+
+    Pooled segments are reused across rounds under the same name, so each
+    maps exactly once per receiving process; ``view`` returns a zero-copy
+    ``memoryview`` of the token's live bytes.
+    """
+
+    def __init__(self):
+        self._segments: dict = {}
+        #: Attachments whose close hit a live exported view; kept referenced
+        #: so their finalizer runs after the view is released, not mid-close.
+        self._pinned: list = []
+
+    def view(self, token: FrameToken):
+        """A zero-copy view of the token's bytes (attaching on first use)."""
+        segment = self._segments.get(token.name)
+        if segment is None:
+            with _tracker_silenced():
+                segment = shared_memory.SharedMemory(name=token.name)
+            self._segments[token.name] = segment
+        return segment.buf[: token.length]
+
+    def close(self) -> None:
+        """Drop every attachment (the owner unlinks; we only close)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BufferError:
+                # A zero-copy view is still exported; pin the segment so it
+                # outlives the view instead of finalizing under it.
+                self._pinned.append(segment)
+            except OSError:  # pragma: no cover - best effort
+                pass
+        self._segments.clear()
+
+
+_SHM_AVAILABLE: bool | None = None
+
+
+def shm_available() -> bool:
+    """Probe (once per process) whether shared-memory segments work here."""
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        if shared_memory is None:
+            _SHM_AVAILABLE = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(
+                    name=f"repro_probe_{os.getpid()}", create=True, size=16
+                )
+                probe.close()
+                probe.unlink()
+                _SHM_AVAILABLE = True
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+# --------------------------------------------------------------------------
+# Per-process transport endpoints (the shard-host side)
+# --------------------------------------------------------------------------
+
+_PROCESS_POOL: SegmentPool | None = None
+_PROCESS_CACHE: SegmentCache | None = None
+
+
+def process_pool() -> SegmentPool:
+    """This process's segment pool for *sending* frames (lazily created)."""
+    global _PROCESS_POOL
+    if _PROCESS_POOL is None:
+        _PROCESS_POOL = SegmentPool()
+    return _PROCESS_POOL
+
+
+def process_cache() -> SegmentCache:
+    """This process's attachment cache for *receiving* frames."""
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = SegmentCache()
+    return _PROCESS_CACHE
+
+
+def release_process_segments(names) -> None:
+    """Return previously sent segments to this process's pool."""
+    if _PROCESS_POOL is not None:
+        for name in names:
+            _PROCESS_POOL.release(name)
+
+
+def close_process_transport() -> None:
+    """Tear down this process's pool and cache (executor shutdown hook)."""
+    global _PROCESS_POOL, _PROCESS_CACHE
+    if _PROCESS_CACHE is not None:
+        _PROCESS_CACHE.close()
+        _PROCESS_CACHE = None
+    if _PROCESS_POOL is not None:
+        _PROCESS_POOL.close()
+        _PROCESS_POOL = None

@@ -83,6 +83,19 @@ def default_worker_count() -> int:
     return os.cpu_count() or 1
 
 
+def available_parallelism() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    Scheduling decisions like comm/compute overlap key off this rather than
+    the raw CPU count: inside a restricted cpuset the extra concurrency only
+    buys context switches.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def wall_clock_imbalance(seconds: Sequence[float]) -> float:
     """Max-over-mean ratio of per-task wall-clock times (1.0 = perfectly even).
 
@@ -110,16 +123,26 @@ class TaskResult:
 class ShardTaskResult:
     """Outcome of one shard-affine task (:meth:`Executor.run_sharded_tasks`).
 
-    ``payload_bytes``/``result_bytes`` are the *measured* pickled sizes of
+    ``payload_bytes``/``result_bytes`` are the *measured* encoded sizes of
     what crossed a process boundary; both are 0 on backends that share the
-    caller's memory (nothing was serialized).
+    caller's memory, unless a codec was supplied (forced columnar framing on
+    an in-process backend), in which case they are the measured frame sizes
+    of the in-process round trip.
+
+    ``serialize_seconds``/``transport_seconds`` split the non-compute IPC
+    cost: time spent encoding/decoding payloads and results (both ends) and
+    time spent moving the encoded bytes (shared-memory parking/mapping; the
+    pool pipe's copy cost is not separately observable and folds into wait
+    time at the caller).
     """
 
     shard_id: int        #: Shard the task ran against.
     value: Any           #: The task function's return value.
     wall_seconds: float  #: Wall-clock time of the task body, where it ran.
-    payload_bytes: int = 0  #: Pickled payload size shipped to the shard.
-    result_bytes: int = 0   #: Pickled result size shipped back.
+    payload_bytes: int = 0  #: Encoded payload size shipped to the shard.
+    result_bytes: int = 0   #: Encoded result size shipped back.
+    serialize_seconds: float = 0.0  #: Encode + decode time, both ends.
+    transport_seconds: float = 0.0  #: Shared-memory write/map time, both ends.
 
 
 def _timed_call(task: Callable[[], Any]) -> tuple[Any, float]:
@@ -138,6 +161,34 @@ def _timed_shard_call(fn: Callable[[Any, Any], Any], state: Any, payload: Any) -
     start = time.perf_counter()
     value = fn(state, payload)
     return value, time.perf_counter() - start
+
+
+def _codec_shard_call(
+    codec, shard_id: int, fn: Callable[[Any, Any], Any], state: Any, payload: Any
+) -> ShardTaskResult:
+    """Run one shard task through a full in-process codec round trip.
+
+    The memory-sharing backends use this when a codec is forced on them:
+    the payload and result are encoded and decoded exactly as they would be
+    across a process boundary (same bytes, same object copies), which is how
+    the columnar wire format is conformance-tested without pool overhead —
+    and why the returned byte counts are real measurements, not zeros.
+    """
+    start = time.perf_counter()
+    decoded_payload, payload_bytes = codec.roundtrip(payload)
+    serialize_seconds = time.perf_counter() - start
+    value, seconds = _timed_shard_call(fn, state, decoded_payload)
+    start = time.perf_counter()
+    result, result_bytes = codec.roundtrip(value)
+    serialize_seconds += time.perf_counter() - start
+    return ShardTaskResult(
+        shard_id,
+        result,
+        seconds,
+        payload_bytes=payload_bytes,
+        result_bytes=result_bytes,
+        serialize_seconds=serialize_seconds,
+    )
 
 
 def _is_pickling_error(error: BaseException) -> bool:
@@ -192,6 +243,7 @@ class Executor:
         self,
         factory: Callable[[int, Any], Any],
         payloads: dict[int, Any],
+        codec=None,
     ) -> None:
         """Create one durable shard state per entry of ``payloads``.
 
@@ -199,6 +251,11 @@ class Executor:
         live*; on the process backend both the factory and the payload must
         be picklable.  Shards stay alive across :meth:`run_sharded_tasks`
         calls until :meth:`teardown_shards`.
+
+        ``codec`` (a :class:`repro.ipc.frames.ColumnarCodec`) selects the
+        columnar wire format for seed payloads on backends that cross a
+        process boundary; memory-sharing backends hand the payloads to the
+        factory directly and ignore it.
         """
         if self._shards is not None:
             raise ExecutorError(
@@ -213,7 +270,10 @@ class Executor:
         return self._shards is not None
 
     def run_sharded_tasks(
-        self, tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]]
+        self,
+        tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]],
+        codec=None,
+        overlap: bool = False,
     ) -> list[ShardTaskResult]:
         """Run ``(shard_id, fn, payload)`` tasks against their resident states.
 
@@ -222,12 +282,28 @@ class Executor:
         within one batch run sequentially in submission order (shard state is
         never mutated concurrently); tasks addressing different shards may
         run in parallel.
+
+        ``codec`` selects the columnar wire format for payloads and results
+        (see :class:`repro.ipc.frames.ColumnarCodec`).  Memory-sharing
+        backends honor it by round-tripping every payload and result through
+        the codec *in process* — same bytes, same object copies as a real
+        boundary crossing, measured and reported — which is how the wire
+        format is conformance-tested without pool overhead.  ``overlap``
+        lets the process backend ship each payload as soon as it is encoded
+        so hosts compute while later payloads are still serializing; it is a
+        scheduling hint only and never changes results, so memory-sharing
+        backends ignore it.
         """
         states = self._require_shards(tasks)
         results: list[ShardTaskResult | None] = [None] * len(tasks)
         for index, (shard_id, fn, payload) in enumerate(tasks):
-            value, seconds = _timed_shard_call(fn, states[shard_id], payload)
-            results[index] = ShardTaskResult(shard_id, value, seconds)
+            if codec is not None:
+                results[index] = _codec_shard_call(
+                    codec, shard_id, fn, states[shard_id], payload
+                )
+            else:
+                value, seconds = _timed_shard_call(fn, states[shard_id], payload)
+                results[index] = ShardTaskResult(shard_id, value, seconds)
         return results  # type: ignore[return-value]
 
     def teardown_shards(self) -> None:
@@ -364,13 +440,17 @@ class ThreadExecutor(_PooledExecutor):
         )
 
     def run_sharded_tasks(
-        self, tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]]
+        self,
+        tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]],
+        codec=None,
+        overlap: bool = False,
     ) -> list[ShardTaskResult]:
         """Run shard tasks on the thread pool, one serialized chain per shard.
 
         Grouping by shard keeps a shard's state single-threaded while
         distinct shards overlap, matching the process backend's concurrency
-        contract without pickling anything.
+        contract without pickling anything.  A forced ``codec`` round-trips
+        payloads and results in process, exactly like the serial backend.
         """
         states = self._require_shards(tasks)
         if not tasks:
@@ -383,8 +463,12 @@ class ThreadExecutor(_PooledExecutor):
             state = states[shard_id]
             out = []
             for index, fn, payload in items:
-                value, seconds = _timed_shard_call(fn, state, payload)
-                out.append((index, ShardTaskResult(shard_id, value, seconds)))
+                if codec is not None:
+                    result = _codec_shard_call(codec, shard_id, fn, state, payload)
+                else:
+                    value, seconds = _timed_shard_call(fn, state, payload)
+                    result = ShardTaskResult(shard_id, value, seconds)
+                out.append((index, result))
             return out
 
         pool = self._ensure_pool()
@@ -410,36 +494,107 @@ class ThreadExecutor(_PooledExecutor):
 _RESIDENT_SHARD_STATES: dict[int, Any] = {}
 
 
-def _host_init_shards(items: list) -> int:
+def _host_init_shards(items: list, codec=None) -> int:
     """Build shard states inside a host process; returns the host's pid.
 
     ``items`` is a list of ``(shard_id, factory, payload_blob)`` with the
-    payload pre-pickled by the driver (so serialization happens exactly once
-    and its size can be measured there).
+    payload pre-encoded by the driver (so serialization happens exactly once
+    and its size can be measured there); ``codec`` names the wire format the
+    blobs were encoded with (``None`` means plain pickle).
     """
     for shard_id, factory, blob in items:
-        _RESIDENT_SHARD_STATES[shard_id] = factory(shard_id, pickle.loads(blob))
+        payload = codec.decode(blob) if codec is not None else pickle.loads(blob)
+        _RESIDENT_SHARD_STATES[shard_id] = factory(shard_id, payload)
     return os.getpid()
 
 
 def _host_run_shard_tasks(items: list) -> list:
     """Run ``(shard_id, fn, payload_blob)`` tasks against resident states.
 
-    Returns one ``(result_blob, wall_seconds)`` per item, in order; results
-    are pickled here so the driver can measure the bytes coming back.
+    The legacy pickle wire path.  Returns one ``(result_blob, wall_seconds,
+    codec_seconds)`` per item, in order; results are pickled here so the
+    driver can measure the bytes coming back, and ``codec_seconds`` is the
+    host-side share of (de)serialization time.
     """
     out = []
     for shard_id, fn, blob in items:
-        try:
-            state = _RESIDENT_SHARD_STATES[shard_id]
-        except KeyError:
-            raise ExecutorError(
-                f"resident shard {shard_id!r} is not initialized in this host process"
-            ) from None
+        state = _host_shard_state(shard_id)
+        start = time.perf_counter()
         payload = pickle.loads(blob)
+        codec_seconds = time.perf_counter() - start
         value, seconds = _timed_shard_call(fn, state, payload)
-        out.append((pickle.dumps(value, pickle.HIGHEST_PROTOCOL), seconds))
+        start = time.perf_counter()
+        result_blob = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        codec_seconds += time.perf_counter() - start
+        out.append((result_blob, seconds, codec_seconds))
     return out
+
+
+def _host_shard_state(shard_id: int):
+    """The resident state for ``shard_id`` in this host process, or raise."""
+    try:
+        return _RESIDENT_SHARD_STATES[shard_id]
+    except KeyError:
+        raise ExecutorError(
+            f"resident shard {shard_id!r} is not initialized in this host process"
+        ) from None
+
+
+def _host_run_framed_task(codec, shard_id: int, fn, frame, release_names, use_shm: bool):
+    """Run one columnar-framed shard task inside its host process.
+
+    ``frame`` is either a :class:`repro.ipc.transport.FrameToken` naming a
+    driver-owned shared-memory segment or raw blob bytes (pipe fallback).
+    ``release_names`` returns this host's *result* segments from earlier
+    rounds to its pool — the driver piggybacks them on the next submission,
+    which is what makes the segment lifecycle double-buffered.  Returns
+    ``(result_ref, result_bytes, wall_seconds, codec_seconds, shm_seconds)``
+    where ``result_ref`` is a token into this host's own segment pool when
+    shared memory is usable, else the encoded blob itself.
+    """
+    from repro.ipc import transport as ipc_transport
+
+    if release_names:
+        ipc_transport.release_process_segments(release_names)
+    state = _host_shard_state(shard_id)
+    shm_seconds = 0.0
+    start = time.perf_counter()
+    if isinstance(frame, ipc_transport.FrameToken):
+        view = ipc_transport.process_cache().view(frame)
+        shm_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        try:
+            payload = codec.decode(view)
+        finally:
+            view.release()
+    else:
+        payload = codec.decode(frame)
+    codec_seconds = time.perf_counter() - start
+    value, seconds = _timed_shard_call(fn, state, payload)
+    start = time.perf_counter()
+    blob = codec.encode(value)
+    codec_seconds += time.perf_counter() - start
+    result_ref = blob
+    if use_shm and ipc_transport.shm_available():
+        start = time.perf_counter()
+        try:
+            result_ref = ipc_transport.process_pool().write(blob)
+        except OSError:  # no room in /dev/shm: the pipe still works
+            result_ref = blob
+        shm_seconds += time.perf_counter() - start
+    return result_ref, len(blob), seconds, codec_seconds, shm_seconds
+
+
+def _host_close_transport() -> int:
+    """Tear down a host's shared-memory transport; returns the host's pid.
+
+    Runs as the last task on each host before executor teardown so the
+    host's own result segments are unlinked by their creating process.
+    """
+    from repro.ipc import transport as ipc_transport
+
+    ipc_transport.close_process_transport()
+    return os.getpid()
 
 
 class ProcessExecutor(_PooledExecutor):
@@ -466,6 +621,9 @@ class ProcessExecutor(_PooledExecutor):
         self._shard_hosts: list[ProcessPoolExecutor] | None = None
         self._shard_to_host: dict[int, int] = {}
         self._host_pids: dict[int, int] = {}
+        self._shm_pool = None   # driver-owned command segments (lazily built)
+        self._shm_cache = None  # driver attachments to host result segments
+        self._host_release: dict[int, list[str]] = {}
 
     def _make_pool(self):
         return ProcessPoolExecutor(max_workers=self.max_workers)
@@ -477,6 +635,7 @@ class ProcessExecutor(_PooledExecutor):
         self,
         factory: Callable[[int, Any], Any],
         payloads: dict[int, Any],
+        codec=None,
     ) -> None:
         if self._shard_hosts is not None:
             raise ExecutorError(
@@ -493,12 +652,12 @@ class ProcessExecutor(_PooledExecutor):
         per_host: dict[int, list] = {}
         try:
             for shard_id in shard_ids:
-                blob = self._dumps(payloads[shard_id], "resident shard seed")
+                blob = self._encode(codec, payloads[shard_id], "resident shard seed")
                 per_host.setdefault(self._shard_to_host[shard_id], []).append(
                     (shard_id, factory, blob)
                 )
             futures = {
-                host: self._shard_hosts[host].submit(_host_init_shards, items)
+                host: self._shard_hosts[host].submit(_host_init_shards, items, codec)
                 for host, items in sorted(per_host.items())
             }
             wait(list(futures.values()), return_when=FIRST_EXCEPTION)
@@ -512,18 +671,26 @@ class ProcessExecutor(_PooledExecutor):
         return self._shard_hosts is not None
 
     def run_sharded_tasks(
-        self, tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]]
+        self,
+        tasks: Sequence[tuple[int, Callable[[Any, Any], Any], Any]],
+        codec=None,
+        overlap: bool = False,
     ) -> list[ShardTaskResult]:
         if self._shard_hosts is None:
             raise ExecutorError("no resident shards are initialized; call init_shards() first")
         if not tasks:
             return []
+        if codec is not None:
+            return self._run_framed_tasks(tasks, codec, overlap)
         groups: dict[int, list] = {}
+        dump_seconds: dict[int, float] = {}
         for index, (shard_id, fn, payload) in enumerate(tasks):
             host = self._shard_to_host.get(shard_id)
             if host is None:
                 raise ExecutorError(f"unknown resident shard {shard_id!r}")
+            start = time.perf_counter()
             blob = self._dumps(payload, "resident shard payload")
+            dump_seconds[index] = time.perf_counter() - start
             groups.setdefault(host, []).append((index, shard_id, fn, blob))
         futures = {
             host: self._shard_hosts[host].submit(
@@ -535,15 +702,123 @@ class ProcessExecutor(_PooledExecutor):
         results: list[ShardTaskResult | None] = [None] * len(tasks)
         for host, items in sorted(groups.items()):
             host_results = self._shard_result(futures[host])
-            for (index, shard_id, _fn, blob), (value_blob, seconds) in zip(items, host_results):
+            for (index, shard_id, _fn, blob), (value_blob, seconds, host_codec) in zip(
+                items, host_results
+            ):
+                start = time.perf_counter()
+                value = pickle.loads(value_blob)
+                loads_seconds = time.perf_counter() - start
                 results[index] = ShardTaskResult(
                     shard_id,
-                    pickle.loads(value_blob),
+                    value,
                     seconds,
                     payload_bytes=len(blob),
                     result_bytes=len(value_blob),
+                    serialize_seconds=dump_seconds[index] + host_codec + loads_seconds,
                 )
         return results  # type: ignore[return-value]
+
+    def _run_framed_tasks(self, tasks, codec, overlap: bool) -> list[ShardTaskResult]:
+        """The columnar wire path: framed payloads, pooled shm, overlap.
+
+        Each task travels as one encoded frame.  With shared memory the
+        frame parks in a driver-owned pooled segment and only a tiny token
+        crosses the pipe; hosts return their results the same way (tokens
+        into host-owned pools), and each side's segments recycle — command
+        segments when their round's future completes, result segments via
+        the release list piggybacked on the host's next task.  ``overlap``
+        submits each task the moment its frame is encoded, so hosts decode
+        and compute while the driver is still encoding later frames.
+        """
+        from repro.ipc import transport as ipc_transport
+
+        use_shm = ipc_transport.shm_available()
+        if use_shm and self._shm_pool is None:
+            self._shm_pool = ipc_transport.SegmentPool()
+            self._shm_cache = ipc_transport.SegmentCache()
+        pending: list = []
+        for index, (shard_id, fn, payload) in enumerate(tasks):
+            host = self._shard_to_host.get(shard_id)
+            if host is None:
+                raise ExecutorError(f"unknown resident shard {shard_id!r}")
+            start = time.perf_counter()
+            blob = self._encode(codec, payload, "resident shard payload")
+            encode_seconds = time.perf_counter() - start
+            token = None
+            shm_seconds = 0.0
+            if use_shm:
+                start = time.perf_counter()
+                try:
+                    token = self._shm_pool.write(blob)
+                except OSError:  # no room in /dev/shm: the pipe still works
+                    token = None
+                shm_seconds = time.perf_counter() - start
+            entry = {
+                "index": index,
+                "shard_id": shard_id,
+                "host": host,
+                "fn": fn,
+                "frame": token if token is not None else blob,
+                "token": token,
+                "payload_bytes": len(blob),
+                "serialize": encode_seconds,
+                "transport": shm_seconds,
+                "future": None,
+            }
+            if overlap:
+                self._submit_framed(entry, codec, use_shm)
+            pending.append(entry)
+        for entry in pending:
+            if entry["future"] is None:
+                self._submit_framed(entry, codec, use_shm)
+        wait([entry["future"] for entry in pending], return_when=FIRST_EXCEPTION)
+        results: list[ShardTaskResult | None] = [None] * len(tasks)
+        for entry in pending:
+            result_ref, result_bytes, seconds, host_codec, host_shm = self._shard_result(
+                entry["future"]
+            )
+            start = time.perf_counter()
+            if isinstance(result_ref, ipc_transport.FrameToken):
+                view = self._shm_cache.view(result_ref)
+                shm_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                try:
+                    value = codec.decode(view)
+                finally:
+                    view.release()
+                decode_seconds = time.perf_counter() - start
+                self._host_release.setdefault(entry["host"], []).append(result_ref.name)
+            else:
+                value = codec.decode(result_ref)
+                decode_seconds = time.perf_counter() - start
+                shm_seconds = 0.0
+            if entry["token"] is not None:
+                # The host consumed the command frame before its future
+                # resolved, so the segment can host next round's command.
+                self._shm_pool.release(entry["token"].name)
+            results[entry["index"]] = ShardTaskResult(
+                entry["shard_id"],
+                value,
+                seconds,
+                payload_bytes=entry["payload_bytes"],
+                result_bytes=result_bytes,
+                serialize_seconds=entry["serialize"] + host_codec + decode_seconds,
+                transport_seconds=entry["transport"] + host_shm + shm_seconds,
+            )
+        return results  # type: ignore[return-value]
+
+    def _submit_framed(self, entry: dict, codec, use_shm: bool) -> None:
+        host = entry["host"]
+        release_names = self._host_release.pop(host, [])
+        entry["future"] = self._shard_hosts[host].submit(
+            _host_run_framed_task,
+            codec,
+            entry["shard_id"],
+            entry["fn"],
+            entry["frame"],
+            release_names,
+            use_shm,
+        )
 
     def shard_host_pid(self, shard_id: int) -> int:
         """Pid of the host process a shard is pinned to (affinity probe)."""
@@ -555,9 +830,21 @@ class ProcessExecutor(_PooledExecutor):
         hosts, self._shard_hosts = self._shard_hosts, None
         self._shard_to_host = {}
         self._host_pids = {}
+        self._host_release = {}
+        if self._shm_cache is not None:
+            # Drop driver attachments before the hosts unlink their segments.
+            self._shm_cache.close()
+            self._shm_cache = None
         if hosts:
             for host in hosts:
+                try:
+                    host.submit(_host_close_transport).result(timeout=30)
+                except Exception:
+                    pass  # a broken host cannot clean up; nothing to do
                 host.shutdown(wait=True)
+        if self._shm_pool is not None:
+            self._shm_pool.close()
+            self._shm_pool = None
 
     def _shard_result(self, future: Future):
         """Unwrap a host future, converting infrastructure failures.
@@ -583,6 +870,23 @@ class ProcessExecutor(_PooledExecutor):
                 f"the {self.name} executor could not serialize a shard task: {error}. "
                 "Shard factories, task functions and payloads must be picklable "
                 "(module-level functions and importable classes)."
+            ) from error
+
+    @classmethod
+    def _encode(cls, codec, value: Any, what: str) -> bytes:
+        """Encode ``value`` with the codec (or plain pickle), classifying failures."""
+        if codec is None:
+            return cls._dumps(value, what)
+        try:
+            return codec.encode(value)
+        except (pickle.PickleError, AttributeError, TypeError) as error:
+            if not _is_pickling_error(error):
+                raise
+            raise ExecutorError(
+                f"the process executor could not serialize a {what}: {error}. "
+                "Everything crossing the shard boundary must be picklable "
+                "(module-level functions and importable classes; dynamic classes "
+                "need a __reduce__ hook)."
             ) from error
 
     @staticmethod

@@ -87,12 +87,26 @@ class SpatialPartitioning:
         A partition needs a replica of an agent at ``point`` exactly when the
         agent falls inside the partition's visible region, i.e. the owned
         region expanded by the visibility radii.
+
+        The expanded regions depend only on the partitioning and the radii,
+        not on the point, so they are cached per visibility — this runs once
+        per agent per tick and partitionings are replaced (never mutated)
+        when boundaries move, which keeps the cache trivially valid.
         """
-        targets = []
-        for part in self.partitions():
-            if part.visible_region(visibility).contains_point(point):
-                targets.append(part.partition_id)
-        return targets
+        cache = self.__dict__.setdefault("_visible_region_cache", {})
+        key = tuple(visibility) if isinstance(visibility, (list, tuple)) else visibility
+        regions = cache.get(key)
+        if regions is None:
+            regions = [
+                (part.partition_id, part.visible_region(visibility))
+                for part in self.partitions()
+            ]
+            cache[key] = regions
+        return [
+            partition_id
+            for partition_id, region in regions
+            if region.contains_point(point)
+        ]
 
 
 class GridPartitioning(SpatialPartitioning):

@@ -59,6 +59,7 @@ SIMULATION_SURFACE = {
     "with_index",
     "with_spatial_backend",
     "with_plan_backend",
+    "with_ipc_backend",
     "with_load_balancing",
     "with_epochs",
     "with_checkpointing",

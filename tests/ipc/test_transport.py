@@ -1,0 +1,115 @@
+"""Lifecycle of the pooled shared-memory transport.
+
+These tests only run where ``multiprocessing.shared_memory`` actually
+works (it needs a writable /dev/shm); everywhere else the transport layer
+reports unavailable and the executor falls back to pipe blobs, which the
+equivalence suite covers.
+"""
+
+import pytest
+
+from repro.ipc.transport import (
+    FrameToken,
+    SegmentCache,
+    SegmentPool,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory is unavailable on this platform"
+)
+
+
+@pytest.fixture
+def pool():
+    pool = SegmentPool()
+    yield pool
+    pool.close()
+
+
+class TestSegmentPool:
+    def test_write_read_roundtrip(self, pool):
+        blob = b"columnar-frame-bytes"
+        token = pool.write(blob)
+        assert isinstance(token, FrameToken)
+        assert token.length == len(blob)
+        cache = SegmentCache()
+        try:
+            view = cache.view(token)
+            try:
+                assert bytes(view) == blob
+            finally:
+                view.release()
+        finally:
+            cache.close()
+
+    def test_released_segments_are_reused(self, pool):
+        first = pool.write(b"x" * 100)
+        pool.release(first.name)
+        second = pool.write(b"y" * 80)
+        # Same capacity class, freed before the second write -> same segment.
+        assert second.name == first.name
+
+    def test_distinct_live_frames_get_distinct_segments(self, pool):
+        a = pool.write(b"a" * 10)
+        b = pool.write(b"b" * 10)
+        assert a.name != b.name
+
+    def test_capacity_grows_for_large_frames(self, pool):
+        small = pool.write(b"s")
+        pool.release(small.name)
+        big_blob = bytes(1 << 16)
+        big = pool.write(big_blob)
+        # The small freed segment cannot hold it; a larger one is created.
+        assert big.name != small.name
+        cache = SegmentCache()
+        try:
+            view = cache.view(big)
+            try:
+                assert bytes(view) == big_blob
+            finally:
+                view.release()
+        finally:
+            cache.close()
+
+    def test_close_unlinks_segments(self):
+        pool = SegmentPool()
+        token = pool.write(b"doomed")
+        pool.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=token.name)
+
+    def test_close_is_idempotent(self):
+        pool = SegmentPool()
+        pool.write(b"x")
+        pool.close()
+        pool.close()
+
+
+class TestSegmentCache:
+    def test_attaches_once_per_segment(self, pool):
+        token = pool.write(b"hello")
+        cache = SegmentCache()
+        try:
+            view = cache.view(token)
+            view.release()
+            # Re-reading the same (reused) segment maps no new attachment.
+            attached = len(cache._segments)
+            view = cache.view(FrameToken(token.name, 3))
+            try:
+                assert bytes(view) == b"hel"
+            finally:
+                view.release()
+            assert len(cache._segments) == attached == 1
+        finally:
+            cache.close()
+
+    def test_close_with_unreleased_view_does_not_raise(self, pool):
+        token = pool.write(b"sticky")
+        cache = SegmentCache()
+        view = cache.view(token)
+        cache.close()  # BufferError path: swallowed, segment stays mapped
+        assert bytes(view) == b"sticky"
+        view.release()
