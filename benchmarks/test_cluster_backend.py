@@ -1,0 +1,145 @@
+"""Benchmark: the cluster backend ships boundary deltas over sockets.
+
+The collocation argument survives the move from shared memory to TCP: a
+cluster run hosts the resident shards in socket-connected node processes,
+but each tick still crosses the wire as the same three-round columnar
+delta frames the process backend uses.  This benchmark reuses the
+strip-world methodology of :mod:`benchmarks.test_resident_shards` — grow
+the world at fixed density so the partition *boundary* stays constant —
+and checks that the measured per-tick socket bytes track the boundary,
+not the agent count: quadrupling the population must not grow the
+traffic by more than ~10%.
+
+The equivalence half pins the correctness bar the numbers stand on:
+cluster runs (including one with a forced mid-run shard migration
+between nodes) are bit-identical to serial on both evaluation models.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks._bench_io import write_bench
+from benchmarks.test_resident_shards import build_strip_world
+from repro.api import Simulation
+from repro.brace.config import BraceConfig
+from repro.brace.runtime import BraceRuntime
+from repro.harness.common import format_table
+from repro.simulations.fish.fish import Fish
+from repro.simulations.fish.workload import build_fish_world
+from repro.simulations.traffic.workload import build_traffic_world
+
+NUM_WORKERS = 4
+NUM_NODES = 2
+TICKS = 3
+#: 4x population growth at fixed density (and so a fixed strip boundary).
+SIZES = (150, 600)
+#: Socket traffic may grow this much while the world quadruples.
+MAX_BYTE_GROWTH = 1.1
+
+
+def cluster_config(**overrides) -> BraceConfig:
+    return BraceConfig(
+        num_workers=NUM_WORKERS,
+        ticks_per_epoch=1000,  # no epoch events inside the measurement
+        load_balance=False,
+        executor="cluster",
+        max_workers=NUM_WORKERS,
+        cluster_nodes=NUM_NODES,
+        heartbeat_interval_seconds=0.1,
+        **overrides,
+    )
+
+
+def run_cluster(num_agents: int):
+    """Run the cluster backend on the strip world; returns per-tick bytes."""
+    world = build_strip_world(num_agents)
+    with Simulation.from_agents(world, config=cluster_config()) as session:
+        session.runtime.run_tick()  # spawn the nodes and seed the shards
+        session.run(TICKS)
+        ticks = session.metrics.ticks[1:]
+        assert all(tick.resident for tick in ticks)
+        per_tick_bytes = statistics.mean(tick.ipc_bytes_total for tick in ticks)
+        boundary = statistics.mean(
+            tick.replicas_created + tick.agents_migrated for tick in ticks
+        )
+    return per_tick_bytes, boundary
+
+
+def test_socket_bytes_scale_with_boundary_not_world(once):
+    def measure():
+        rows = []
+        for num_agents in SIZES:
+            per_tick_bytes, boundary = run_cluster(num_agents)
+            rows.append(
+                {
+                    "agents": num_agents,
+                    "socket_bytes_per_tick": per_tick_bytes,
+                    "boundary": boundary,
+                }
+            )
+        return rows
+
+    rows = once(measure)
+    write_bench(
+        "cluster", rows, ticks=TICKS, workers=NUM_WORKERS, nodes=NUM_NODES
+    )
+    print()
+    print(
+        format_table(
+            ["Agents", "Boundary (replicas+migrations)", "Socket bytes/tick"],
+            [
+                [
+                    row["agents"],
+                    f"{row['boundary']:.0f}",
+                    f"{row['socket_bytes_per_tick']:.0f} B",
+                ]
+                for row in rows
+            ],
+            title="Per-tick driver<->node socket traffic vs world size "
+            f"({NUM_WORKERS} strips on {NUM_NODES} nodes, fixed density)",
+        )
+    )
+
+    small, large = rows
+    world_growth = large["agents"] / small["agents"]
+    byte_growth = large["socket_bytes_per_tick"] / small["socket_bytes_per_tick"]
+    # The boundary barely moves as the world quadruples...
+    assert large["boundary"] < 2.0 * small["boundary"]
+    # ...and the socket traffic follows the boundary, not the world.
+    assert byte_growth < MAX_BYTE_GROWTH, (
+        f"cluster socket bytes grew {byte_growth:.2f}x for "
+        f"{world_growth:.0f}x more agents"
+    )
+
+
+class TestClusterBitIdenticalWithMigration:
+    """The measured backend is exact, even across a physical migration."""
+
+    @pytest.mark.parametrize("model", ["fish", "traffic"])
+    def test_matches_serial_with_forced_mid_run_migration(self, model):
+        if model == "fish":
+            # The importable module-level Fish: dynamic classes cannot
+            # cross a node boundary by reference.
+            build = lambda: build_fish_world(48, seed=7, fish_class=Fish)  # noqa: E731
+        else:
+            build = lambda: build_traffic_world(seed=11, num_vehicles=80)  # noqa: E731
+
+        serial_world = build()
+        serial_config = BraceConfig(
+            num_workers=NUM_WORKERS, ticks_per_epoch=1000, load_balance=False
+        )
+        with BraceRuntime(serial_world, serial_config) as runtime:
+            runtime.run(2 * TICKS)
+
+        cluster_world = build()
+        with BraceRuntime(cluster_world, cluster_config()) as runtime:
+            runtime.run(TICKS)
+            shard_id = 0
+            source = runtime.executor.shard_node(shard_id)
+            destination = (source + 1) % NUM_NODES
+            moved_bytes = runtime.migrate_shard(shard_id, destination)
+            assert moved_bytes > 0
+            assert runtime.executor.shard_node(shard_id) == destination
+            runtime.run(TICKS)
+        assert serial_world.same_state_as(cluster_world, tolerance=0.0)

@@ -95,11 +95,13 @@ class FluentConfig:
         max_workers: int | None = None,
         resident_shards: bool | None = None,
     ) -> Any:
-        """Choose the execution backend: "serial", "thread" or "process".
+        """Choose the execution backend: "serial", "thread", "process" or "cluster".
 
         ``max_workers`` bounds the pool; ``resident_shards`` overrides the
         automatic choice of the per-tick delta protocol (on exactly for
-        backends that do not share the driver's memory).
+        backends that do not share the driver's memory).  The "cluster"
+        backend hosts shards on socket-connected node processes — tune the
+        node topology with :meth:`with_nodes`.
         """
         self._check_not_started()
         overrides: dict[str, Any] = {"executor": executor}
@@ -107,6 +109,38 @@ class FluentConfig:
             overrides["max_workers"] = max_workers
         if resident_shards is not None:
             overrides["resident_shards"] = resident_shards
+        self._builder.set(**overrides)
+        return self
+
+    def with_nodes(
+        self,
+        num_nodes: int,
+        listen: str | None = None,
+        spawn: bool | None = None,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+    ) -> Any:
+        """Configure the cluster backend's node topology.
+
+        ``num_nodes`` is how many worker node processes host the shards;
+        ``listen`` the ``host:port`` the driver accepts them on (port 0
+        picks a free port); ``spawn=False`` waits for externally started
+        nodes (``python -m repro.cluster.node --connect host:port``) instead
+        of spawning localhost subprocesses.  The heartbeat knobs tune
+        failure detection: a node silent for ``heartbeat_timeout`` seconds
+        is declared dead and the run recovers from the last checkpoint.
+        Only meaningful together with ``with_executor("cluster")``.
+        """
+        self._check_not_started()
+        overrides: dict[str, Any] = {"cluster_nodes": int(num_nodes)}
+        if listen is not None:
+            overrides["cluster_listen"] = listen
+        if spawn is not None:
+            overrides["cluster_spawn"] = bool(spawn)
+        if heartbeat_interval is not None:
+            overrides["heartbeat_interval_seconds"] = float(heartbeat_interval)
+        if heartbeat_timeout is not None:
+            overrides["heartbeat_timeout_seconds"] = float(heartbeat_timeout)
         self._builder.set(**overrides)
         return self
 

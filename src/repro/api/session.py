@@ -484,6 +484,11 @@ class Simulation(FluentConfig):
             ),
             ipc_backend=runtime.ipc_backend,
         )
+        # The cluster backend knows which node hosts which shard; record the
+        # resolved topology (addresses, pids, placement) so a result can say
+        # where its shards physically ran.  Duck-typed: every single-host
+        # executor simply lacks the hook.
+        topology = getattr(runtime.executor, "node_topology", None)
         return Provenance(
             source=self._source,
             model=model,
@@ -492,6 +497,7 @@ class Simulation(FluentConfig):
             config=config,
             script_hash=self._script_hash,
             script_label=self._script_label,
+            nodes=topology() if topology is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -29,8 +29,10 @@ class BraceConfig:
 
     # Execution backend ---------------------------------------------------
     #: How worker phases actually execute: "serial" (inline, the default),
-    #: "thread" (a shared thread pool) or "process" (a process pool; worker
-    #: payloads are pickled, so agent classes must be importable by name).
+    #: "thread" (a shared thread pool), "process" (a process pool; worker
+    #: payloads are pickled, so agent classes must be importable by name) or
+    #: "cluster" (resident shards hosted on socket-connected node processes,
+    #: spawnable on other machines — see the cluster knobs below).
     executor: str = "serial"
     #: Parallel task slots for the thread/process executors.  ``None`` uses
     #: ``min(num_workers, cpu count)``.
@@ -45,6 +47,22 @@ class BraceConfig:
     #: without pool overhead); ``False`` keeps the legacy ship-everything
     #: path.  Results are bit-identical either way.
     resident_shards: bool | None = None
+
+    # Cluster backend (executor="cluster") --------------------------------
+    #: Number of node processes hosting the shards.
+    cluster_nodes: int = 2
+    #: Address the driver listens on for node connections.  Port 0 picks a
+    #: free port; nodes on other machines connect with
+    #: ``python -m repro.cluster.node --connect host:port``.
+    cluster_listen: str = "127.0.0.1:0"
+    #: Auto-spawn ``cluster_nodes`` localhost node subprocesses.  ``False``
+    #: waits for externally started nodes to dial in instead.
+    cluster_spawn: bool = True
+    #: Seconds between a node's liveness frames.
+    heartbeat_interval_seconds: float = 0.5
+    #: Seconds of frame silence after which the driver declares a node dead
+    #: and routes the run into checkpoint recovery.
+    heartbeat_timeout_seconds: float = 10.0
 
     # Iteration structure ------------------------------------------------
     ticks_per_epoch: int = 10
@@ -155,10 +173,10 @@ class BraceConfig:
                     "the product of grid_cells must equal num_workers "
                     f"({total} != {self.num_workers})"
                 )
-        if self.executor not in ("serial", "thread", "process"):
+        if self.executor not in ("serial", "thread", "process", "cluster"):
             raise BraceError(
                 f"unknown executor {self.executor!r}; "
-                "expected 'serial', 'thread' or 'process'"
+                "expected 'serial', 'thread', 'process' or 'cluster'"
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise BraceError("max_workers must be at least 1 (or None for automatic)")
@@ -167,6 +185,29 @@ class BraceConfig:
                 "resident_shards must be True, False or None (automatic: on for "
                 "backends that do not share the driver's memory)"
             )
+        if self.executor == "cluster" and self.resident_shards is False:
+            raise BraceError(
+                "executor='cluster' requires resident shards: the socket backend "
+                "only speaks the resident-shard delta protocol (the legacy "
+                "ship-everything path never leaves the driver process). Drop "
+                "resident_shards=False, or use executor='process' if you need "
+                "the legacy path."
+            )
+        if self.executor == "cluster":
+            if self.cluster_nodes < 1:
+                raise BraceError("cluster_nodes must be at least 1")
+            host, _, port = self.cluster_listen.rpartition(":")
+            if not host or not port.isdigit():
+                raise BraceError(
+                    f"cluster_listen must be HOST:PORT, got {self.cluster_listen!r}"
+                )
+            if not self.heartbeat_interval_seconds > 0:
+                raise BraceError("heartbeat_interval_seconds must be positive")
+            if not self.heartbeat_timeout_seconds > self.heartbeat_interval_seconds:
+                raise BraceError(
+                    "heartbeat_timeout_seconds must exceed heartbeat_interval_seconds "
+                    "(otherwise every slow phase reads as a dead node)"
+                )
         if self.index not in (None, "kdtree", "grid", "quadtree"):
             raise BraceError(
                 f"unknown spatial index {self.index!r}; expected 'kdtree', "

@@ -74,7 +74,7 @@ from repro.brace.shards import (
 from repro.brace.worker import Worker, run_query_phase_remote, run_update_phase_remote
 from repro.cluster.costmodel import ClusterCostModel, WorkerTickCost
 from repro.cluster.network import NetworkModel
-from repro.cluster.node import SimulatedNode
+from repro.cluster._simnode import SimulatedNode
 from repro.core.context import UpdateContext
 from repro.core.engine import apply_births_and_deaths
 from repro.core.errors import BraceError, ExecutorError
@@ -121,7 +121,27 @@ class BraceRuntime:
         if max_workers is None:
             max_workers = max(1, min(self.config.num_workers, os.cpu_count() or 1))
         #: Execution backend running the per-worker query and update phases.
-        self.executor = make_executor(self.config.executor, max_workers)
+        #: The cluster backend is built directly so the config's topology
+        #: knobs and the *same* network model that prices virtual time also
+        #: drive the physical shard placement.
+        if self.config.executor == "cluster":
+            from repro.cluster.client import ClusterExecutor
+
+            self.executor = ClusterExecutor(
+                max_workers,
+                num_nodes=self.config.cluster_nodes,
+                listen=self.config.cluster_listen,
+                spawn=self.config.cluster_spawn,
+                heartbeat_interval=self.config.heartbeat_interval_seconds,
+                heartbeat_timeout=self.config.heartbeat_timeout_seconds,
+                network=network,
+                sim_nodes=[
+                    SimulatedNode(index, self.config.work_units_per_second)
+                    for index in range(self.config.cluster_nodes)
+                ],
+            )
+        else:
+            self.executor = make_executor(self.config.executor, max_workers)
 
         #: Callbacks invoked with each epoch's :class:`EpochStatistics` right
         #: after the epoch boundary completes (load balancing, checkpointing
@@ -1100,7 +1120,9 @@ class BraceRuntime:
                     migrated += 1
         return migrated, max(per_worker_seconds, default=0.0)
 
-    def _apply_new_partitioning_resident(self) -> tuple[int, float, int]:
+    def _apply_new_partitioning_resident(
+        self, rebalance_nodes: bool = True
+    ) -> tuple[int, float, int]:
         """Physically move agents between shards after a rebalance.
 
         Two shard rounds: every shard adopts the new partitioning and hands
@@ -1114,6 +1136,19 @@ class BraceRuntime:
         per_worker_seconds = [0.0] * len(self.workers)
         migrated = 0
         ipc_bytes = 0
+
+        # Executors that place shards on physical nodes (the cluster
+        # backend) get a chance to re-home shards for the new load before
+        # the adopt round; the round then clears every shard's replica
+        # cache and delta send history, which is exactly what makes the
+        # re-homed shard (rebuilt without either) protocol-correct.
+        if rebalance_nodes and hasattr(self.executor, "rebalance_shards"):
+            weights = {
+                worker.worker_id: float(max(1, worker.owned_count()))
+                for worker in self.workers
+            }
+            _moves, moved_bytes = self.executor.rebalance_shards(weights)
+            ipc_bytes += moved_bytes
 
         adopt_results = self._shard_round(
             [
@@ -1158,6 +1193,34 @@ class BraceRuntime:
                 result.payload_bytes + result.result_bytes for result in install_results
             )
         return migrated, max(per_worker_seconds, default=0.0), ipc_bytes
+
+    def migrate_shard(self, shard_id: int, node: int) -> int:
+        """Force one resident shard onto another physical node mid-run.
+
+        Only meaningful on executors that place shards on nodes (the
+        cluster backend).  The shard's owned agents are serialized through
+        the codec, re-homed, and a full adopt round under the *current*
+        partitioning follows so every shard reships its replicas from
+        scratch — the same sequence an automatic rebalance uses.  States
+        stay bit-identical; returns the measured IPC bytes the move cost.
+        """
+        if not hasattr(self.executor, "migrate_shard"):
+            raise BraceError(
+                f"the {self.executor.name!r} executor does not place shards on "
+                "nodes; shard migration requires executor='cluster'"
+            )
+        if not self._resident:
+            raise BraceError("shard migration requires resident shards")
+        self._ensure_shards()
+        ipc_bytes = self._flush_pending_boundary()
+        ipc_bytes += self.executor.migrate_shard(shard_id, node)
+        # Adopt under the current partitioning with the automatic node
+        # rebalance suppressed, or the cost model could undo the forced
+        # move before the replica caches are even reset.
+        _migrated, _seconds, adopt_ipc = self._apply_new_partitioning_resident(
+            rebalance_nodes=False
+        )
+        return ipc_bytes + adopt_ipc
 
     # ------------------------------------------------------------------
     # Fault tolerance

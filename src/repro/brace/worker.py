@@ -505,6 +505,26 @@ class Worker:
                 outgoing.setdefault(owner, []).append(agent)
         return outgoing
 
+    def migration_seed(self):
+        """The worker's travelling form for a physical shard migration.
+
+        The cluster backend calls this (duck-typed) when re-homing a shard
+        onto another node: only the partition, the partitioning and the
+        owned agents travel — the exact :class:`~repro.brace.shards.
+        ShardSeed` the resident factory rebuilds from.  Replica caches and
+        the delta send history stay behind on purpose; the driver follows
+        every migration with an :meth:`adopt_partitioning` round that
+        clears them on *all* shards, so no shard's send history can claim
+        the rebuilt worker still holds replica rows it lost in transit.
+        """
+        from repro.brace.shards import ShardSeed
+
+        return ShardSeed(
+            partition=self.partition,
+            partitioning=self.partitioning,
+            agents=self.owned_agents(),
+        )
+
     def collect_states(self) -> dict[Any, dict[str, Any]]:
         """State of every owned agent, keyed by id (driver sync / checkpoint pull)."""
         return {agent.agent_id: agent.state_dict() for agent in self.owned_agents()}

@@ -1,19 +1,29 @@
-"""A simulated shared-nothing cluster.
+"""The cluster layer: a modeled cluster and a real socket-backed one.
 
-The paper evaluates BRACE on a 60-node cluster connected by a pair of gigabit
-switches.  This reproduction replaces that hardware with a deterministic
-model: nodes process abstract work units at a configurable rate, messages pay
-a per-message latency and a per-byte cost, and node pairs that live on
-different switches pay an inter-switch penalty (which produces the throughput
-dip around 20 nodes that the paper attributes to its multi-switch topology).
+The paper evaluates BRACE on a 60-node cluster connected by a pair of
+gigabit switches.  This package carries both halves of that story:
 
-The model is used to convert the *per-worker work and communication totals*
-measured by the BRACE runtime into virtual elapsed time, from which the
-scale-up figures (5–8) report agent-ticks per second.
+* **The model** — :class:`SimulatedNode`, :class:`NetworkModel` and
+  :class:`ClusterCostModel` convert the per-worker work and communication
+  totals the BRACE runtime measures into deterministic virtual time (the
+  scale-up figures' clock), including the inter-switch penalty that
+  produces the paper's throughput dip around 20 nodes.
+
+* **The real backend** — :mod:`repro.cluster.client` hosts resident
+  shards on socket-connected node processes (``executor="cluster"``),
+  started locally or on other machines via ``python -m repro.cluster.node
+  --connect host:port``.  Commands and results travel as length-prefixed
+  columnar frames (:mod:`repro.cluster.protocol`), shard-to-node
+  placement is scored with the *same* :class:`NetworkModel`
+  (:mod:`repro.cluster.placement`), and heartbeat loss feeds the
+  checkpoint-recovery path.
+
+The two share one id space and one byte-accounting formula
+(:mod:`repro.ipc.sizing`), so modeled virtual seconds and measured socket
+bytes describe the same traffic.
 """
 
 from repro.cluster.network import NetworkModel, NetworkTotals
-from repro.cluster.node import SimulatedNode
 from repro.cluster.costmodel import ClusterCostModel, WorkerTickCost, TickCostBreakdown
 
 __all__ = [
@@ -23,4 +33,23 @@ __all__ = [
     "ClusterCostModel",
     "WorkerTickCost",
     "TickCostBreakdown",
+    "ClusterExecutor",
 ]
+
+
+def __getattr__(name):
+    # ClusterExecutor is exported lazily: importing it pulls in the
+    # mapreduce executor layer, which the cost-model-only consumers of
+    # this package (runtime metrics, figures) should not pay for.
+    # SimulatedNode is lazy for a different reason: ``python -m
+    # repro.cluster.node`` must not find its own module pre-imported by
+    # this package's import chain (runpy warns about that).
+    if name == "ClusterExecutor":
+        from repro.cluster.client import ClusterExecutor
+
+        return ClusterExecutor
+    if name == "SimulatedNode":
+        from repro.cluster._simnode import SimulatedNode
+
+        return SimulatedNode
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,41 @@
+"""The simulated worker node the cost model divides work units by.
+
+Lives in its own module (rather than :mod:`repro.cluster.node`) so the
+rest of the package can import :class:`SimulatedNode` without importing
+``node`` itself — ``python -m repro.cluster.node`` must not find its own
+module pre-imported by the package's import chain (runpy warns about
+that, into the stderr of every spawned node process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulatedNode:
+    """A worker node with a fixed processing rate.
+
+    ``work_units_per_second`` converts the abstract work units measured by
+    the query/update phases (candidate evaluations, index probes, agent
+    updates) into virtual seconds.  The default is calibrated so that a
+    single node processing roughly one million agent-neighbour evaluations
+    takes on the order of a second, in line with the throughput magnitudes
+    the paper reports.
+    """
+
+    node_id: int
+    work_units_per_second: float = 2_000_000.0
+    checkpoint_bytes_per_second: float = 200_000_000.0
+
+    def compute_seconds(self, work_units: float) -> float:
+        """Virtual seconds needed to process ``work_units``."""
+        if work_units <= 0:
+            return 0.0
+        return work_units / self.work_units_per_second
+
+    def checkpoint_seconds(self, num_bytes: int) -> float:
+        """Virtual seconds needed to write ``num_bytes`` of checkpoint data."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.checkpoint_bytes_per_second

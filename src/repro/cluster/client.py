@@ -1,0 +1,719 @@
+"""The cluster executor: resident shards hosted on socket-connected nodes.
+
+:class:`ClusterExecutor` implements the executor contract of
+:mod:`repro.mapreduce.executor` over TCP.  The driver listens on a
+configurable address; node processes (auto-spawned localhost subprocesses
+by default, or started on other machines with ``python -m
+repro.cluster.node --connect host:port``) dial in and host the resident
+shards.  Every command and result crosses the wire as one length-prefixed
+frame whose payload blob is encoded by the shard codec — the same
+columnar delta frames the process backend ships through shared memory, so
+the three-round tick protocol, the replica-delta shipping and the
+bit-identical results carry over unchanged.
+
+Placement is cost-model-driven (:mod:`repro.cluster.placement`): shards
+land on nodes in contiguous strip blocks scored with the
+:class:`~repro.cluster.network.NetworkModel`, and
+:meth:`ClusterExecutor.rebalance_shards` physically migrates shards
+between nodes when the observed load makes a different composition
+cheaper.  Liveness is heartbeat-based: nodes emit a frame every
+``heartbeat_interval`` seconds even while a phase computes, and a reply
+wait that sees neither a result nor a heartbeat for ``heartbeat_timeout``
+seconds declares the node dead, tears the shard state down and raises the
+same "recover from the last checkpoint" :class:`ExecutorError` the
+process backend uses — feeding the existing checkpoint-recovery path.
+"""
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+import select
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.network import NetworkModel
+from repro.cluster._simnode import SimulatedNode
+from repro.cluster.placement import plan_placement
+from repro.cluster.protocol import (
+    ConnectionLostError,
+    FrameReader,
+    ProtocolError,
+    encode_frame,
+    pack_message,
+    send_message,
+)
+from repro.core.errors import ExecutorError
+from repro.mapreduce.executor import (
+    Executor,
+    ShardTaskResult,
+    TaskResult,
+    _is_pickling_error,
+)
+
+__all__ = ["ClusterExecutor"]
+
+#: How long the driver waits for the expected number of nodes to dial in.
+ACCEPT_TIMEOUT_SECONDS = 30.0
+
+
+class _NodeConnection:
+    """One connected node: its socket, frame reader and identity."""
+
+    def __init__(
+        self,
+        index: int,
+        sock: socket.socket,
+        pid: int,
+        address: Tuple[str, int],
+        process: Optional[subprocess.Popen] = None,
+    ) -> None:
+        self.index = index
+        self.sock = sock
+        self.reader = FrameReader(sock)
+        self.pid = pid
+        self.address = address
+        self.process = process
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ClusterExecutor(Executor):
+    """Socket-based multi-node backend for resident shards.
+
+    ``num_nodes`` node processes host the shards; with ``spawn=True``
+    (the default) they are started as localhost subprocesses, otherwise
+    the executor waits for externally started nodes to connect to
+    ``listen``.  ``network``/``sim_nodes`` parameterize the placement
+    cost model (they default to the stock :class:`NetworkModel` and
+    homogeneous nodes).
+    """
+
+    name = "cluster"
+    shares_memory = False
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        *,
+        num_nodes: int = 2,
+        listen: str = "127.0.0.1:0",
+        spawn: bool = True,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 10.0,
+        network: Optional[NetworkModel] = None,
+        sim_nodes: Optional[Sequence[SimulatedNode]] = None,
+    ) -> None:
+        super().__init__(max_workers)
+        if num_nodes < 1:
+            raise ExecutorError("the cluster executor needs at least one node")
+        if heartbeat_interval <= 0 or heartbeat_timeout <= 0:
+            raise ExecutorError("heartbeat interval and timeout must be positive")
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ExecutorError(
+                "heartbeat_timeout must exceed heartbeat_interval, or every "
+                "slow phase reads as a dead node"
+            )
+        self.num_nodes = int(num_nodes)
+        self.listen_address = listen
+        self.spawn = bool(spawn)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.network = network if network is not None else NetworkModel()
+        self.sim_nodes: List[SimulatedNode] = (
+            list(sim_nodes)
+            if sim_nodes is not None
+            else [SimulatedNode(index) for index in range(self.num_nodes)]
+        )
+        if len(self.sim_nodes) != self.num_nodes:
+            raise ExecutorError(
+                f"sim_nodes describes {len(self.sim_nodes)} nodes but "
+                f"num_nodes is {self.num_nodes}"
+            )
+        self._listener: Optional[socket.socket] = None
+        self._token = secrets.token_hex(16) if self.spawn else None
+        self._nodes: Dict[int, _NodeConnection] = {}
+        self._shard_to_node: Dict[int, int] = {}
+        self._shard_factory: Optional[Callable[[int, Any], Any]] = None
+        self._shard_codec = None
+        self._reset_nonce = 0
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_listener(self) -> Tuple[str, int]:
+        if self._listener is None:
+            host, _, port = self.listen_address.rpartition(":")
+            if not host or not port.isdigit():
+                raise ExecutorError(
+                    f"cluster listen address must be HOST:PORT, got {self.listen_address!r}"
+                )
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind((host, int(port)))
+            except OSError as error:
+                listener.close()
+                raise ExecutorError(
+                    f"cluster executor could not bind {self.listen_address!r}: {error}"
+                ) from error
+            listener.listen(self.num_nodes)
+            self._listener = listener
+        return self._listener.getsockname()[:2]
+
+    def _spawn_node(self, address: Tuple[str, int]) -> subprocess.Popen:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cluster.node",
+            "--connect",
+            f"{address[0]}:{address[1]}",
+            "--heartbeat-interval",
+            str(self.heartbeat_interval),
+        ]
+        if self._token is not None:
+            command += ["--token", self._token]
+        env = dict(os.environ)
+        # Mirror multiprocessing's spawn semantics: the node must be able to
+        # unpickle callables and agent classes from any module the driver can
+        # import (test modules, user scripts on sys.path), not just installed
+        # packages.
+        env["PYTHONPATH"] = os.pathsep.join(entry for entry in sys.path if entry)
+        return subprocess.Popen(command, env=env)
+
+    def _ensure_nodes(self) -> None:
+        """Bring the node set up to ``num_nodes`` live connections."""
+        if len(self._nodes) == self.num_nodes:
+            return
+        address = self._ensure_listener()
+        missing = [index for index in range(self.num_nodes) if index not in self._nodes]
+        processes: List[Optional[subprocess.Popen]] = []
+        for _ in missing:
+            processes.append(self._spawn_node(address) if self.spawn else None)
+        self._listener.settimeout(ACCEPT_TIMEOUT_SECONDS)
+        try:
+            for index, process in zip(missing, processes):
+                self._nodes[index] = self._accept_node(index, process)
+        except socket.timeout:
+            raise ExecutorError(
+                f"cluster executor expected {self.num_nodes} nodes but only "
+                f"{len(self._nodes)} connected within {ACCEPT_TIMEOUT_SECONDS:.0f}s; "
+                "start the missing nodes with "
+                f"'python -m repro.cluster.node --connect {address[0]}:{address[1]}'"
+            ) from None
+
+    def _accept_node(self, index: int, process: Optional[subprocess.Popen]) -> _NodeConnection:
+        while True:
+            sock, peer = self._listener.accept()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(ACCEPT_TIMEOUT_SECONDS)
+            reader = FrameReader(sock)
+            try:
+                message = reader.recv_message()
+            except (ProtocolError, OSError):
+                sock.close()
+                continue
+            if message is None or message[0] != "hello":
+                sock.close()
+                continue
+            meta = message[1] or {}
+            if self._token is not None and meta.get("token") != self._token:
+                sock.close()
+                continue
+            connection = _NodeConnection(index, sock, int(meta.get("pid", -1)), peer, process)
+            connection.reader = reader  # keep bytes already buffered past the hello
+            sock.settimeout(None)
+            return connection
+
+    def _node(self, index: int) -> _NodeConnection:
+        try:
+            return self._nodes[index]
+        except KeyError:
+            raise ExecutorError(f"cluster node {index} is not connected") from None
+
+    def _node_failed(self, connection: _NodeConnection, error: BaseException) -> ExecutorError:
+        """A node died or timed out: drop every node's shard state and
+        build the error that routes the caller into checkpoint recovery."""
+        self.teardown_shards()
+        return ExecutorError(
+            f"cluster node {connection.index} (pid {connection.pid}) died or "
+            "stopped heartbeating; its resident shard state is lost and must "
+            "be re-seeded (for BRACE runs: recover from the last checkpoint). "
+            f"Original error: {type(error).__name__}: {error}"
+        )
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _codec_name(codec) -> Optional[str]:
+        return "columnar" if codec is not None else None
+
+    @staticmethod
+    def _encode_payload(codec, payload) -> bytes:
+        try:
+            if codec is not None:
+                return codec.encode(payload)
+            return pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, AttributeError, TypeError) as error:
+            if not _is_pickling_error(error):
+                raise
+            raise ExecutorError(
+                f"the cluster executor could not serialize a shard payload: {error}. "
+                "Everything crossing the node boundary must be picklable "
+                "(module-level functions and importable classes)."
+            ) from error
+
+    @staticmethod
+    def _decode_payload(codec, blob: bytes):
+        if codec is not None:
+            return codec.decode(blob)
+        return pickle.loads(blob)
+
+    def _send(self, connection: _NodeConnection, kind: str, meta, blob: bytes = b"") -> int:
+        """Send one message, draining the node's replies while blocked.
+
+        Commands go out before replies are collected, so a large command
+        can fill the kernel buffers while the node is itself blocked
+        sending a large reply — a classic both-sides-sending deadlock.
+        Draining incoming frames into the connection's reader whenever
+        the send would block breaks the cycle; the drained frames surface
+        on the next :meth:`_recv_reply`.
+        """
+        payload = pack_message(kind, meta, blob)
+        data = memoryview(encode_frame(payload))
+        sock = connection.sock
+        try:
+            sock.setblocking(False)
+            try:
+                while data:
+                    readable, writable, _ = select.select(
+                        [sock], [sock], [], self.heartbeat_timeout
+                    )
+                    if not readable and not writable:
+                        raise socket.timeout(
+                            f"send stalled for {self.heartbeat_timeout:.1f}s"
+                        )
+                    if readable:
+                        chunk = sock.recv(1 << 16)
+                        if not chunk:
+                            raise ConnectionLostError("node closed while receiving a command")
+                        connection.reader.absorb(chunk)
+                    if writable:
+                        try:
+                            sent = sock.send(data)
+                        except BlockingIOError:
+                            sent = 0
+                        data = data[sent:]
+            finally:
+                sock.setblocking(True)
+        except (ProtocolError, OSError) as error:
+            raise self._node_failed(connection, error) from error
+        return len(payload)
+
+    def _recv_reply(self, connection: _NodeConnection) -> Tuple[str, Any, bytes]:
+        """Next non-heartbeat message; any frame resets the liveness clock.
+
+        ``"error"`` replies are *returned*, not raised: a round with many
+        outstanding commands must keep collecting the other replies so the
+        stream stays in sync (a mid-collection raise would leave stale
+        results queued for the next round to misread).  Callers pass the
+        reply through :meth:`_check_reply` once their batch is drained.
+        """
+        connection.sock.settimeout(self.heartbeat_timeout)
+        try:
+            while True:
+                message = connection.reader.recv_message()
+                if message is None:
+                    raise self._node_failed(
+                        connection, ConnectionLostError("node closed its connection")
+                    )
+                if message[0] == "heartbeat":
+                    continue
+                return message
+        except socket.timeout as error:
+            raise self._node_failed(
+                connection,
+                TimeoutError(
+                    f"no frame from the node for {self.heartbeat_timeout:.1f}s "
+                    f"(heartbeat interval {self.heartbeat_interval:.1f}s)"
+                ),
+            ) from error
+        except (ConnectionLostError, OSError) as error:
+            raise self._node_failed(connection, error) from error
+        finally:
+            try:
+                connection.sock.settimeout(None)
+            except OSError:
+                pass
+
+    def _check_reply(self, reply: Tuple[str, Any, bytes]) -> Tuple[str, Any, bytes]:
+        """Raise the rebuilt remote exception if ``reply`` is an error."""
+        if reply[0] == "error":
+            raise self._remote_error(reply[1])
+        return reply
+
+    @staticmethod
+    def _remote_error(meta: dict) -> BaseException:
+        """Rebuild a task exception shipped back from a node."""
+        blob = meta.get("exception")
+        if blob is not None:
+            try:
+                return pickle.loads(blob)
+            except Exception:  # noqa: BLE001 - fall back to the formatted text
+                pass
+        return ExecutorError(
+            "a cluster shard task failed on its node:\n" + meta.get("traceback", "")
+        )
+
+    # ------------------------------------------------------------------
+    # Stateless tasks
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[Callable[[], Any]]) -> List[TaskResult]:
+        """Round-robin the callables across the nodes (pickled whole)."""
+        if not tasks:
+            return []
+        self._ensure_nodes()
+        order = sorted(self._nodes)
+        per_node: Dict[int, List[int]] = {index: [] for index in order}
+        for position, task in enumerate(tasks):
+            node_index = order[position % len(order)]
+            blob = self._dumps_task(task)
+            self._send(self._nodes[node_index], "call", None, blob)
+            per_node[node_index].append(position)
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        first_error: Optional[BaseException] = None
+        for node_index in order:
+            connection = self._nodes[node_index]
+            for position in per_node[node_index]:
+                kind, meta, blob = self._recv_reply(connection)
+                if kind == "error":
+                    if first_error is None:
+                        first_error = self._remote_error(meta)
+                    continue
+                results[position] = TaskResult(
+                    position, pickle.loads(blob), meta["wall_seconds"]
+                )
+        if first_error is not None:
+            raise first_error
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _dumps_task(task: Callable[[], Any]) -> bytes:
+        try:
+            return pickle.dumps(task, pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, AttributeError, TypeError) as error:
+            if not _is_pickling_error(error):
+                raise
+            raise ExecutorError(
+                f"the cluster executor could not serialize a task: {error}. "
+                "Tasks must be picklable (module-level functions, "
+                "functools.partial over importable callables)."
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Resident shards
+    # ------------------------------------------------------------------
+    def init_shards(
+        self,
+        factory: Callable[[int, Any], Any],
+        payloads: Dict[int, Any],
+        codec=None,
+    ) -> None:
+        if self._shard_to_node:
+            raise ExecutorError(
+                "resident shards are already initialized; call teardown_shards() first"
+            )
+        if not payloads:
+            raise ExecutorError("init_shards needs at least one shard payload")
+        self._ensure_nodes()
+        self._shard_factory = factory
+        self._shard_codec = codec
+        weights = {
+            shard_id: float(len(getattr(payload, "agents", ()) or ()) or 1)
+            for shard_id, payload in payloads.items()
+        }
+        placement = plan_placement(
+            sorted(payloads), weights, self.sim_nodes, self.network
+        )
+        sent: List[Tuple[int, _NodeConnection]] = []
+        for shard_id in sorted(payloads):
+            connection = self._node(placement[shard_id])
+            blob = self._encode_payload(codec, payloads[shard_id])
+            self._send(
+                connection,
+                "init_shard",
+                {"shard_id": shard_id, "factory": factory,
+                 "codec": self._codec_name(codec)},
+                blob,
+            )
+            sent.append((shard_id, connection))
+        first_error: Optional[BaseException] = None
+        for shard_id, connection in sent:
+            kind, meta, _ = self._recv_reply(connection)
+            if kind == "error":
+                if first_error is None:
+                    first_error = self._remote_error(meta)
+                continue
+            self._shard_to_node[shard_id] = connection.index
+        if first_error is not None:
+            self.teardown_shards()  # drop the shards that did install
+            raise first_error
+        self._shards = None  # the base-class in-process map stays unused
+
+    def has_shards(self) -> bool:
+        return bool(self._shard_to_node)
+
+    def run_sharded_tasks(
+        self,
+        tasks: Sequence[Tuple[int, Callable[[Any, Any], Any], Any]],
+        codec=None,
+        overlap: bool = False,
+    ) -> List[ShardTaskResult]:
+        """Ship ``(shard_id, fn, payload)`` tasks to the shards' nodes.
+
+        All commands go out first (each node then works through its batch
+        sequentially, preserving per-shard serialization), replies are
+        collected per node afterwards — the round's wall clock is the
+        slowest node, not the sum.  ``overlap`` is implied by the
+        send-all-then-collect structure.
+        """
+        if not self._shard_to_node:
+            raise ExecutorError("no resident shards are initialized; call init_shards() first")
+        if not tasks:
+            return []
+        codec_name = self._codec_name(codec)
+        pending: List[dict] = []
+        for index, (shard_id, fn, payload) in enumerate(tasks):
+            node_index = self._shard_to_node.get(shard_id)
+            if node_index is None:
+                raise ExecutorError(f"unknown resident shard {shard_id!r}")
+            connection = self._node(node_index)
+            start = time.perf_counter()
+            blob = self._encode_payload(codec, payload)
+            encode_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            self._send(
+                connection,
+                "run_task",
+                {"shard_id": shard_id, "fn": fn, "codec": codec_name},
+                blob,
+            )
+            send_seconds = time.perf_counter() - start
+            pending.append(
+                {
+                    "index": index,
+                    "shard_id": shard_id,
+                    "node": node_index,
+                    "payload_bytes": len(blob),
+                    "serialize": encode_seconds,
+                    "transport": send_seconds,
+                }
+            )
+        results: List[Optional[ShardTaskResult]] = [None] * len(tasks)
+        first_error: Optional[BaseException] = None
+        for node_index in sorted(self._nodes):
+            connection = self._nodes[node_index]
+            for entry in pending:
+                if entry["node"] != node_index:
+                    continue
+                kind, meta, blob = self._recv_reply(connection)
+                if kind == "error":
+                    # Keep draining the other replies so the streams stay
+                    # in sync; raise once the round is fully collected.
+                    if first_error is None:
+                        first_error = self._remote_error(meta)
+                    continue
+                start = time.perf_counter()
+                value = self._decode_payload(codec, blob)
+                decode_seconds = time.perf_counter() - start
+                results[entry["index"]] = ShardTaskResult(
+                    entry["shard_id"],
+                    value,
+                    meta["wall_seconds"],
+                    payload_bytes=entry["payload_bytes"],
+                    result_bytes=len(blob),
+                    serialize_seconds=entry["serialize"]
+                    + meta["codec_seconds"]
+                    + decode_seconds,
+                    transport_seconds=entry["transport"],
+                )
+        if first_error is not None:
+            raise first_error
+        return results  # type: ignore[return-value]
+
+    def teardown_shards(self) -> None:
+        """Drop every node's shard state; connections and processes stay up.
+
+        The reset is a nonce-tagged synchronization point: an aborted
+        round (a node died mid-collection) can leave queued replies on
+        the surviving nodes, so each node's stream is drained until the
+        ``"ok"`` echoing this reset's nonce — anything older is stale and
+        discarded.  A node that fails to acknowledge is disconnected (and
+        respawned by the next :meth:`_ensure_nodes`), so teardown always
+        leaves a clean slate even mid-failure.
+        """
+        self._shard_to_node = {}
+        self._shard_factory = None
+        self._shard_codec = None
+        self._reset_nonce += 1
+        nonce = self._reset_nonce
+        for index in sorted(self._nodes):
+            connection = self._nodes[index]
+            try:
+                send_message(connection.sock, "reset", {"nonce": nonce})
+                connection.sock.settimeout(self.heartbeat_timeout)
+                while True:
+                    message = connection.reader.recv_message()
+                    if message is None:
+                        raise ConnectionLostError("node closed during reset")
+                    if message[0] == "ok" and (message[1] or {}).get("nonce") == nonce:
+                        break
+                connection.sock.settimeout(None)
+            except (ProtocolError, OSError):
+                connection.close()
+                if connection.process is not None:
+                    connection.process.kill()
+                    connection.process.wait()
+                del self._nodes[index]
+        self._shards = None
+
+    def migrate_shard(self, shard_id: int, node_index: int) -> int:
+        """Physically re-home one shard onto another node; returns the
+        bytes of shard state that crossed the wire.
+
+        The shard's owned agents travel as one codec-encoded seed frame
+        (collect on the source, re-build via the original factory on the
+        destination).  Replica caches and delta send histories do **not**
+        travel — the caller must follow up with a full
+        ``adopt_partitioning`` round so every shard reships its replicas
+        from scratch (the BRACE runtime's
+        ``_apply_new_partitioning_resident`` does exactly that).
+        """
+        source_index = self._shard_to_node.get(shard_id)
+        if source_index is None:
+            raise ExecutorError(f"unknown resident shard {shard_id!r}")
+        if node_index not in self._nodes:
+            raise ExecutorError(f"cluster node {node_index} is not connected")
+        if source_index == node_index:
+            return 0
+        codec_name = self._codec_name(self._shard_codec)
+        source = self._node(source_index)
+        self._send(source, "collect_shard", {"shard_id": shard_id, "codec": codec_name})
+        kind, meta, blob = self._check_reply(self._recv_reply(source))
+        if kind != "shard_state":
+            raise ExecutorError(
+                f"cluster node {source_index} answered a shard collection with {kind!r}"
+            )
+        destination = self._node(node_index)
+        # States with a migration_seed() hook rebuild through the original
+        # factory; plain states install verbatim (factory=None).
+        self._send(
+            destination,
+            "init_shard",
+            {"shard_id": shard_id,
+             "factory": self._shard_factory if meta.get("reseed") else None,
+             "codec": codec_name},
+            blob,
+        )
+        self._check_reply(self._recv_reply(destination))
+        self._shard_to_node[shard_id] = node_index
+        return len(blob)
+
+    def rebalance_shards(self, weights: Dict[int, float]) -> Tuple[List[Tuple[int, int, int]], int]:
+        """Re-place the shards for the observed load and migrate the diff.
+
+        Returns ``(moves, bytes)`` where each move is ``(shard_id,
+        from_node, to_node)``.  The caller owns protocol correctness: a
+        full adopt round must follow any non-empty move list.
+        """
+        if not self._shard_to_node:
+            return [], 0
+        placement = plan_placement(
+            sorted(self._shard_to_node), weights, self.sim_nodes, self.network
+        )
+        moves: List[Tuple[int, int, int]] = []
+        moved_bytes = 0
+        for shard_id in sorted(placement):
+            target = placement[shard_id]
+            current = self._shard_to_node[shard_id]
+            if target != current:
+                moved_bytes += self.migrate_shard(shard_id, target)
+                moves.append((shard_id, current, target))
+        return moves, moved_bytes
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, provenance, benchmarks)
+    # ------------------------------------------------------------------
+    def shard_node(self, shard_id: int) -> int:
+        """Index of the node currently hosting ``shard_id``."""
+        try:
+            return self._shard_to_node[shard_id]
+        except KeyError:
+            raise ExecutorError(f"unknown resident shard {shard_id!r}") from None
+
+    def shard_host_pid(self, shard_id: int) -> int:
+        """Pid of the node process hosting ``shard_id`` (affinity probe)."""
+        return self._node(self.shard_node(shard_id)).pid
+
+    def node_pids(self) -> Dict[int, int]:
+        """Node index -> node process pid, for every connected node."""
+        return {index: connection.pid for index, connection in sorted(self._nodes.items())}
+
+    def node_topology(self) -> Tuple[dict, ...]:
+        """Resolved topology for provenance: one record per connected node."""
+        return tuple(
+            {
+                "node": index,
+                "address": f"{connection.address[0]}:{connection.address[1]}",
+                "pid": connection.pid,
+                "spawned": connection.process is not None,
+                "shards": tuple(
+                    shard_id
+                    for shard_id, node in sorted(self._shard_to_node.items())
+                    if node == index
+                ),
+            }
+            for index, connection in sorted(self._nodes.items())
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop every node process and release the listener (idempotent)."""
+        nodes, self._nodes = self._nodes, {}
+        self._shard_to_node = {}
+        self._shard_factory = None
+        self._shard_codec = None
+        for connection in nodes.values():
+            try:
+                send_message(connection.sock, "shutdown", None)
+                connection.sock.settimeout(self.heartbeat_timeout)
+                while True:
+                    message = connection.reader.recv_message()
+                    if message is None or message[0] != "heartbeat":
+                        break
+            except (ProtocolError, OSError):
+                pass
+            connection.close()
+            if connection.process is not None:
+                try:
+                    connection.process.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    connection.process.kill()
+                    connection.process.wait()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        super().shutdown()

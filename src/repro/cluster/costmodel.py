@@ -6,14 +6,24 @@ effect partials, plus any per-pass synchronisation barriers.  The cost model
 aggregates the per-worker measurements the BRACE runtime collects into a
 tick-level virtual time and running totals, from which throughput in
 agent-ticks per second is derived.
+
+Every byte count flowing in here is charged from the columnar frame-size
+formulas of :mod:`repro.ipc.sizing` — the same sizes the executors measure
+as real ``ipc_bytes_*`` traffic — so the figure-6 virtual time and the
+bytes observed on a cluster socket are directly comparable, and the same
+:class:`NetworkModel` that prices these transfers also scores the cluster
+backend's physical shard placement (:mod:`repro.cluster.placement`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.network import NetworkModel
-from repro.cluster.node import SimulatedNode
+
+if TYPE_CHECKING:  # annotation-only: keeps ``-m repro.cluster.node`` clean
+    from repro.cluster._simnode import SimulatedNode
 
 
 @dataclass

@@ -1,34 +1,24 @@
-"""Simulated worker nodes."""
+"""Worker nodes: the simulated cost-model node and the real node process.
 
-from __future__ import annotations
+:class:`SimulatedNode` is the virtual-time side — a processing rate the
+cost model divides work units by.  The same module doubles as the *real*
+node entry point: ``python -m repro.cluster.node --connect host:port``
+starts a shard-hosting process (:mod:`repro.cluster.server`) on this
+machine and dials the given cluster driver, so the two meanings of
+"node" — the modeled one and the physical one — stay one concept with
+one id space.
 
-from dataclasses import dataclass
+The class itself is defined in :mod:`repro.cluster._simnode` (and only
+re-exported here) so that the rest of the package never imports *this*
+module — a requirement for the ``-m`` entry point to start cleanly.
+"""
+
+from repro.cluster._simnode import SimulatedNode
+
+__all__ = ["SimulatedNode"]
 
 
-@dataclass
-class SimulatedNode:
-    """A worker node with a fixed processing rate.
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    from repro.cluster.server import main
 
-    ``work_units_per_second`` converts the abstract work units measured by
-    the query/update phases (candidate evaluations, index probes, agent
-    updates) into virtual seconds.  The default is calibrated so that a
-    single node processing roughly one million agent-neighbour evaluations
-    takes on the order of a second, in line with the throughput magnitudes
-    the paper reports.
-    """
-
-    node_id: int
-    work_units_per_second: float = 2_000_000.0
-    checkpoint_bytes_per_second: float = 200_000_000.0
-
-    def compute_seconds(self, work_units: float) -> float:
-        """Virtual seconds needed to process ``work_units``."""
-        if work_units <= 0:
-            return 0.0
-        return work_units / self.work_units_per_second
-
-    def checkpoint_seconds(self, num_bytes: int) -> float:
-        """Virtual seconds needed to write ``num_bytes`` of checkpoint data."""
-        if num_bytes <= 0:
-            return 0.0
-        return num_bytes / self.checkpoint_bytes_per_second
+    main()

@@ -1,0 +1,171 @@
+"""Cost-model-driven shard-to-node placement.
+
+The cluster executor hosts resident shards on node *processes*; this
+module decides which shard lives on which node.  Shards are the strips of
+a one-dimensional partitioning, so only *adjacent* shards exchange
+boundary traffic (replicas, migrations) every tick — a placement that
+keeps each node's shards contiguous pays for exactly one boundary cut per
+node pair, which is the cheapest any placement can be under the strip
+protocol.  Within the contiguous family, compositions are scored
+lexicographically: first by compute balance (the max over nodes of
+weight/speed — spreading work is *why* shards leave the driver's machine,
+so no amount of modeled network cost may collapse the placement onto one
+node), then by the boundary transfer seconds of the same
+:class:`~repro.cluster.network.NetworkModel` the virtual-time cost model
+uses (switch penalties included), which picks among equally balanced
+splits the one whose cuts land on the cheapest links.
+
+Everything here is deterministic: ties break toward the earliest
+composition in lexicographic order, so the same inputs always produce the
+same placement on every machine.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.cluster.network import NetworkModel
+from repro.cluster._simnode import SimulatedNode
+
+__all__ = ["plan_placement", "placement_makespan"]
+
+#: Above this many contiguous compositions the planner switches from
+#: exhaustive enumeration to the greedy cumulative split.
+_ENUMERATION_LIMIT = 5000
+
+
+def _compositions(num_shards: int, num_nodes: int):
+    """Yield every split of ``num_shards`` ordered shards into ``num_nodes``
+    contiguous (possibly empty) blocks, as tuples of block sizes."""
+    if num_nodes == 1:
+        yield (num_shards,)
+        return
+    for first in range(num_shards + 1):
+        for rest in _compositions(num_shards - first, num_nodes - 1):
+            yield (first,) + rest
+
+
+def _composition_count(num_shards: int, num_nodes: int) -> int:
+    """C(num_shards + num_nodes - 1, num_nodes - 1) without factorials."""
+    count = 1
+    for i in range(1, num_nodes):
+        count = count * (num_shards + i) // i
+    return count
+
+
+def placement_makespan(
+    sizes: Sequence[int],
+    weights: Sequence[float],
+    nodes: Sequence[SimulatedNode],
+    network: NetworkModel,
+    boundary_bytes: float,
+) -> tuple:
+    """Lexicographic score of one contiguous block composition (lower wins).
+
+    ``sizes[i]`` shards go to ``nodes[i]`` in shard order.  The first
+    component is the compute makespan — the max over nodes of its shards'
+    total weight (work units) divided by its speed; the second is the
+    slowest node's boundary transfer time — a cut exists between the last
+    shard of one non-empty block and the first shard of the next, and
+    both sides pay for it (send on one, receive on the other, same wire
+    time).  Compute balance dominates: the network term only decides
+    between compositions whose compute loads tie.
+    """
+    compute_seconds = [0.0] * len(sizes)
+    boundary_seconds = [0.0] * len(sizes)
+    position = 0
+    blocks: List[int] = []  # node index owning each shard, in shard order
+    for node_index, size in enumerate(sizes):
+        for _ in range(size):
+            blocks.append(node_index)
+            compute_seconds[node_index] += weights[position] / nodes[node_index].work_units_per_second
+            position += 1
+    for shard in range(1, len(blocks)):
+        left, right = blocks[shard - 1], blocks[shard]
+        if left != right:
+            seconds = network.transfer_seconds(left, right, int(boundary_bytes))
+            boundary_seconds[left] += seconds
+            boundary_seconds[right] += seconds
+    return (max(compute_seconds, default=0.0), max(boundary_seconds, default=0.0))
+
+
+def _greedy_sizes(
+    weights: Sequence[float], nodes: Sequence[SimulatedNode]
+) -> List[int]:
+    """Contiguous split by cumulative weight, proportional to node speed.
+
+    The fallback when the composition space is too large to enumerate:
+    walk the shards in order, cutting whenever the running block weight
+    reaches the node's speed-proportional share of the total.
+    """
+    total_weight = sum(weights) or 1.0
+    total_speed = sum(node.work_units_per_second for node in nodes)
+    sizes = [0] * len(nodes)
+    node_index = 0
+    accumulated = 0.0
+    share = total_weight * nodes[0].work_units_per_second / total_speed
+    for position, weight in enumerate(weights):
+        remaining_shards = len(weights) - position
+        remaining_nodes = len(nodes) - node_index
+        # Never strand trailing nodes without shards while shards remain.
+        if (
+            node_index < len(nodes) - 1
+            and sizes[node_index] > 0
+            and (accumulated >= share or remaining_shards <= remaining_nodes - 1)
+        ):
+            node_index += 1
+            accumulated = 0.0
+            share = total_weight * nodes[node_index].work_units_per_second / total_speed
+        sizes[node_index] += 1
+        accumulated += weight
+    return sizes
+
+
+def plan_placement(
+    shard_ids: Sequence[int],
+    weights: Dict[int, float],
+    nodes: Sequence[SimulatedNode],
+    network: NetworkModel,
+    boundary_bytes: float = 4096.0,
+) -> Dict[int, int]:
+    """Assign every shard to a node index; returns ``{shard_id: node}``.
+
+    ``weights`` carries each shard's compute weight (owned-agent counts —
+    the same signal the load balancer uses); ``boundary_bytes`` estimates
+    the per-tick traffic of one boundary cut, pricing the cuts of
+    equally balanced compositions against each other.  Small composition
+    spaces are searched exhaustively; larger ones fall back to a
+    speed-proportional greedy split of the cumulative weight.
+    """
+    ordered = sorted(shard_ids)
+    if not nodes:
+        raise ValueError("plan_placement needs at least one node")
+    weight_row = [float(weights.get(shard_id, 1.0)) for shard_id in ordered]
+    # Score with a totals-free copy: transfer_seconds() accumulates usage
+    # totals, and hypothetical compositions must not count as traffic on
+    # the runtime's shared model.
+    scoring_network = NetworkModel(
+        latency_seconds=network.latency_seconds,
+        bandwidth_bytes_per_second=network.bandwidth_bytes_per_second,
+        nodes_per_switch=network.nodes_per_switch,
+        inter_switch_penalty=network.inter_switch_penalty,
+    )
+    if _composition_count(len(ordered), len(nodes)) <= _ENUMERATION_LIMIT:
+        best_sizes = None
+        best_score = None
+        for sizes in _compositions(len(ordered), len(nodes)):
+            score = placement_makespan(
+                sizes, weight_row, nodes, scoring_network, boundary_bytes
+            )
+            if best_score is None or score < best_score:
+                best_score = score
+                best_sizes = sizes
+        sizes = list(best_sizes)  # type: ignore[arg-type]
+    else:
+        sizes = _greedy_sizes(weight_row, nodes)
+    placement: Dict[int, int] = {}
+    position = 0
+    for node_index, size in enumerate(sizes):
+        for _ in range(size):
+            placement[ordered[position]] = node_index
+            position += 1
+    return placement

@@ -1,0 +1,201 @@
+"""Length-prefixed framing for the socket shard protocol.
+
+Every message between the cluster driver and a node process is one
+*frame*: an 8-byte big-endian length prefix followed by exactly that many
+payload bytes.  The payload itself is a small pickled ``(kind, meta)``
+header plus an opaque blob that has already been encoded by the shard
+codec — the blob is never nested inside the pickle, so columnar frames
+stay columnar on the wire.
+
+The stream-to-frame step is sans-io (`FrameAssembler`) so it can be
+driven byte-by-byte in tests without a socket; `send_frame`/`recv_frame`
+wrap it for real sockets.
+"""
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "ProtocolError",
+    "ConnectionLostError",
+    "FrameAssembler",
+    "FrameReader",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "pack_message",
+    "unpack_message",
+    "send_frame",
+    "send_message",
+]
+
+#: 8-byte big-endian unsigned frame length.
+_LENGTH = struct.Struct(">Q")
+#: 4-byte big-endian unsigned header length inside a message payload.
+_HEADER_LENGTH = struct.Struct(">I")
+
+#: Upper bound on a single frame's payload.  Large enough for any shard
+#: state we ship (whole-shard migrations included), small enough that a
+#: corrupted or misaligned length prefix fails fast instead of waiting
+#: on terabytes that will never arrive.
+MAX_FRAME_BYTES = 1 << 32
+
+
+class ProtocolError(Exception):
+    """The byte stream violates the framing protocol (corrupt length,
+    oversized frame, malformed message header)."""
+
+
+class ConnectionLostError(ProtocolError):
+    """The peer went away mid-frame: bytes promised by a length prefix
+    (or the prefix itself, partially read) never arrived."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Return ``payload`` wrapped with its 8-byte length prefix."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+class FrameAssembler:
+    """Incremental frame decoder: feed arbitrary chunks, get whole frames.
+
+    The assembler never blocks and never touches a socket — it is the
+    pure stream-to-frame state machine, so adversarial chunkings (one
+    byte at a time, boundaries mid-prefix, many frames per chunk) can be
+    tested without any transport underneath.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet complete a frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Absorb ``chunk`` and return every frame payload it completes."""
+        self._buffer.extend(chunk)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length prefix announces {length} bytes, over the "
+                    f"{MAX_FRAME_BYTES}-byte limit; stream is corrupt or misaligned"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(bytes(self._buffer[_LENGTH.size:end]))
+            del self._buffer[:end]
+        return frames
+
+    def close(self) -> None:
+        """Signal end-of-stream.  Raises `ConnectionLostError` if the
+        stream ended inside a frame (a partial prefix or a partial
+        payload); a close at a frame boundary is clean."""
+        if self._buffer:
+            raise ConnectionLostError(
+                f"connection closed mid-frame with {len(self._buffer)} "
+                "unconsumed bytes buffered"
+            )
+
+
+def pack_message(kind: str, meta: Any = None, blob: bytes = b"") -> bytes:
+    """Build one frame payload: pickled ``(kind, meta)`` header + raw blob.
+
+    ``blob`` is carried verbatim after the header — callers pass the
+    codec-encoded shard payload here so its encoding survives the trip
+    untouched (pickling it inside the header tuple would lose the
+    columnar representation).
+    """
+    header = pickle.dumps((kind, meta), protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER_LENGTH.pack(len(header)) + header + blob
+
+
+def unpack_message(payload: bytes) -> Tuple[str, Any, bytes]:
+    """Inverse of `pack_message`: return ``(kind, meta, blob)``.
+
+    ``meta`` is always a dict (``None`` normalizes to ``{}``) so receivers
+    can index it without null checks.
+    """
+    if len(payload) < _HEADER_LENGTH.size:
+        raise ProtocolError(
+            f"message payload of {len(payload)} bytes is shorter than the "
+            "4-byte header-length field"
+        )
+    (header_length,) = _HEADER_LENGTH.unpack_from(payload)
+    header_end = _HEADER_LENGTH.size + header_length
+    if len(payload) < header_end:
+        raise ProtocolError(
+            f"message header announces {header_length} bytes but only "
+            f"{len(payload) - _HEADER_LENGTH.size} follow"
+        )
+    try:
+        kind, meta = pickle.loads(payload[_HEADER_LENGTH.size:header_end])
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure is protocol-level
+        raise ProtocolError(f"malformed message header: {exc}") from exc
+    return kind, meta if meta is not None else {}, payload[header_end:]
+
+
+def send_frame(sock, payload: bytes) -> None:
+    """Write one length-prefixed frame to a socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def send_message(sock, kind: str, meta: Any = None, blob: bytes = b"") -> int:
+    """Pack and send one message; returns the frame payload size in bytes."""
+    payload = pack_message(kind, meta, blob)
+    send_frame(sock, payload)
+    return len(payload)
+
+
+class FrameReader:
+    """Per-connection frame receiver: an assembler plus a queue of frames
+    already completed but not yet claimed.
+
+    A node may interleave heartbeat frames with a reply, so one
+    ``recv()`` can complete several frames at once — the surplus is kept
+    here for the next call instead of being lost or treated as an error.
+    """
+
+    def __init__(self, sock) -> None:
+        self._sock = sock
+        self._assembler = FrameAssembler()
+        self._ready: List[bytes] = []
+
+    def absorb(self, chunk: bytes) -> None:
+        """Feed bytes read out-of-band (e.g. drained during a blocking
+        send) so the frames they complete surface on later recv calls."""
+        self._ready.extend(self._assembler.feed(chunk))
+
+    def recv_frame(self) -> Optional[bytes]:
+        """Return the next frame payload, or ``None`` on clean end-of-stream.
+
+        Raises `ConnectionLostError` if the peer closed mid-frame and
+        propagates ``socket.timeout`` from the underlying socket, so a
+        driver-side recv timeout surfaces to the caller unchanged.
+        """
+        while not self._ready:
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                self._assembler.close()  # raises ConnectionLostError mid-frame
+                return None
+            self._ready.extend(self._assembler.feed(chunk))
+        return self._ready.pop(0)
+
+    def recv_message(self) -> Optional[Tuple[str, Any, bytes]]:
+        """Receive and unpack one message, or ``None`` on clean end-of-stream."""
+        payload = self.recv_frame()
+        if payload is None:
+            return None
+        return unpack_message(payload)

@@ -1,0 +1,252 @@
+"""The cluster node process: hosts resident shards behind a TCP socket.
+
+``python -m repro.cluster.node --connect host:port`` runs :func:`serve`:
+the node dials the driver (retrying while the driver is still binding its
+listener), introduces itself with a ``hello`` message, then processes
+commands one at a time from the socket — shard seeding, the per-tick
+delta rounds, whole-shard collection for migrations, stateless callables
+— replying to each in arrival order.  A daemon thread emits ``heartbeat``
+frames on an interval so the driver can tell a slow shard from a dead
+node while a long phase computes.
+
+Shard states live in this process for its whole lifetime (the resident
+contract); the codec is armed by importing :mod:`repro.brace.shards`,
+which registers every protocol payload type with the columnar wire.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional
+
+import repro.brace.shards  # noqa: F401  (registers wire types with the codec)
+from repro.cluster.protocol import (
+    ConnectionLostError,
+    FrameReader,
+    send_message,
+)
+from repro.ipc.frames import ColumnarCodec
+
+__all__ = ["serve", "main"]
+
+#: Seconds the node keeps retrying its initial connect.  Long enough to
+#: start nodes before the driver listens (the docs walkthrough does), short
+#: enough that a typo'd address fails while a human is still watching.
+CONNECT_RETRY_SECONDS = 30.0
+
+
+class _NodeState:
+    """Everything one node process holds between commands."""
+
+    def __init__(self) -> None:
+        self.shards: Dict[int, Any] = {}
+        self.codec = ColumnarCodec()
+        self.send_lock = threading.Lock()
+
+    def decode(self, codec_name: Optional[str], blob: bytes):
+        if codec_name == "columnar":
+            return self.codec.decode(blob)
+        return pickle.loads(blob)
+
+    def encode(self, codec_name: Optional[str], value) -> bytes:
+        if codec_name == "columnar":
+            return self.codec.encode(value)
+        return pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+
+
+def _connect_with_retry(address: tuple, retry_seconds: float) -> socket.socket:
+    """Dial the driver, retrying until it listens or the budget runs out."""
+    deadline = time.monotonic() + retry_seconds
+    delay = 0.05
+    while True:
+        try:
+            return socket.create_connection(address)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def _heartbeat_loop(sock: socket.socket, state: _NodeState, interval: float,
+                    stop: threading.Event) -> None:
+    """Emit heartbeat frames until told to stop or the socket dies."""
+    while not stop.wait(interval):
+        try:
+            with state.send_lock:
+                send_message(sock, "heartbeat", {"pid": os.getpid()})
+        except OSError:
+            return
+
+
+def _exception_reply(error: BaseException) -> dict:
+    """Package an exception for the driver: the object when picklable,
+    always the formatted traceback for the log."""
+    formatted = "".join(traceback.format_exception(type(error), error, error.__traceback__))
+    try:
+        blob = pickle.dumps(error, pickle.HIGHEST_PROTOCOL)
+        pickle.loads(blob)  # some exceptions pickle but refuse to rebuild
+    except Exception:  # noqa: BLE001 - anything unpicklable falls back to text
+        blob = None
+    return {"exception": blob, "traceback": formatted}
+
+
+def _handle(state: _NodeState, kind: str, meta: Any, blob: bytes) -> tuple:
+    """Execute one command; returns ``(reply_kind, reply_meta, reply_blob)``."""
+    if kind == "init_shard":
+        shard_id = meta["shard_id"]
+        factory = meta["factory"]
+        payload = state.decode(meta["codec"], blob)
+        # factory=None installs the payload as the shard state directly —
+        # the migration path for states without a re-seeding protocol.
+        state.shards[shard_id] = (
+            factory(shard_id, payload) if factory is not None else payload
+        )
+        return "ok", {"shard_id": shard_id, "pid": os.getpid()}, b""
+    if kind == "run_task":
+        shard_id = meta["shard_id"]
+        if shard_id not in state.shards:
+            raise KeyError(f"resident shard {shard_id!r} is not hosted on this node")
+        start = time.perf_counter()
+        payload = state.decode(meta["codec"], blob)
+        codec_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        value = meta["fn"](state.shards[shard_id], payload)
+        wall_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        result_blob = state.encode(meta["codec"], value)
+        codec_seconds += time.perf_counter() - start
+        return (
+            "result",
+            {"shard_id": shard_id, "wall_seconds": wall_seconds,
+             "codec_seconds": codec_seconds},
+            result_blob,
+        )
+    if kind == "collect_shard":
+        # Ship the whole shard through the codec for a migration.  A state
+        # that defines ``migration_seed()`` (the BRACE Worker does) chooses
+        # its own travelling form — for Workers that is a ShardSeed of the
+        # owned agents only: retained replicas and the delta send history
+        # are deliberately left behind, because the driver follows every
+        # migration with an adopt_partitioning round that resets them on
+        # all shards.  States without the hook travel as themselves and
+        # are installed verbatim on the destination.
+        shard_id = meta["shard_id"]
+        shard_state = state.shards.pop(shard_id)
+        seed_hook = getattr(shard_state, "migration_seed", None)
+        payload = seed_hook() if seed_hook is not None else shard_state
+        return (
+            "shard_state",
+            {"shard_id": shard_id, "reseed": seed_hook is not None},
+            state.encode(meta["codec"], payload),
+        )
+    if kind == "call":
+        task = pickle.loads(blob)
+        start = time.perf_counter()
+        value = task()
+        wall_seconds = time.perf_counter() - start
+        return (
+            "result",
+            {"wall_seconds": wall_seconds},
+            pickle.dumps(value, pickle.HIGHEST_PROTOCOL),
+        )
+    if kind == "reset":
+        # The echoed nonce lets the driver drain stale replies left over
+        # from an aborted round: everything queued before this ack is old.
+        state.shards.clear()
+        return "ok", {"pid": os.getpid(), "nonce": (meta or {}).get("nonce")}, b""
+    if kind == "shutdown":
+        return "bye", {"pid": os.getpid()}, b""
+    raise ValueError(f"unknown command {kind!r}")
+
+
+def serve(
+    host: str,
+    port: int,
+    token: Optional[str] = None,
+    heartbeat_interval: float = 0.5,
+    retry_seconds: float = CONNECT_RETRY_SECONDS,
+) -> None:
+    """Connect to the driver at ``host:port`` and serve shard commands.
+
+    Returns when the driver sends ``shutdown`` or closes the connection.
+    """
+    sock = _connect_with_retry((host, port), retry_seconds)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    state = _NodeState()
+    reader = FrameReader(sock)
+    stop = threading.Event()
+    with state.send_lock:
+        send_message(sock, "hello", {"pid": os.getpid(), "token": token})
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(sock, state, heartbeat_interval, stop), daemon=True
+    )
+    beat.start()
+    try:
+        while True:
+            try:
+                message = reader.recv_message()
+            except (ConnectionLostError, OSError):
+                return  # driver went away; nothing left to serve
+            if message is None:
+                return
+            kind, meta, blob = message
+            try:
+                reply = _handle(state, kind, meta, blob)
+            except BaseException as error:  # noqa: BLE001 - every task error travels back
+                reply = ("error", _exception_reply(error), b"")
+            with state.send_lock:
+                send_message(sock, *reply)
+            if kind == "shutdown":
+                return
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv: Optional[list] = None) -> None:
+    """CLI entry point: ``python -m repro.cluster.node --connect host:port``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.node",
+        description="Host BRACE resident shards on this machine for a cluster driver.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the driver's cluster listener",
+    )
+    parser.add_argument(
+        "--token", default=None, help="handshake token expected by the driver (if any)"
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.5,
+        help="seconds between liveness frames (default 0.5)",
+    )
+    parser.add_argument(
+        "--retry-seconds",
+        type=float,
+        default=CONNECT_RETRY_SECONDS,
+        help="how long to keep retrying the initial connect (default 30)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    serve(
+        host,
+        int(port),
+        token=args.token,
+        heartbeat_interval=args.heartbeat_interval,
+        retry_seconds=args.retry_seconds,
+    )

@@ -272,9 +272,17 @@ class Agent(metaclass=AgentMeta):
         return True
 
     def approximate_size_bytes(self) -> int:
-        """A rough serialized size used by the network cost model."""
-        # 8 bytes per numeric field plus a small per-agent header.
-        return 16 + 8 * (len(self._state) + len(self._effects))
+        """Modeled wire footprint: one row of a columnar delta frame.
+
+        Delegates to :func:`repro.ipc.sizing.agent_frame_bytes` — the one
+        formula behind every byte account — so the cost model's virtual
+        time and the measured socket traffic are charged from the same
+        sizes.  (Imported lazily: ``core`` must not depend on ``ipc`` at
+        import time.)
+        """
+        from repro.ipc.sizing import agent_frame_bytes
+
+        return agent_frame_bytes(self)
 
     def __repr__(self) -> str:
         position = ", ".join(f"{value:.3g}" for value in self.position())

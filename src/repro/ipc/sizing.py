@@ -40,10 +40,11 @@ def agent_frame_bytes(agent) -> int:
     every backend and in every process — a determinism requirement, since
     the cost model's virtual seconds are derived from it.
 
-    This is the canonical form of :meth:`repro.core.agent.Agent.
-    approximate_size_bytes`; the two must agree (pinned by the sizing
-    tests) — the method stays for layering (``core`` cannot import up into
-    ``ipc``), this helper is what the runtime's accounting calls.
+    This is the canonical formula; :meth:`repro.core.agent.Agent.
+    approximate_size_bytes` now *delegates* here (lazily, so ``core``
+    stays import-time independent of ``ipc``), which closes the last
+    PR 3-era drift between the cost model's estimates and the measured
+    ``ipc_bytes_*`` — one formula, every accounting site.
     """
     cls = type(agent)
     return ROW_HEADER_BYTES + CELL_BYTES * (

@@ -62,7 +62,7 @@ from typing import Any, Callable, Hashable, Sequence
 from repro.core.errors import ExecutorError
 
 #: Executor kinds accepted by :func:`make_executor` and ``BraceConfig.executor``.
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "cluster")
 
 
 def stable_hash_partition(key: Hashable, num_partitions: int) -> int:
@@ -912,7 +912,11 @@ def make_executor(
 
     ``None`` and ``"serial"`` yield the serial backend; ``"thread"`` and
     ``"process"`` yield the pooled backends with ``max_workers`` parallel
-    slots (defaulting to the CPU count).
+    slots (defaulting to the CPU count).  ``"cluster"`` yields the
+    socket-based multi-node backend (:mod:`repro.cluster.client`) with its
+    defaults — two auto-spawned localhost nodes; construct
+    :class:`~repro.cluster.client.ClusterExecutor` directly (or configure
+    ``BraceConfig``) for real topologies.
     """
     if isinstance(executor, Executor):
         return executor
@@ -922,6 +926,10 @@ def make_executor(
         return ThreadExecutor(max_workers)
     if executor == "process":
         return ProcessExecutor(max_workers)
+    if executor == "cluster":
+        from repro.cluster.client import ClusterExecutor
+
+        return ClusterExecutor(max_workers)
     raise ExecutorError(
         f"unknown executor {executor!r}; expected one of {', '.join(EXECUTOR_KINDS)}"
     )

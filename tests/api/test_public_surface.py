@@ -54,6 +54,7 @@ SIMULATION_SURFACE = {
     "from_script",
     # fluent configuration
     "with_executor",
+    "with_nodes",
     "with_partitioning",
     "with_workers",
     "with_index",
@@ -109,6 +110,7 @@ PROVENANCE_FIELDS = {
     "config",
     "script_hash",
     "script_label",
+    "nodes",
 }
 
 

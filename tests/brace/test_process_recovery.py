@@ -7,11 +7,15 @@ driver's world and re-seeds the shards, and the recovered run must match an
 uninterrupted serial run bit for bit.
 """
 
+import os
+import signal
+
 import pytest
 
 from repro.brace.checkpoint import FailureInjector
 from repro.brace.config import BraceConfig
 from repro.brace.runtime import BraceRuntime
+from repro.core.errors import ExecutorError
 from repro.simulations.traffic.workload import build_traffic_world
 
 SEED = 17
@@ -24,7 +28,7 @@ def build_world():
     return build_traffic_world(seed=SEED, num_vehicles=VEHICLES)
 
 
-def make_config(executor, resident_shards=None):
+def make_config(executor, resident_shards=None, **overrides):
     """Checkpoint-every-epoch configuration (epoch = 2 ticks)."""
     return BraceConfig(
         num_workers=3,
@@ -36,6 +40,7 @@ def make_config(executor, resident_shards=None):
         executor=executor,
         max_workers=2,
         resident_shards=resident_shards,
+        **overrides,
     )
 
 
@@ -91,4 +96,53 @@ class TestProcessCheckpointRecovery:
             runtime.run(5)
             runtime.recover()
             runtime.run(TOTAL_TICKS - world.tick)
+        assert world.same_state_as(serial_reference, tolerance=0.0)
+
+
+@pytest.mark.slow
+class TestClusterNodeFailureRecovery:
+    """A killed cluster node is a *machine* failure, not a pool hiccup.
+
+    The heartbeat detector must turn a SIGKILLed node process into the
+    same recoverable :class:`ExecutorError` the process backend raises,
+    so the one checkpoint-recover path handles both failure domains —
+    and the recovered run must still match the serial ground truth bit
+    for bit.
+    """
+
+    def cluster_config(self):
+        # A tight heartbeat so the test detects the kill in well under a
+        # second instead of the production ten.
+        return make_config(
+            "cluster",
+            heartbeat_interval_seconds=0.1,
+            heartbeat_timeout_seconds=1.5,
+        )
+
+    def test_node_kill_mid_run_recovers_bit_identical(self, serial_reference):
+        world = build_world()
+        with BraceRuntime(world, self.cluster_config()) as runtime:
+            runtime.run(5)  # checkpoints at ticks 2 and 4
+            victim_pid = runtime.executor.node_pids()[1]
+            os.kill(victim_pid, signal.SIGKILL)
+            with pytest.raises(ExecutorError, match="recover from the last checkpoint"):
+                # The tick may need a few protocol rounds to trip over the
+                # dead socket; the heartbeat timeout bounds the wait.
+                for _ in range(10):
+                    runtime.run_tick()
+            ticks_lost = runtime.recover()
+            assert ticks_lost >= 0
+            assert world.tick == 4
+            # Recovery respawned the dead node and re-seeded every shard.
+            assert sum(runtime.owned_counts()) == world.agent_count()
+            runtime.run(TOTAL_TICKS - world.tick)
+        assert world.tick == TOTAL_TICKS
+        assert world.same_state_as(serial_reference, tolerance=0.0)
+
+    def test_run_with_failures_on_cluster_backend_matches_serial(self, serial_reference):
+        world = build_world()
+        injector = FailureInjector(0.25, seed=3)
+        with BraceRuntime(world, self.cluster_config()) as runtime:
+            runtime.run_with_failures(TOTAL_TICKS, injector)
+        assert world.tick == TOTAL_TICKS
         assert world.same_state_as(serial_reference, tolerance=0.0)

@@ -1,0 +1,101 @@
+"""Cost-model-driven shard-to-node placement.
+
+Placement must be deterministic (it is part of a run's provenance), keep
+strip shards contiguous per node (one partition boundary per node pair is
+the minimum cross-node traffic for strip partitioning), and actually
+respond to the cost model — heavier shards spread out, faster nodes take
+more work.
+"""
+
+import pytest
+
+from repro.cluster._simnode import SimulatedNode
+from repro.cluster.network import NetworkModel
+from repro.cluster.placement import placement_makespan, plan_placement
+
+
+def make_nodes(speeds):
+    return [SimulatedNode(i, work_units_per_second=s) for i, s in enumerate(speeds)]
+
+
+def place(weights, speeds, **kwargs):
+    shard_ids = sorted(weights)
+    return plan_placement(
+        shard_ids, weights, make_nodes(speeds), NetworkModel(), **kwargs
+    )
+
+
+class TestPlanPlacement:
+    def test_every_shard_placed_on_a_valid_node(self):
+        placement = place({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}, [1e6, 1e6])
+        assert sorted(placement) == [0, 1, 2, 3]
+        assert set(placement.values()) <= {0, 1}
+
+    def test_deterministic(self):
+        weights = {i: float(1 + (i * 7) % 5) for i in range(9)}
+        speeds = [1e6, 2e6, 1.5e6]
+        assert place(weights, speeds) == place(weights, speeds)
+
+    def test_contiguous_blocks_per_node(self):
+        # Strip shard ids are spatially ordered: each node must own a
+        # contiguous run, and node indices must not interleave.
+        placement = place({i: float(i + 1) for i in range(8)}, [1e6, 1e6, 1e6])
+        sequence = [placement[i] for i in sorted(placement)]
+        assert sequence == sorted(sequence)
+
+    def test_equal_weights_split_evenly_on_equal_nodes(self):
+        placement = place({i: 1.0 for i in range(6)}, [1e6, 1e6])
+        per_node = [sum(1 for n in placement.values() if n == node) for node in (0, 1)]
+        assert per_node == [3, 3]
+
+    def test_heavy_shard_gets_its_own_node(self):
+        placement = place({0: 100.0, 1: 1.0, 2: 1.0, 3: 1.0}, [1e6, 1e6])
+        assert placement[0] != placement[3]
+        assert placement[1] == placement[2] == placement[3]
+
+    def test_faster_node_takes_more_shards(self):
+        placement = place({i: 1.0 for i in range(8)}, [3e6, 1e6])
+        node0 = sum(1 for n in placement.values() if n == 0)
+        assert node0 > 4
+
+    def test_single_node_takes_everything(self):
+        placement = place({0: 1.0, 1: 5.0}, [1e6])
+        assert placement == {0: 0, 1: 0}
+
+    def test_more_nodes_than_shards_leaves_spare_nodes_empty(self):
+        placement = place({0: 1.0, 1: 1.0}, [1e6] * 4)
+        assert sorted(placement) == [0, 1]
+        assert len(set(placement.values())) <= 2
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            plan_placement([0], {0: 1.0}, [], NetworkModel())
+
+    def test_large_shard_count_uses_greedy_and_stays_contiguous(self):
+        # Above the enumeration limit the greedy splitter takes over; the
+        # contiguity and determinism contracts must hold there too.
+        weights = {i: float(1 + i % 3) for i in range(200)}
+        speeds = [1e6, 2e6, 1e6, 2e6]
+        placement = place(weights, speeds)
+        sequence = [placement[i] for i in sorted(placement)]
+        assert sequence == sorted(sequence)
+        assert place(weights, speeds) == placement
+
+
+class TestPlacementMakespan:
+    def test_balanced_split_beats_lopsided(self):
+        nodes = make_nodes([1e6, 1e6])
+        network = NetworkModel()
+        weights = {i: 1.0 for i in range(4)}
+        balanced = placement_makespan([2, 2], weights, nodes, network, 4096.0)
+        lopsided = placement_makespan([4, 0], weights, nodes, network, 4096.0)
+        assert balanced < lopsided
+
+    def test_cross_node_boundary_charged_on_both_sides(self):
+        slow = NetworkModel(latency_seconds=0.0, bandwidth_bytes_per_second=1e3)
+        fast = NetworkModel(latency_seconds=0.0, bandwidth_bytes_per_second=1e9)
+        nodes = make_nodes([1e6, 1e6])
+        weights = {0: 1.0, 1: 1.0}
+        assert placement_makespan([1, 1], weights, nodes, slow, 4096.0) > (
+            placement_makespan([1, 1], weights, nodes, fast, 4096.0)
+        )
