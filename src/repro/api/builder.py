@@ -119,6 +119,8 @@ class FluentConfig:
         spawn: bool | None = None,
         heartbeat_interval: float | None = None,
         heartbeat_timeout: float | None = None,
+        secret: str | None = None,
+        readmission_timeout: float | None = None,
     ) -> Any:
         """Configure the cluster backend's node topology.
 
@@ -128,7 +130,12 @@ class FluentConfig:
         nodes (``python -m repro.cluster.node --connect host:port``) instead
         of spawning localhost subprocesses.  The heartbeat knobs tune
         failure detection: a node silent for ``heartbeat_timeout`` seconds
-        is declared dead and the run recovers from the last checkpoint.
+        is declared dead; supervision then respawns it (or waits
+        ``readmission_timeout`` seconds for an external replacement to dial
+        in, falling back to re-homing the lost shards onto the survivors)
+        and the run recovers from the last checkpoint.  ``secret`` is the
+        shared HMAC key nodes must prove knowledge of before joining —
+        mandatory for non-localhost listeners, and scrubbed from provenance.
         Only meaningful together with ``with_executor("cluster")``.
         """
         self._check_not_started()
@@ -141,6 +148,10 @@ class FluentConfig:
             overrides["heartbeat_interval_seconds"] = float(heartbeat_interval)
         if heartbeat_timeout is not None:
             overrides["heartbeat_timeout_seconds"] = float(heartbeat_timeout)
+        if secret is not None:
+            overrides["cluster_secret"] = secret
+        if readmission_timeout is not None:
+            overrides["readmission_timeout_seconds"] = float(readmission_timeout)
         self._builder.set(**overrides)
         return self
 

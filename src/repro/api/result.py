@@ -86,6 +86,12 @@ class RunResult:
     provenance: Provenance
     #: Epoch numbers at which coordinated checkpoints were taken.
     checkpoints_taken: list[int] = field(default_factory=list)
+    #: Supervision log for cluster runs: one record per node loss
+    #: (``event="node_loss"`` with the dead node, the shards it hosted and
+    #: the action taken — respawned/readmitted/rehomed/lost) and per
+    #: checkpoint recovery (``event="recovered"`` with the restored tick and
+    #: how many ticks were re-executed).  Empty for undisturbed runs.
+    fault_events: list[dict] = field(default_factory=list)
     #: Directory of the recorded tick history (``with_history(path)``), or
     #: None when the session ran without recording.  Open it with
     #: :meth:`repro.history.History.open` to time-travel the finished run.
@@ -132,6 +138,12 @@ class RunResult:
         ]
         if self.checkpoints_taken:
             lines.append(f"  checkpoints at epochs {self.checkpoints_taken}")
+        if self.fault_events:
+            losses = sum(1 for e in self.fault_events if e.get("event") == "node_loss")
+            lines.append(
+                f"  {losses} node loss(es) absorbed "
+                f"({len(self.fault_events)} fault events)"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -41,7 +41,7 @@ from repro.brasil.compiler import CompiledScript
 from repro.brasil.kernels import resolve_plan_backend
 from repro.core.agent import Agent
 from repro.core.context import resolve_spatial_backend
-from repro.core.errors import BraceError, SimulationSessionError
+from repro.core.errors import BraceError, NodeLossError, SimulationSessionError
 from repro.core.world import World
 from repro.history.query import History
 from repro.history.recorder import HistoryRecorder
@@ -395,12 +395,37 @@ class Simulation(FluentConfig):
     def _stream_ticks(self, ticks: int, snapshot_states: bool) -> Iterator[TickEvent]:
         runtime = self._runtime
         assert runtime is not None
+        best_tick = runtime.world.tick
+        stalled_recoveries = 0
         try:
             for _ in range(ticks):
                 if self._pause_requested:
                     break
                 self._epoch_events.clear()
-                stats = runtime.run_tick()
+                while True:
+                    try:
+                        stats = runtime.run_tick()
+                        break
+                    except NodeLossError as error:
+                        # Mirror BraceRuntime.run's supervision policy:
+                        # absorb a survivable node loss by recovering from
+                        # the last checkpoint, but re-raise when nothing
+                        # survived, no checkpoint exists, or losses outpace
+                        # re-execution.
+                        if error.action == "lost":
+                            raise
+                        if not (
+                            runtime.config.checkpointing
+                            and runtime.master.checkpoint_manager.has_checkpoint()
+                        ):
+                            raise
+                        if runtime.world.tick > best_tick:
+                            best_tick = runtime.world.tick
+                            stalled_recoveries = 0
+                        stalled_recoveries += 1
+                        if stalled_recoveries > 3:
+                            raise
+                        runtime.recover()
                 epoch = self._epoch_events[-1] if self._epoch_events else None
                 states = None
                 if snapshot_states:
@@ -456,6 +481,7 @@ class Simulation(FluentConfig):
             ticks=len(runtime.metrics.ticks),
             provenance=self._provenance(runtime),
             checkpoints_taken=list(self._checkpoints_taken),
+            fault_events=list(runtime.fault_events),
             history_path=(
                 str(self._recorder.store.path) if self._recorder is not None else None
             ),
@@ -473,6 +499,12 @@ class Simulation(FluentConfig):
             runtime.config,
             seed=runtime.seed,
             resident_shards=runtime.resident,
+            # Never let the cluster auth secret leak into provenance (it is
+            # persisted with history recordings and serialized in results);
+            # record only *that* auth was configured.
+            cluster_secret=(
+                "<scrubbed>" if runtime.config.cluster_secret is not None else None
+            ),
             spatial_backend=resolve_spatial_backend(
                 runtime.config.spatial_backend,
                 runtime.config.index,

@@ -63,6 +63,19 @@ class BraceConfig:
     #: Seconds of frame silence after which the driver declares a node dead
     #: and routes the run into checkpoint recovery.
     heartbeat_timeout_seconds: float = 10.0
+    #: Shared cluster secret: arms HMAC-SHA256 frame authentication on every
+    #: driver<->node link (challenge–response hello, per-frame MACs).
+    #: **Mandatory** when ``cluster_listen`` names a non-loopback address —
+    #: an open listener would otherwise admit any process that can reach the
+    #: port.  Spawned nodes inherit it via the ``REPRO_CLUSTER_SECRET``
+    #: environment variable; external nodes read the same variable or a
+    #: ``--secret-file``.  Scrubbed from provenance records.
+    cluster_secret: str | None = None
+    #: How long a degraded driver holds its listener open for a replacement
+    #: node after one dies (spawned clusters respawn immediately instead).
+    #: ``0`` skips re-admission and rehomes the lost shards straight onto
+    #: the surviving nodes.
+    readmission_timeout_seconds: float = 10.0
 
     # Iteration structure ------------------------------------------------
     ticks_per_epoch: int = 10
@@ -207,6 +220,20 @@ class BraceConfig:
                 raise BraceError(
                     "heartbeat_timeout_seconds must exceed heartbeat_interval_seconds "
                     "(otherwise every slow phase reads as a dead node)"
+                )
+            if self.readmission_timeout_seconds < 0:
+                raise BraceError(
+                    "readmission_timeout_seconds must be >= 0 "
+                    "(0 rehomes lost shards onto survivors immediately)"
+                )
+            from repro.cluster.auth import is_loopback
+
+            if self.cluster_secret is None and not is_loopback(host):
+                raise BraceError(
+                    f"cluster_listen={self.cluster_listen!r} is reachable from "
+                    "other machines; set cluster_secret so the driver only "
+                    "admits nodes that prove knowledge of the shared secret "
+                    "(loopback listeners may run without one)"
                 )
         if self.index not in (None, "kdtree", "grid", "quadtree"):
             raise BraceError(

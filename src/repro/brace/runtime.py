@@ -69,6 +69,8 @@ from repro.brace.shards import (
     shard_install_owned,
     shard_map_phase,
     shard_query_phase,
+    shard_restore_checkpoint,
+    shard_retain_checkpoint,
     shard_update_phase,
 )
 from repro.brace.worker import Worker, run_query_phase_remote, run_update_phase_remote
@@ -77,7 +79,7 @@ from repro.cluster.network import NetworkModel
 from repro.cluster._simnode import SimulatedNode
 from repro.core.context import UpdateContext
 from repro.core.engine import apply_births_and_deaths
-from repro.core.errors import BraceError, ExecutorError
+from repro.core.errors import BraceError, ExecutorError, NodeLossError
 from repro.core.ordering import agent_sort_key
 from repro.core.world import World
 from repro.ipc import agent_frame_bytes, partial_frame_bytes, resolve_ipc_backend
@@ -134,6 +136,8 @@ class BraceRuntime:
                 spawn=self.config.cluster_spawn,
                 heartbeat_interval=self.config.heartbeat_interval_seconds,
                 heartbeat_timeout=self.config.heartbeat_timeout_seconds,
+                secret=self.config.cluster_secret,
+                readmission_timeout=self.config.readmission_timeout_seconds,
                 network=network,
                 sim_nodes=[
                     SimulatedNode(index, self.config.work_units_per_second)
@@ -191,6 +195,18 @@ class BraceRuntime:
         self._pending_boundary: dict[int, BoundaryDelta] = {}
         #: True when shard-resident states are newer than the driver's world.
         self._world_dirty = False
+        #: Bumped whenever the partitioning (or the physical shard layout)
+        #: changes; part of the checkpoint stash tag so :meth:`recover`
+        #: never restores a stashed epoch across a layout it predates.
+        self._partitioning_version = 0
+        #: ``(tick, partitioning_version)`` of the latest shard-local
+        #: checkpoint stash, and the driver's ownership map at that instant
+        #: (used to re-seed lost shards with their natural owned sets).
+        self._stash_tag: tuple[int, int] | None = None
+        self._checkpoint_ownership: dict[Any, int] | None = None
+        #: Supervision events (node deaths, recoveries) drained from the
+        #: executor; the session layer surfaces them on the run result.
+        self.fault_events: list[dict] = []
 
         self._owner_of: dict[Any, int] = {}
         self._assign_initial_ownership()
@@ -703,9 +719,36 @@ class BraceRuntime:
         while ticks run; the final states are pulled back once at the end
         (:meth:`sync_world`), so callers observe exactly what an in-place
         run would have produced.
+
+        When checkpointing is on and a checkpoint exists, a supervised node
+        loss (:class:`~repro.core.errors.NodeLossError`) is absorbed here:
+        the run recovers from the last checkpoint and re-executes the lost
+        ticks, raising only when no node survived, no checkpoint exists
+        yet, or repeated losses stop the run from making progress.
+        (:meth:`run_tick` itself always raises — callers driving ticks
+        directly own their recovery policy.)
         """
-        for _ in range(ticks):
-            self.run_tick()
+        target_tick = self.world.tick + ticks
+        best_tick = self.world.tick
+        stalled_recoveries = 0
+        while self.world.tick < target_tick:
+            try:
+                self.run_tick()
+            except NodeLossError as error:
+                if error.action == "lost":
+                    raise  # no node survived; nothing to resume on
+                if not (
+                    self.config.checkpointing
+                    and self.master.checkpoint_manager.has_checkpoint()
+                ):
+                    raise
+                if self.world.tick > best_tick:
+                    best_tick = self.world.tick
+                    stalled_recoveries = 0
+                stalled_recoveries += 1
+                if stalled_recoveries > 3:
+                    raise  # losing nodes faster than ticks re-execute
+                self.recover()
         self.metrics.add_sync_ipc(self.sync_world())
         return self.metrics
 
@@ -856,12 +899,28 @@ class BraceRuntime:
             return self.executor.run_sharded_tasks(
                 tasks, codec=self._codec, overlap=self._overlap
             )
+        except NodeLossError:
+            # A node died but the executor degraded instead of collapsing:
+            # survivors keep their resident state (and their checkpoint
+            # stash), only the dead node's shards await re-seeding.  Leave
+            # the shards marked ready so :meth:`recover` can take the
+            # partial path — the executor itself refuses to run another
+            # round until the lost shards are re-seeded.
+            self._drain_fault_events()
+            raise
         except ExecutorError:
             # Whatever happened (a dead host, an unpicklable payload), the
             # resident state can no longer be trusted; force a re-seed before
             # the next tick runs.
+            self._drain_fault_events()
             self._invalidate_shards()
             raise
+
+    def _drain_fault_events(self) -> None:
+        """Move supervision events from the executor onto the runtime."""
+        drain = getattr(self.executor, "drain_fault_events", None)
+        if drain is not None:
+            self.fault_events.extend(drain())
 
     def _invalidate_shards(self) -> None:
         """Drop the executor-hosted shard state; the next tick re-seeds it."""
@@ -1054,6 +1113,7 @@ class BraceRuntime:
             epoch_ipc_bytes += self.sync_world()
             checkpoint_bytes = sum(worker.checkpoint_size_bytes() for worker in self.workers)
             self.master.checkpoint_manager.take(self.world, self.master.epoch, checkpoint_bytes)
+            epoch_ipc_bytes += self._stash_shard_checkpoints()
             checkpoint_seconds = max(
                 (
                     self.cost_model.node(worker.worker_id).checkpoint_seconds(
@@ -1092,6 +1152,32 @@ class BraceRuntime:
         self._epoch_first_tick = self.world.tick
         self._epoch_ipc_phase = self._zero_ipc_phase()
 
+    def _stash_shard_checkpoints(self) -> int:
+        """Have every resident shard stash its own seed for this checkpoint.
+
+        Only runs on executors that can lose a *subset* of their shards
+        (``supports_partial_recovery``): after a node death the surviving
+        shards rewind themselves from this stash in place, so recovery
+        re-ships only the lost shards instead of tearing the cluster down.
+        Returns the measured IPC bytes of the stash round.
+        """
+        if not (
+            self._resident
+            and self._shards_ready
+            and getattr(self.executor, "supports_partial_recovery", False)
+        ):
+            return 0
+        tag = (self.world.tick, self._partitioning_version)
+        results = self._shard_round(
+            [
+                (worker.worker_id, shard_retain_checkpoint, {"tag": tag})
+                for worker in self.workers
+            ]
+        )
+        self._stash_tag = tag
+        self._checkpoint_ownership = dict(self._owner_of)
+        return sum(result.payload_bytes + result.result_bytes for result in results)
+
     def _apply_new_partitioning(self) -> tuple[int, float]:
         """Reassign ownership after the master adopted a new partitioning.
 
@@ -1102,6 +1188,7 @@ class BraceRuntime:
         partitioning = self.master.partitioning
         per_worker_seconds = [0.0] * len(self.workers)
         migrated = 0
+        self._partitioning_version += 1
 
         for worker in self.workers:
             worker.partition = partitioning.partition(worker.worker_id)
@@ -1136,6 +1223,9 @@ class BraceRuntime:
         per_worker_seconds = [0.0] * len(self.workers)
         migrated = 0
         ipc_bytes = 0
+        # Ownership and shard placement are about to shuffle; any stashed
+        # checkpoint epoch predates the new layout.
+        self._partitioning_version += 1
 
         # Executors that place shards on physical nodes (the cluster
         # backend) get a chance to re-home shards for the new load before
@@ -1234,12 +1324,20 @@ class BraceRuntime:
         tick_before_failure = self.world.tick
         checkpoint = self.master.checkpoint_manager.restore_latest(self.world)
         ticks_lost = max(0, tick_before_failure - checkpoint.tick)
-        self._rebuild_ownership()
-        if self._resident:
-            # Resident state died with the "failed" workers: drop the shards
-            # and lazily re-seed them from the restored world next tick.
-            self._invalidate_shards()
-            self._world_dirty = False
+        restored_in_place = (
+            self._resident
+            and self._shards_ready
+            and getattr(self.executor, "supports_partial_recovery", False)
+            and self._recover_shards_in_place(checkpoint)
+        )
+        if not restored_in_place:
+            self._rebuild_ownership()
+            if self._resident:
+                # Resident state died with the "failed" workers: drop the
+                # shards and lazily re-seed them from the restored world
+                # next tick.
+                self._invalidate_shards()
+                self._world_dirty = False
         # Any partially accumulated epoch is discarded along with the lost ticks.
         self._epoch_ticks = 0
         self._epoch_virtual_seconds = 0.0
@@ -1247,9 +1345,79 @@ class BraceRuntime:
         self._epoch_agent_ticks = 0
         self._epoch_first_tick = self.world.tick
         self._epoch_ipc_phase = self._zero_ipc_phase()
+        self.fault_events.append(
+            {
+                "event": "recovered",
+                "restored_tick": checkpoint.tick,
+                "failed_tick": tick_before_failure,
+                "ticks_lost": ticks_lost,
+                "partial": bool(restored_in_place),
+            }
+        )
         for listener in self.recovery_listeners:
             listener(self.world, checkpoint.tick, tick_before_failure)
         return ticks_lost
+
+    def _recover_shards_in_place(self, checkpoint) -> bool:
+        """Partial recovery: rewind survivors shard-locally, re-ship only
+        the lost shards.
+
+        Valid only when the latest shard-local stash matches the restored
+        checkpoint *and* the partitioning has not changed since it was
+        taken.  The driver's shadow ownership is rebuilt from the map
+        snapshotted at checkpoint time (the stashed shards hold exactly
+        those owned sets — position-based reassignment would disagree with
+        them for agents whose migration was still pending).  Returns False
+        on any mismatch or mid-recovery failure; the caller then falls back
+        to the full teardown-and-reseed path, which is always correct.
+        """
+        lost = set(getattr(self.executor, "lost_shards", lambda: ())())
+        survivors = sorted(
+            worker.worker_id for worker in self.workers if worker.worker_id not in lost
+        )
+        if not survivors:
+            return False
+        tag = (checkpoint.tick, self._partitioning_version)
+        ownership = self._checkpoint_ownership
+        if self._stash_tag != tag or ownership is None:
+            return False
+        for worker in self.workers:
+            worker.owned.clear()
+            worker._owned_sorted = None
+            worker.clear_replicas()
+        self._owner_of = dict(ownership)
+        for agent_id, owner in ownership.items():
+            if not self.world.has_agent(agent_id):
+                return False  # snapshot disagrees with the restored world
+            self.workers[owner].add_owned(self.world.get_agent(agent_id))
+        try:
+            # Lost shards first: the executor refuses ordinary rounds while
+            # shards await re-seeding, and the survivors' restore *is* an
+            # ordinary round.
+            if lost:
+                self.executor.reseed_shards(
+                    {
+                        shard_id: ShardSeed(
+                            partition=self.workers[shard_id].partition,
+                            partitioning=self.master.partitioning,
+                            agents=self.workers[shard_id].owned_agents(),
+                        )
+                        for shard_id in sorted(lost)
+                    }
+                )
+            restore_results = self._shard_round(
+                [
+                    (shard_id, shard_restore_checkpoint, {"tag": tag})
+                    for shard_id in survivors
+                ]
+            )
+        except ExecutorError:
+            return False
+        if not all(result.value.get("restored") for result in restore_results):
+            return False
+        self._pending_boundary = {}
+        self._world_dirty = False
+        return True
 
     def _rebuild_ownership(self) -> None:
         for worker in self.workers:

@@ -270,6 +270,59 @@ def shard_install_owned(worker: Worker, agents: list[Agent]) -> int:
     return worker.install_owned(agents)
 
 
+#: How many stashed checkpoint epochs a resident shard keeps.  Two covers
+#: the window where the runtime is taking a new checkpoint while the
+#: previous one is still the latest restorable epoch.
+STASH_KEEP = 2
+
+
+def shard_retain_checkpoint(worker: Worker, payload: dict) -> int:
+    """Stash this shard's seed under a checkpoint tag, shard-locally.
+
+    Called by the runtime at every checkpoint boundary so that if a
+    *different* node later dies, this surviving shard can rewind itself
+    in place (:func:`shard_restore_checkpoint`) instead of being torn
+    down and re-shipped from the driver.  The seed is pickled now —
+    future ticks mutate the live agents, a stashed epoch must not move
+    with them.  Returns the stashed byte count.
+    """
+    import pickle
+
+    tag = payload["tag"]
+    blob = pickle.dumps(worker.migration_seed(), pickle.HIGHEST_PROTOCOL)
+    worker.checkpoint_stash[tag] = blob
+    while len(worker.checkpoint_stash) > STASH_KEEP:
+        worker.checkpoint_stash.pop(next(iter(worker.checkpoint_stash)))
+    return len(blob)
+
+
+def shard_restore_checkpoint(worker: Worker, payload: dict) -> dict:
+    """Rewind this shard to a stashed checkpoint epoch, in place.
+
+    Returns ``{"restored": False}`` when the tag is not stashed (the
+    caller falls back to a full re-seed, which is always correct).  On a
+    hit the worker is rebuilt exactly as :func:`make_resident_worker`
+    would from a fresh seed — the stashed seed is unpickled and the
+    worker's entire ``__dict__`` swapped for the fresh build's, so the
+    rewind is equivalent to re-seeding over the wire and stays correct
+    for any future :class:`Worker` field.  The stash itself survives the
+    swap (the same checkpoint may be restored again after a second
+    failure).
+    """
+    import pickle
+
+    tag = payload["tag"]
+    blob = worker.checkpoint_stash.get(tag)
+    if blob is None:
+        return {"restored": False}
+    fresh = make_resident_worker(worker.worker_id, pickle.loads(blob))
+    stash = worker.checkpoint_stash
+    worker.__dict__.clear()
+    worker.__dict__.update(fresh.__dict__)
+    worker.checkpoint_stash = stash
+    return {"restored": True}
+
+
 # ---------------------------------------------------------------------------
 # Columnar wire transforms
 # ---------------------------------------------------------------------------

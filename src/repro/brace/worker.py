@@ -233,6 +233,12 @@ class Worker:
         #: Whether the last map phase ran in replica-delta mode (consulted
         #: by the query phase to apply incoming deltas incrementally).
         self._replica_delta_mode = False
+        #: Shard-local checkpoint stash: ``tag -> pickled ShardSeed`` taken
+        #: at checkpoint boundaries so a *surviving* resident shard can
+        #: rewind itself in place after another node dies, without shipping
+        #: its state back over the wire.  Pickled at stash time — later
+        #: mutation of the live agents cannot corrupt a stashed epoch.
+        self.checkpoint_stash: dict = {}
 
     # ------------------------------------------------------------------
     # Ownership management

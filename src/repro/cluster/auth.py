@@ -1,0 +1,115 @@
+"""Shared-secret authentication for cluster links.
+
+Two credentials exist, with different jobs:
+
+* The **token** is a per-run join credential: the driver generates it
+  (spawned mode) or the operator distributes it, and a node must present
+  it in the hello to be admitted.  It gates *membership*.
+* The **cluster secret** is a long-lived shared key that authenticates
+  the *bytes*: the hello carries an HMAC-SHA256 proof over a fresh
+  driver-issued nonce (so the secret never crosses the wire and a
+  recorded hello cannot be replayed against a new run), and every
+  subsequent frame is MAC'd with a per-connection session key derived
+  from the secret and that nonce.  The secret is mandatory whenever the
+  driver listens on a non-loopback address.
+
+Neither credential is ever passed via argv — ``ps`` on a shared host
+would expose it.  Nodes read them from the ``REPRO_CLUSTER_TOKEN`` /
+``REPRO_CLUSTER_SECRET`` environment variables or from files named by
+``--token-file`` / ``--secret-file``.
+"""
+from __future__ import annotations
+
+import hmac
+import ipaddress
+import os
+import secrets
+from typing import Optional
+
+from repro.cluster.protocol import ProtocolError
+
+__all__ = [
+    "AuthenticationError",
+    "TOKEN_ENV_VAR",
+    "SECRET_ENV_VAR",
+    "issue_challenge",
+    "hello_proof",
+    "verify_hello",
+    "derive_session_key",
+    "load_credential",
+    "is_loopback",
+]
+
+TOKEN_ENV_VAR = "REPRO_CLUSTER_TOKEN"
+SECRET_ENV_VAR = "REPRO_CLUSTER_SECRET"
+
+
+class AuthenticationError(ProtocolError):
+    """The peer failed the handshake: missing/wrong token, missing/wrong
+    hello proof, or a hello arriving where a challenge was expected."""
+
+
+def _key_bytes(secret: str) -> bytes:
+    return secret.encode("utf-8")
+
+
+def issue_challenge() -> str:
+    """A fresh nonce for one connection's hello exchange."""
+    return secrets.token_hex(16)
+
+
+def hello_proof(secret: str, nonce: str) -> str:
+    """The proof a node sends back: HMAC(secret, "hello:" + nonce)."""
+    return hmac.new(
+        _key_bytes(secret), b"hello:" + nonce.encode("ascii"), "sha256"
+    ).hexdigest()
+
+
+def verify_hello(secret: str, nonce: str, proof: object) -> bool:
+    """Constant-time check of a hello proof against the expected value."""
+    if not isinstance(proof, str):
+        return False
+    return hmac.compare_digest(hello_proof(secret, nonce), proof)
+
+
+def derive_session_key(secret: str, nonce: str) -> bytes:
+    """Per-connection frame-MAC key: HMAC(secret, "session:" + nonce).
+
+    Distinct from the hello proof (different domain prefix) so observing
+    one reveals nothing about the other, and bound to the nonce so every
+    connection MACs with a different key.
+    """
+    return hmac.new(
+        _key_bytes(secret), b"session:" + nonce.encode("ascii"), "sha256"
+    ).digest()
+
+
+def load_credential(
+    env_var: str, file_path: Optional[str] = None
+) -> Optional[str]:
+    """Resolve a credential from a file (preferred) or the environment.
+
+    Returns ``None`` when neither source provides one; surrounding
+    whitespace (a trailing newline in a secret file) is stripped.
+    """
+    if file_path:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            value = handle.read().strip()
+        return value or None
+    value = os.environ.get(env_var, "").strip()
+    return value or None
+
+
+def is_loopback(host: str) -> bool:
+    """Whether a listen address stays on this machine.
+
+    Only loopback listeners may run without a cluster secret.  Anything
+    unrecognized (a hostname, a wildcard bind) is treated as reachable
+    from outside and therefore as requiring authentication.
+    """
+    if host in ("localhost", ""):
+        return host == "localhost"
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False

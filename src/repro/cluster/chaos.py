@@ -1,0 +1,276 @@
+"""Fault-injection proxy for driver<->node links.
+
+The proxy sits between a node and the driver: the node dials the proxy,
+the proxy dials the real listen address and pumps bytes both ways —
+except where a :class:`FrameFault` tells it to misbehave.  Faults
+operate at *frame* granularity (the proxy runs its own
+`FrameAssembler` per direction), so a test can say "corrupt the 7th
+frame the node sends" and know exactly which protocol step it hit.
+
+The supported actions map one-to-one onto the failure modes the
+envelope in :mod:`repro.cluster.protocol` must catch:
+
+``corrupt``
+    Flip one payload byte → `FrameIntegrityError` (CRC, or MAC when
+    authenticated).
+``truncate``
+    Forward the frame with its tail cut off, then close both sockets →
+    `ConnectionLostError` (mid-frame EOF).
+``drop``
+    Swallow the frame → the *next* frame arrives with a skipped
+    sequence number → `FrameSequenceError`.
+``duplicate``
+    Forward the frame twice → the second copy re-uses a consumed
+    sequence number → `FrameSequenceError`.
+``delay``
+    Stall the direction for ``delay_seconds`` before forwarding —
+    harmless below the heartbeat timeout, a node-death detection above
+    it.  Either way the state never diverges.
+
+Every fault that actually fires is recorded in ``proxy.events`` so
+tests can assert the injection happened rather than silently testing a
+clean run.
+"""
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cluster.protocol import FrameAssembler, encode_frame
+
+__all__ = ["FrameFault", "ChaosProxy", "TO_DRIVER", "TO_NODE", "FAULT_ACTIONS"]
+
+#: Direction labels, named from the proxy's point of view.
+TO_DRIVER = "to_driver"  # node -> driver bytes
+TO_NODE = "to_node"  # driver -> node bytes
+
+FAULT_ACTIONS = ("drop", "duplicate", "corrupt", "truncate", "delay")
+
+
+@dataclass(frozen=True)
+class FrameFault:
+    """One planned misbehavior: apply ``action`` to the ``index``-th
+    frame flowing in ``direction`` (counted per direction, from 0,
+    across the proxy's lifetime)."""
+
+    direction: str
+    index: int
+    action: str
+    #: For ``delay``: how long to stall before forwarding.
+    delay_seconds: float = 0.0
+    #: For ``corrupt``: payload offset of the byte to flip (mod length).
+    corrupt_offset: int = 0
+    #: For ``truncate``: how many tail bytes to cut (at least 1 is cut).
+    truncate_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.direction not in (TO_DRIVER, TO_NODE):
+            raise ValueError(f"unknown fault direction {self.direction!r}")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+
+@dataclass
+class _Pipe:
+    """One direction of one relayed connection."""
+
+    source: socket.socket
+    sink: socket.socket
+    direction: str
+    assembler: FrameAssembler = field(default_factory=FrameAssembler)
+
+
+class ChaosProxy:
+    """A frame-aware TCP relay that injects planned faults.
+
+    Usage::
+
+        proxy = ChaosProxy(driver_host, driver_port, faults=[...])
+        proxy.start()
+        # point the node at ("127.0.0.1", proxy.port) instead of the driver
+        ...
+        proxy.close()
+
+    The proxy accepts any number of inbound connections (a respawned or
+    re-admitted node dials again); frame indices for fault matching run
+    per direction across all connections, in arrival order.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        faults: Tuple[FrameFault, ...] = (),
+    ) -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self._faults = {(f.direction, f.index): f for f in faults}
+        self._counts = {TO_DRIVER: 0, TO_NODE: 0}
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._sockets: List[socket.socket] = []
+        self._closing = threading.Event()
+        #: ``(direction, index, action)`` for every fault that fired.
+        self.events: List[Tuple[str, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        self._listener = listener
+        thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self._listener is not None, "proxy not started"
+        return self._listener.getsockname()[1]
+
+    def close(self) -> None:
+        self._closing.set()
+        if self._listener is not None:
+            # shutdown() wakes a thread parked in accept(); close() alone
+            # can leave it blocked until its join timeout.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self._shutdown_pipes()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _shutdown_pipes(self) -> None:
+        with self._lock:
+            sockets, self._sockets = self._sockets, []
+        for sock in sockets:
+            # shutdown() first so pump threads blocked in recv() wake up
+            # immediately — close() alone can leave them parked until
+            # their join timeout.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # relay machinery
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                upstream = socket.create_connection(self._upstream, timeout=10.0)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self._sockets.extend((client, upstream))
+            for pipe in (
+                _Pipe(client, upstream, TO_DRIVER),
+                _Pipe(upstream, client, TO_NODE),
+            ):
+                thread = threading.Thread(
+                    target=self._pump,
+                    args=(pipe,),
+                    name=f"chaos-{pipe.direction}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def _pump(self, pipe: _Pipe) -> None:
+        try:
+            while True:
+                chunk = pipe.source.recv(1 << 16)
+                if not chunk:
+                    break
+                for payload in pipe.assembler.feed(chunk):
+                    if not self._forward(pipe, payload):
+                        return  # terminal fault: sockets already closed
+        except OSError:
+            pass
+        finally:
+            for sock in (pipe.source, pipe.sink):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+    def _forward(self, pipe: _Pipe, payload: bytes) -> bool:
+        """Apply any planned fault and relay; False ends the pipe."""
+        with self._lock:
+            index = self._counts[pipe.direction]
+            self._counts[pipe.direction] = index + 1
+            fault = self._faults.get((pipe.direction, index))
+            if fault is not None:
+                self.events.append((pipe.direction, index, fault.action))
+
+        if fault is None:
+            pipe.sink.sendall(encode_frame(payload))
+            return True
+
+        if fault.action == "drop":
+            return True
+        if fault.action == "delay":
+            time.sleep(fault.delay_seconds)
+            pipe.sink.sendall(encode_frame(payload))
+            return True
+        if fault.action == "duplicate":
+            frame = encode_frame(payload)
+            pipe.sink.sendall(frame + frame)
+            return True
+        if fault.action == "corrupt":
+            mutated = bytearray(payload)
+            offset = fault.corrupt_offset % len(mutated) if mutated else 0
+            if mutated:
+                mutated[offset] ^= 0xFF
+            pipe.sink.sendall(encode_frame(bytes(mutated)))
+            return True
+        # truncate: ship a cut-off frame, then hard-close both ends so
+        # the receiver sees EOF mid-frame rather than misaligned bytes.
+        # shutdown() before close(): close() alone may not push the FIN
+        # out while the opposite pump thread is still blocked in recv()
+        # on the same socket object.
+        cut = max(1, min(fault.truncate_bytes, len(payload) + 7))
+        frame = encode_frame(payload)
+        try:
+            pipe.sink.sendall(frame[:-cut])
+        except OSError:
+            pass
+        for sock in (pipe.source, pipe.sink):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return False

@@ -10,22 +10,40 @@ stay columnar on the wire.
 The stream-to-frame step is sans-io (`FrameAssembler`) so it can be
 driven byte-by-byte in tests without a socket; `send_frame`/`recv_frame`
 wrap it for real sockets.
+
+On top of the raw frame sits the *envelope* (`seal_payload` /
+`open_payload`): a CRC32, a per-direction sequence number and — when a
+cluster secret is configured — an HMAC-SHA256 tag over the direction,
+the sequence number and the body.  The envelope is what makes transport
+faults **fail-stop**: a flipped byte breaks the CRC, a duplicated or
+dropped frame breaks the sequence, a forged or replayed frame breaks the
+MAC — each surfaces as a typed `ProtocolError` instead of silently
+corrupt simulation state.  :class:`FrameChannel` pairs the envelope with
+a socket and is what both the driver and the node actually speak.
 """
 from __future__ import annotations
 
-import pickle
+import hmac
 import struct
+import threading
+import zlib
+import pickle
 from typing import Any, List, Optional, Tuple
 
 __all__ = [
     "ProtocolError",
     "ConnectionLostError",
+    "FrameIntegrityError",
+    "FrameSequenceError",
     "FrameAssembler",
     "FrameReader",
+    "FrameChannel",
     "MAX_FRAME_BYTES",
     "encode_frame",
     "pack_message",
     "unpack_message",
+    "seal_payload",
+    "open_payload",
     "send_frame",
     "send_message",
 ]
@@ -50,6 +68,16 @@ class ProtocolError(Exception):
 class ConnectionLostError(ProtocolError):
     """The peer went away mid-frame: bytes promised by a length prefix
     (or the prefix itself, partially read) never arrived."""
+
+
+class FrameIntegrityError(ProtocolError):
+    """A frame's CRC32 or MAC did not verify: the bytes were corrupted in
+    transit (or forged).  The stream cannot be trusted past this frame."""
+
+
+class FrameSequenceError(ProtocolError):
+    """A frame arrived with the wrong sequence number: one was duplicated,
+    dropped or reordered.  The stream cannot be resynchronized safely."""
 
 
 def encode_frame(payload: bytes) -> bytes:
@@ -159,6 +187,93 @@ def send_message(sock, kind: str, meta: Any = None, blob: bytes = b"") -> int:
     return len(payload)
 
 
+#: Envelope prefix: CRC32 over everything after it, one flags byte, and
+#: an 8-byte big-endian sequence number.
+_ENVELOPE = struct.Struct(">IBQ")
+#: Flags bit 0: the frame carries an HMAC-SHA256 tag after the header.
+_FLAG_AUTH = 0x01
+_MAC_BYTES = 32
+
+#: Direction bytes mixed into the MAC so a frame recorded on one half of
+#: the duplex link can never be replayed on the other half.
+DIRECTION_TO_NODE = b"\x00"
+DIRECTION_TO_DRIVER = b"\x01"
+
+
+def _frame_mac(key: bytes, direction: bytes, seq: int, body: bytes) -> bytes:
+    return hmac.new(key, direction + _LENGTH.pack(seq) + body, "sha256").digest()
+
+
+def seal_payload(
+    body: bytes, *, seq: int, direction: bytes, key: Optional[bytes] = None
+) -> bytes:
+    """Wrap a message body in the integrity envelope.
+
+    The result is ``[crc32:4][flags:1][seq:8][mac:32?][body]`` — the CRC
+    covers everything after itself, and the MAC (present only when a
+    session ``key`` is supplied) covers the direction byte, the sequence
+    number and the body.
+    """
+    tail = struct.pack(">BQ", _FLAG_AUTH if key is not None else 0, seq)
+    if key is not None:
+        tail += _frame_mac(key, direction, seq, body)
+    tail += body
+    return struct.pack(">I", zlib.crc32(tail) & 0xFFFFFFFF) + tail
+
+
+def open_payload(
+    payload: bytes, *, seq: int, direction: bytes, key: Optional[bytes] = None
+) -> bytes:
+    """Verify and strip the integrity envelope; return the message body.
+
+    Checks run outermost-in: CRC first (raises `FrameIntegrityError` on
+    corruption), then the MAC when the channel is authenticated (a
+    missing or wrong tag is also `FrameIntegrityError`), then the
+    sequence number (`FrameSequenceError` on any mismatch — a duplicate
+    arrives with yesterday's number, a drop skips one, a reorder does
+    both).  Each is fail-stop: the stream is unusable past the error.
+    """
+    if len(payload) < _ENVELOPE.size:
+        raise FrameIntegrityError(
+            f"frame of {len(payload)} bytes is shorter than the "
+            f"{_ENVELOPE.size}-byte envelope header"
+        )
+    crc, flags, frame_seq = _ENVELOPE.unpack_from(payload)
+    tail = payload[4:]
+    if zlib.crc32(tail) & 0xFFFFFFFF != crc:
+        raise FrameIntegrityError(
+            "frame CRC mismatch: payload corrupted in transit"
+        )
+    offset = _ENVELOPE.size - 4
+    authenticated = bool(flags & _FLAG_AUTH)
+    if key is not None and not authenticated:
+        raise FrameIntegrityError(
+            "unauthenticated frame received on an authenticated channel"
+        )
+    if authenticated and key is None:
+        raise FrameIntegrityError(
+            "authenticated frame received but no session key is configured"
+        )
+    if authenticated:
+        mac = tail[offset : offset + _MAC_BYTES]
+        offset += _MAC_BYTES
+        if len(mac) < _MAC_BYTES:
+            raise FrameIntegrityError("frame truncated inside its MAC")
+        body = tail[offset:]
+        if not hmac.compare_digest(mac, _frame_mac(key, direction, frame_seq, body)):
+            raise FrameIntegrityError(
+                "frame MAC mismatch: payload forged or corrupted in transit"
+            )
+    else:
+        body = tail[offset:]
+    if frame_seq != seq:
+        raise FrameSequenceError(
+            f"expected frame #{seq} but received #{frame_seq}: a frame "
+            "was dropped, duplicated or reordered"
+        )
+    return body
+
+
 class FrameReader:
     """Per-connection frame receiver: an assembler plus a queue of frames
     already completed but not yet claimed.
@@ -199,3 +314,107 @@ class FrameReader:
         if payload is None:
             return None
         return unpack_message(payload)
+
+
+class FrameChannel:
+    """A duplex enveloped-message channel over one socket.
+
+    The channel owns the per-direction sequence counters and (after the
+    hello handshake) the session key, so every message a peer sends or
+    receives goes through `seal_payload`/`open_payload` without the
+    callers tracking envelope state themselves.  ``role`` is ``"driver"``
+    or ``"node"`` and fixes which direction byte each half of the duplex
+    uses.
+
+    Sends are serialized by an internal lock — the node's heartbeat
+    thread shares its channel with the reply path, and sequence numbers
+    must match the order frames hit the wire.  `seal_message` exists for
+    the driver's drain-while-sending path: it claims a sequence number
+    and returns the fully framed bytes for the caller to write, so the
+    caller **must** write sealed frames exactly once, in seal order.
+    """
+
+    def __init__(self, sock, role: str) -> None:
+        if role == "driver":
+            send_direction, recv_direction = DIRECTION_TO_NODE, DIRECTION_TO_DRIVER
+        elif role == "node":
+            send_direction, recv_direction = DIRECTION_TO_DRIVER, DIRECTION_TO_NODE
+        else:
+            raise ValueError(f"channel role must be 'driver' or 'node', not {role!r}")
+        self.sock = sock
+        self.reader = FrameReader(sock)
+        self._send_direction = send_direction
+        self._recv_direction = recv_direction
+        self._send_seq = 0
+        self._recv_seq = 0
+        self._key: Optional[bytes] = None
+        self._send_lock = threading.Lock()
+
+    @property
+    def authenticated(self) -> bool:
+        return self._key is not None
+
+    def enable_auth(self, session_key: bytes) -> None:
+        """Require a MAC on every frame from now on, in both directions.
+
+        Called by both peers at the same point in the handshake (driver:
+        after verifying the hello proof; node: after sending it), so the
+        sequence counters stay aligned across the switch.
+        """
+        self._key = session_key
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def seal_message(self, kind: str, meta: Any = None, blob: bytes = b"") -> bytes:
+        """Claim the next sequence number and return the framed bytes.
+
+        For callers that need the raw bytes to drive their own send loop
+        (the driver drains incoming heartbeats while pushing large
+        frames).  The returned bytes must reach the socket exactly once
+        and in the order they were sealed.
+        """
+        with self._send_lock:
+            payload = seal_payload(
+                pack_message(kind, meta, blob),
+                seq=self._send_seq,
+                direction=self._send_direction,
+                key=self._key,
+            )
+            self._send_seq += 1
+        return encode_frame(payload)
+
+    def send_message(self, kind: str, meta: Any = None, blob: bytes = b"") -> int:
+        """Seal and send one message; returns the frame payload size."""
+        with self._send_lock:
+            payload = seal_payload(
+                pack_message(kind, meta, blob),
+                seq=self._send_seq,
+                direction=self._send_direction,
+                key=self._key,
+            )
+            self._send_seq += 1
+            self.sock.sendall(encode_frame(payload))
+        return len(payload)
+
+    def absorb(self, chunk: bytes) -> None:
+        """Feed bytes read out-of-band (drained during a blocking send)."""
+        self.reader.absorb(chunk)
+
+    def recv_message(self) -> Optional[Tuple[str, Any, bytes]]:
+        """Receive, verify and unpack one message.
+
+        Returns ``None`` on clean end-of-stream; raises the envelope's
+        typed errors on any integrity or ordering violation.
+        """
+        payload = self.reader.recv_frame()
+        if payload is None:
+            return None
+        body = open_payload(
+            payload,
+            seq=self._recv_seq,
+            direction=self._recv_direction,
+            key=self._key,
+        )
+        self._recv_seq += 1
+        return unpack_message(body)

@@ -1,0 +1,91 @@
+"""One retry/backoff policy for every transient cluster wait.
+
+The driver and node previously each carried their own ad-hoc constants
+(connect retry window, accept timeout, send-stall limit) — a single
+:class:`RetryPolicy` value now travels with the executor so chaos tests
+and operators tune one object instead of hunting module constants.
+
+Backoff is **deterministic**: a fixed initial delay doubled up to a cap,
+no jitter.  Reproducibility is the repo's standing bar and a randomized
+sleep schedule would make fault timelines unreproducible for no benefit
+at cluster scale (a handful of nodes, not thousands of thundering
+clients).
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple, Type
+
+__all__ = ["RetryPolicy", "RetryBudgetExceededError"]
+
+
+class RetryBudgetExceededError(ConnectionError):
+    """Every attempt inside the retry window failed; the last underlying
+    error is chained as ``__cause__``."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeouts and backoff shared by driver and node transports.
+
+    ``connect_timeout_seconds``
+        Total window for a node to reach the driver (dial + redial).
+    ``accept_timeout_seconds``
+        How long the driver waits for an expected node to complete the
+        handshake before declaring the cluster failed to form.
+    ``readmission_timeout_seconds``
+        How long a degraded driver holds the listener open for a
+        replacement node before rehoming lost shards onto survivors.
+    ``send_stall_seconds``
+        Longest a blocking send may make zero progress before the peer
+        is declared dead mid-frame.
+    """
+
+    connect_timeout_seconds: float = 30.0
+    accept_timeout_seconds: float = 30.0
+    readmission_timeout_seconds: float = 10.0
+    send_stall_seconds: float = 10.0
+    initial_delay_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay_seconds: float = 1.0
+
+    def delays(self) -> Iterator[float]:
+        """The unbounded deterministic backoff schedule, in seconds."""
+        delay = self.initial_delay_seconds
+        while True:
+            yield delay
+            delay = min(delay * self.backoff_factor, self.max_delay_seconds)
+
+    def retry(
+        self,
+        attempt: Callable[[], object],
+        *,
+        timeout_seconds: float = None,
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        describe: str = "operation",
+    ):
+        """Run ``attempt`` until it succeeds or the window closes.
+
+        Retries only the exception types in ``retry_on``; anything else
+        propagates immediately.  On window exhaustion raises
+        `RetryBudgetExceededError` chained to the last failure.
+        """
+        window = (
+            self.connect_timeout_seconds
+            if timeout_seconds is None
+            else timeout_seconds
+        )
+        deadline = time.monotonic() + window
+        delays = self.delays()
+        while True:
+            try:
+                return attempt()
+            except retry_on as exc:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RetryBudgetExceededError(
+                        f"{describe} failed for {window:.1f}s; "
+                        f"last error: {exc}"
+                    ) from exc
+                time.sleep(min(next(delays), remaining))

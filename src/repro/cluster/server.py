@@ -2,12 +2,25 @@
 
 ``python -m repro.cluster.node --connect host:port`` runs :func:`serve`:
 the node dials the driver (retrying while the driver is still binding its
-listener), introduces itself with a ``hello`` message, then processes
-commands one at a time from the socket — shard seeding, the per-tick
-delta rounds, whole-shard collection for migrations, stateless callables
-— replying to each in arrival order.  A daemon thread emits ``heartbeat``
-frames on an interval so the driver can tell a slow shard from a dead
-node while a long phase computes.
+listener), answers the driver's ``challenge`` with a ``hello`` — carrying
+the join token and, when a cluster secret is configured, an HMAC-SHA256
+proof over the challenge nonce — then processes commands one at a time
+from the socket: shard seeding, the per-tick delta rounds, whole-shard
+collection for migrations, stateless callables — replying to each in
+arrival order.  A daemon thread emits ``heartbeat`` frames on an interval
+so the driver can tell a slow shard from a dead node while a long phase
+computes.
+
+Credentials never appear on the command line (``ps`` on a shared host
+would leak them): the token and secret come from the
+``REPRO_CLUSTER_TOKEN`` / ``REPRO_CLUSTER_SECRET`` environment variables
+or from files named by ``--token-file`` / ``--secret-file``.
+
+Every frame travels in the integrity envelope of
+:mod:`repro.cluster.protocol`; a corrupt, out-of-sequence or badly-MAC'd
+frame is **fail-stop** — the node exits with the typed error rather than
+executing a command it cannot trust, and the driver's supervision treats
+the silence as a node death.
 
 Shard states live in this process for its whole lifetime (the resident
 contract); the codec is armed by importing :mod:`repro.brace.shards`,
@@ -25,11 +38,20 @@ import traceback
 from typing import Any, Dict, Optional
 
 import repro.brace.shards  # noqa: F401  (registers wire types with the codec)
+from repro.cluster.auth import (
+    SECRET_ENV_VAR,
+    TOKEN_ENV_VAR,
+    AuthenticationError,
+    derive_session_key,
+    hello_proof,
+    load_credential,
+)
 from repro.cluster.protocol import (
     ConnectionLostError,
-    FrameReader,
-    send_message,
+    FrameChannel,
+    ProtocolError,
 )
+from repro.cluster.retry import RetryPolicy
 from repro.ipc.frames import ColumnarCodec
 
 __all__ = ["serve", "main"]
@@ -46,7 +68,6 @@ class _NodeState:
     def __init__(self) -> None:
         self.shards: Dict[int, Any] = {}
         self.codec = ColumnarCodec()
-        self.send_lock = threading.Lock()
 
     def decode(self, codec_name: Optional[str], blob: bytes):
         if codec_name == "columnar":
@@ -59,27 +80,12 @@ class _NodeState:
         return pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
 
 
-def _connect_with_retry(address: tuple, retry_seconds: float) -> socket.socket:
-    """Dial the driver, retrying until it listens or the budget runs out."""
-    deadline = time.monotonic() + retry_seconds
-    delay = 0.05
-    while True:
-        try:
-            return socket.create_connection(address)
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(delay)
-            delay = min(delay * 2, 1.0)
-
-
-def _heartbeat_loop(sock: socket.socket, state: _NodeState, interval: float,
+def _heartbeat_loop(channel: FrameChannel, interval: float,
                     stop: threading.Event) -> None:
     """Emit heartbeat frames until told to stop or the socket dies."""
     while not stop.wait(interval):
         try:
-            with state.send_lock:
-                send_message(sock, "heartbeat", {"pid": os.getpid()})
+            channel.send_message("heartbeat", {"pid": os.getpid()})
         except OSError:
             return
 
@@ -160,9 +166,48 @@ def _handle(state: _NodeState, kind: str, meta: Any, blob: bytes) -> tuple:
         # from an aborted round: everything queued before this ack is old.
         state.shards.clear()
         return "ok", {"pid": os.getpid(), "nonce": (meta or {}).get("nonce")}, b""
+    if kind == "sync":
+        # Same stream-drain contract as reset, but the shard state stays:
+        # the driver uses this to resynchronize *surviving* nodes after
+        # another node died mid-round without discarding their residency.
+        return "ok", {"pid": os.getpid(), "nonce": (meta or {}).get("nonce")}, b""
     if kind == "shutdown":
         return "bye", {"pid": os.getpid()}, b""
     raise ValueError(f"unknown command {kind!r}")
+
+
+def _handshake(
+    channel: FrameChannel, token: Optional[str], secret: Optional[str]
+) -> None:
+    """Answer the driver's challenge; arm frame MACs when a secret is set.
+
+    The driver speaks first: a ``challenge`` carrying a fresh nonce and
+    whether it requires authentication.  The node replies ``hello`` with
+    its pid, the join token, and — when a secret is configured — the
+    HMAC proof over the nonce; from that frame on both sides MAC every
+    frame with the nonce-derived session key.  A driver that rejects the
+    hello simply closes the connection.
+    """
+    message = channel.recv_message()
+    if message is None:
+        raise ConnectionLostError("driver closed before sending a challenge")
+    kind, meta, _ = message
+    if kind != "challenge":
+        raise AuthenticationError(
+            f"expected a challenge from the driver, received {kind!r}"
+        )
+    nonce = meta.get("nonce")
+    if meta.get("auth_required") and secret is None:
+        raise AuthenticationError(
+            "the driver requires an authenticated hello but this node has "
+            f"no cluster secret; set {SECRET_ENV_VAR} or pass --secret-file"
+        )
+    hello = {"pid": os.getpid(), "token": token}
+    if secret is not None and nonce is not None:
+        hello["proof"] = hello_proof(secret, nonce)
+    channel.send_message("hello", hello)
+    if secret is not None and nonce is not None:
+        channel.enable_auth(derive_session_key(secret, nonce))
 
 
 def serve(
@@ -171,26 +216,37 @@ def serve(
     token: Optional[str] = None,
     heartbeat_interval: float = 0.5,
     retry_seconds: float = CONNECT_RETRY_SECONDS,
+    secret: Optional[str] = None,
 ) -> None:
     """Connect to the driver at ``host:port`` and serve shard commands.
 
-    Returns when the driver sends ``shutdown`` or closes the connection.
+    Returns when the driver sends ``shutdown`` or closes the connection;
+    raises the typed `ProtocolError` if the stream itself becomes
+    untrustworthy (corruption, reordering, a failed MAC) — fail-stop, so
+    a fault can never execute as a command.
     """
-    sock = _connect_with_retry((host, port), retry_seconds)
+    policy = RetryPolicy(connect_timeout_seconds=retry_seconds)
+    sock = policy.retry(
+        lambda: socket.create_connection((host, port)),
+        describe=f"connecting to cluster driver at {host}:{port}",
+    )
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     state = _NodeState()
-    reader = FrameReader(sock)
+    channel = FrameChannel(sock, role="node")
     stop = threading.Event()
-    with state.send_lock:
-        send_message(sock, "hello", {"pid": os.getpid(), "token": token})
+    try:
+        _handshake(channel, token, secret)
+    except ProtocolError:
+        sock.close()
+        raise
     beat = threading.Thread(
-        target=_heartbeat_loop, args=(sock, state, heartbeat_interval, stop), daemon=True
+        target=_heartbeat_loop, args=(channel, heartbeat_interval, stop), daemon=True
     )
     beat.start()
     try:
         while True:
             try:
-                message = reader.recv_message()
+                message = channel.recv_message()
             except (ConnectionLostError, OSError):
                 return  # driver went away; nothing left to serve
             if message is None:
@@ -200,8 +256,7 @@ def serve(
                 reply = _handle(state, kind, meta, blob)
             except BaseException as error:  # noqa: BLE001 - every task error travels back
                 reply = ("error", _exception_reply(error), b"")
-            with state.send_lock:
-                send_message(sock, *reply)
+            channel.send_message(*reply)
             if kind == "shutdown":
                 return
     finally:
@@ -225,7 +280,18 @@ def main(argv: Optional[list] = None) -> None:
         help="address of the driver's cluster listener",
     )
     parser.add_argument(
-        "--token", default=None, help="handshake token expected by the driver (if any)"
+        "--token-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the handshake token expected by the driver "
+        f"(default: the {TOKEN_ENV_VAR} environment variable)",
+    )
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the shared cluster secret for authenticated "
+        f"frames (default: the {SECRET_ENV_VAR} environment variable)",
     )
     parser.add_argument(
         "--heartbeat-interval",
@@ -246,7 +312,8 @@ def main(argv: Optional[list] = None) -> None:
     serve(
         host,
         int(port),
-        token=args.token,
+        token=load_credential(TOKEN_ENV_VAR, args.token_file),
         heartbeat_interval=args.heartbeat_interval,
         retry_seconds=args.retry_seconds,
+        secret=load_credential(SECRET_ENV_VAR, args.secret_file),
     )

@@ -46,6 +46,26 @@ class ExecutorError(MapReduceError):
     """
 
 
+class NodeLossError(ExecutorError):
+    """A cluster node died mid-run and the executor degraded instead of
+    tearing the cluster down.
+
+    ``node_index`` is the first node observed dead, ``lost_shards`` the
+    shards whose resident state was lost (after any re-admission or
+    rehoming — survivors keep theirs), and ``action`` what supervision
+    managed: ``"respawned"``, ``"readmitted"``, ``"rehomed"`` or
+    ``"lost"``.  Callers holding checkpoints recover by restoring the
+    survivors in place and re-seeding only ``lost_shards``
+    (:meth:`~repro.cluster.client.ClusterExecutor.reseed_shards`).
+    """
+
+    def __init__(self, message, *, node_index, lost_shards=(), action=None):
+        super().__init__(message)
+        self.node_index = node_index
+        self.lost_shards = tuple(lost_shards)
+        self.action = action
+
+
 class ClusterError(ReproError):
     """Raised by the simulated cluster (unknown node, routing failure...)."""
 

@@ -99,6 +99,7 @@ RUN_RESULT_FIELDS = {
     "ticks",
     "provenance",
     "checkpoints_taken",
+    "fault_events",
     "history_path",
 }
 

@@ -14,7 +14,7 @@ import sys
 
 import pytest
 
-from repro.core.errors import ExecutorError
+from repro.core.errors import ExecutorError, NodeLossError
 from repro.cluster.client import ClusterExecutor
 
 
@@ -167,13 +167,34 @@ class TestNodeDeath:
             executor.init_shards(make_counter, {0: 0, 1: 0, 2: 0})
             victim = executor.shard_node(0)
             executor._nodes[victim].process.kill()
-            with pytest.raises(ExecutorError, match="recover from the last checkpoint"):
+            with pytest.raises(NodeLossError, match="recover from the last checkpoint") as info:
                 for _ in range(20):
                     executor.run_sharded_tasks(
                         [(i, add_task, 1) for i in range(3)]
                     )
-            # Death tears the shard set down: re-seeding is required.
-            assert not executor.has_shards()
+            # Supervision pins the loss to the node that actually died and
+            # keeps the survivors' resident state — there is no teardown.
+            assert info.value.node_index == victim
+            assert executor.has_shards()
+            lost = executor.lost_shards()
+            assert lost == tuple(info.value.lost_shards)
+            assert lost and all(s not in executor._shard_to_node for s in lost)
+            # Rounds are refused until the lost shards are re-seeded...
+            with pytest.raises(ExecutorError, match="re-seeded"):
+                executor.run_sharded_tasks([(i, add_task, 1) for i in range(3)])
+            # ...and resume — with survivor state intact — once they are.
+            executor.reseed_shards({shard_id: 0 for shard_id in lost})
+            results = executor.run_sharded_tasks([(i, add_task, 1) for i in range(3)])
+            by_shard = {value[0]: value for value in (r.value for r in results)}
+            for shard_id in lost:
+                assert by_shard[shard_id] == (shard_id, 1, 1)  # re-seeded fresh
+            survivors = [i for i in range(3) if i not in lost]
+            for shard_id in survivors:
+                # Survivor counters kept counting across the loss.
+                assert by_shard[shard_id][2] >= 1
+            (event,) = executor.drain_fault_events()
+            assert event["action"] == "respawned"
+            assert event["node"] == victim
         finally:
             executor.shutdown()
 

@@ -10,17 +10,25 @@ silently truncated message.
 """
 
 import pickle
+import socket
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.protocol import (
+    DIRECTION_TO_DRIVER,
+    DIRECTION_TO_NODE,
     MAX_FRAME_BYTES,
     ConnectionLostError,
     FrameAssembler,
+    FrameChannel,
+    FrameIntegrityError,
+    FrameSequenceError,
     ProtocolError,
     encode_frame,
+    open_payload,
     pack_message,
+    seal_payload,
     unpack_message,
 )
 
@@ -164,3 +172,129 @@ class TestMessageCodec:
         assert [unpack_message(f) for f in frames] == [
             (kind, meta, blob) for kind, meta, blob in messages
         ]
+
+
+KEY = b"k" * 32
+
+
+class TestEnvelope:
+    """The integrity envelope turns transport faults into typed errors."""
+
+    @given(body=st.binary(max_size=300), seq=st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_plain_and_authenticated(self, body, seq):
+        for key in (None, KEY):
+            sealed = seal_payload(body, seq=seq, direction=DIRECTION_TO_NODE, key=key)
+            assert (
+                open_payload(sealed, seq=seq, direction=DIRECTION_TO_NODE, key=key)
+                == body
+            )
+
+    @given(
+        body=st.binary(min_size=1, max_size=200),
+        offset=st.integers(min_value=0, max_value=10_000),
+        bit=st.integers(min_value=0, max_value=7),
+        authed=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_single_bit_flip_is_fail_stop(self, body, offset, bit, authed):
+        # Flip one bit anywhere in the sealed frame: never a silently
+        # different body — always FrameIntegrityError (CRC or MAC) or, for
+        # flips inside the sequence field that evade neither, a
+        # FrameSequenceError.  The CRC covers everything after itself, so
+        # a flip in the CRC field itself also fails the comparison.
+        key = KEY if authed else None
+        sealed = bytearray(seal_payload(body, seq=7, direction=DIRECTION_TO_NODE, key=key))
+        position = offset % len(sealed)
+        sealed[position] ^= 1 << bit
+        with pytest.raises((FrameIntegrityError, FrameSequenceError)):
+            open_payload(bytes(sealed), seq=7, direction=DIRECTION_TO_NODE, key=key)
+
+    def test_wrong_sequence_number_is_typed(self):
+        sealed = seal_payload(b"x", seq=3, direction=DIRECTION_TO_NODE)
+        with pytest.raises(FrameSequenceError, match="dropped, duplicated"):
+            open_payload(sealed, seq=4, direction=DIRECTION_TO_NODE)
+
+    def test_unauthenticated_frame_rejected_on_authenticated_channel(self):
+        sealed = seal_payload(b"x", seq=0, direction=DIRECTION_TO_NODE)
+        with pytest.raises(FrameIntegrityError, match="unauthenticated"):
+            open_payload(sealed, seq=0, direction=DIRECTION_TO_NODE, key=KEY)
+
+    def test_wrong_key_rejected(self):
+        sealed = seal_payload(b"x", seq=0, direction=DIRECTION_TO_NODE, key=KEY)
+        with pytest.raises(FrameIntegrityError, match="MAC"):
+            open_payload(sealed, seq=0, direction=DIRECTION_TO_NODE, key=b"j" * 32)
+
+    def test_direction_replay_rejected(self):
+        # A frame recorded driver->node can never be replayed node->driver:
+        # the direction byte is mixed into the MAC.
+        sealed = seal_payload(b"x", seq=0, direction=DIRECTION_TO_NODE, key=KEY)
+        with pytest.raises(FrameIntegrityError, match="MAC"):
+            open_payload(sealed, seq=0, direction=DIRECTION_TO_DRIVER, key=KEY)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(FrameIntegrityError, match="envelope"):
+            open_payload(b"\x00\x01", seq=0, direction=DIRECTION_TO_NODE)
+
+
+class TestFrameChannel:
+    """The duplex channel over a real socket pair."""
+
+    def make_pair(self):
+        left, right = socket.socketpair()
+        return FrameChannel(left, "driver"), FrameChannel(right, "node")
+
+    def test_duplex_roundtrip(self):
+        driver, node = self.make_pair()
+        try:
+            driver.send_message("run_task", {"shard_id": 1}, b"blob")
+            assert node.recv_message() == ("run_task", {"shard_id": 1}, b"blob")
+            node.send_message("result", {"ok": True})
+            assert driver.recv_message() == ("result", {"ok": True}, b"")
+        finally:
+            driver.sock.close()
+            node.sock.close()
+
+    def test_authenticated_roundtrip_and_tamper_detection(self):
+        driver, node = self.make_pair()
+        try:
+            driver.enable_auth(KEY)
+            node.enable_auth(KEY)
+            for i in range(3):
+                driver.send_message("ping", {"i": i})
+                assert node.recv_message() == ("ping", {"i": i}, b"")
+            # An attacker without the session key cannot inject a frame.
+            forged = seal_payload(
+                pack_message("ping", {"i": 99}), seq=3, direction=DIRECTION_TO_NODE
+            )
+            driver.sock.sendall(encode_frame(forged))
+            with pytest.raises(FrameIntegrityError):
+                node.recv_message()
+        finally:
+            driver.sock.close()
+            node.sock.close()
+
+    def test_duplicated_frame_is_fail_stop(self):
+        driver, node = self.make_pair()
+        try:
+            frame = driver.seal_message("ping", {})
+            driver.sock.sendall(frame)
+            driver.sock.sendall(frame)  # the duplicate
+            assert node.recv_message() == ("ping", {}, b"")
+            with pytest.raises(FrameSequenceError):
+                node.recv_message()
+        finally:
+            driver.sock.close()
+            node.sock.close()
+
+    def test_seal_message_claims_sequence_in_order(self):
+        driver, node = self.make_pair()
+        try:
+            frames = [driver.seal_message("n", {"i": i}) for i in range(4)]
+            for frame in frames:
+                driver.sock.sendall(frame)
+            received = [node.recv_message() for _ in range(4)]
+            assert [meta["i"] for _, meta, _ in received] == [0, 1, 2, 3]
+        finally:
+            driver.sock.close()
+            node.sock.close()
